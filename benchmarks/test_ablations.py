@@ -1,0 +1,144 @@
+"""Ablations of the design choices DESIGN.md calls out (beyond the
+paper's own Fig. 9/10 ablations):
+
+* current/next register coalescing (paper SS6.3, [49]) on vs off,
+* memory-to-register conversion (the Yosys behaviour) on vs off,
+* MILP vs greedy custom-function selection,
+* pipeline result-latency sensitivity (the one microarchitectural
+  parameter the paper does not publish).
+"""
+
+import pytest
+
+from harness import print_table
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.designs import DESIGNS
+from repro.machine import PROTOTYPE, MachineConfig
+
+ABLATION_DESIGNS = ("mm", "cgra", "jpeg")
+
+
+def _compile(name, **kw):
+    return compile_circuit(DESIGNS[name].build(),
+                           CompilerOptions(config=PROTOTYPE, **kw))
+
+
+def test_ablation_coalescing(benchmark):
+    def run():
+        return {
+            (name, flag): _compile(name, coalesce_state=flag).report
+            for name in ABLATION_DESIGNS for flag in (True, False)
+        }
+    reports = benchmark(run)
+    rows = []
+    for name in ABLATION_DESIGNS:
+        on = reports[(name, True)]
+        off = reports[(name, False)]
+        rows.append([name, on.vcpl, off.vcpl,
+                     round(on.vcpl / off.vcpl, 2),
+                     on.lowered_instructions])
+    print_table("Ablation: current/next coalescing",
+                ["bench", "vcpl on", "vcpl off", "ratio", "instrs"],
+                rows)
+    # Coalescing removes commit Movs: never worse, and it helps somewhere.
+    assert all(reports[(n, True)].vcpl <= 1.05 * reports[(n, False)].vcpl
+               for n in ABLATION_DESIGNS)
+    assert any(reports[(n, True)].vcpl < reports[(n, False)].vcpl
+               for n in ABLATION_DESIGNS)
+
+
+def test_ablation_mem2reg(benchmark):
+    def run():
+        out = {}
+        for name in ("mm", "vta"):
+            out[(name, "on")] = _compile(name).report
+            out[(name, "off")] = _compile(name, mem2reg_max_words=0).report
+        return out
+    reports = benchmark(run)
+    rows = [[name,
+             reports[(name, "on")].vcpl, reports[(name, "on")].cores_used,
+             reports[(name, "off")].vcpl,
+             reports[(name, "off")].cores_used]
+            for name in ("mm", "vta")]
+    print_table("Ablation: memory-to-register conversion",
+                ["bench", "vcpl on", "cores on", "vcpl off", "cores off"],
+                rows)
+    # Without mem2reg the buffer-centric accelerator collapses onto few
+    # cores (memory co-location) and slows down dramatically; mm's small
+    # ROMs, in contrast, are cheaper as scratchpad lookups than as
+    # flattened mux trees - the conversion is a trade, not a free win.
+    on, off = reports[("vta", "on")], reports[("vta", "off")]
+    assert off.vcpl > 2 * on.vcpl
+    assert off.cores_used < on.cores_used
+    mm_ratio = reports[("mm", "off")].vcpl / reports[("mm", "on")].vcpl
+    assert 0.5 < mm_ratio < 1.5  # same ballpark either way
+
+
+def test_ablation_custom_selector(benchmark):
+    def run():
+        return {
+            (name, sel): _compile(name, custom_selector=sel).report
+            for name in ("bc", "cgra") for sel in ("milp", "greedy")
+        }
+    reports = benchmark(run)
+    rows = []
+    for name in ("bc", "cgra"):
+        milp = reports[(name, "milp")].custom
+        greedy = reports[(name, "greedy")].custom
+        rows.append([name,
+                     round(milp.reduction_percent, 2),
+                     round(greedy.reduction_percent, 2)])
+    print_table("Ablation: MILP vs greedy cone selection",
+                ["bench", "milp red %", "greedy red %"], rows)
+    # Exact selection never saves fewer instructions than greedy.
+    for name in ("bc", "cgra"):
+        milp = reports[(name, "milp")].custom
+        greedy = reports[(name, "greedy")].custom
+        assert milp.instructions_after <= greedy.instructions_after + 2
+
+
+def test_ablation_result_latency(benchmark):
+    def run():
+        out = {}
+        for latency in (2, 4, 8, 12):
+            config = MachineConfig(grid_x=15, grid_y=15,
+                                   result_latency=latency)
+            res = compile_circuit(DESIGNS["jpeg"].build(),
+                                  CompilerOptions(config=config))
+            out[latency] = res.report.vcpl
+        return out
+    vcpls = benchmark(run)
+    print_table("Ablation: pipeline result latency (jpeg, serial chain)",
+                ["latency", "vcpl"],
+                [[k, v] for k, v in sorted(vcpls.items())])
+    # A serial design's VCPL grows monotonically with the hazard
+    # distance - the microarchitectural reason jpeg loses on Manticore.
+    keys = sorted(vcpls)
+    for a, b in zip(keys, keys[1:]):
+        assert vcpls[a] <= vcpls[b]
+    assert vcpls[12] > 1.5 * vcpls[2]
+
+
+def test_ablation_heterogeneous_grid(benchmark):
+    """Paper SSA.7: scratchpad-less cores free URAMs for more cores.
+    Verify the resource math and that a register-only design compiles
+    and matches on a grid where only one core has a scratchpad."""
+    from repro.fpga.resources import max_cores, max_cores_heterogeneous
+    from repro.machine import Machine, MachineConfig
+    from repro.netlist import NetlistInterpreter
+
+    def run():
+        config = MachineConfig(grid_x=6, grid_y=6, scratchpad_cores=1)
+        circuit = DESIGNS["mc"].build()
+        golden = NetlistInterpreter(DESIGNS["mc"].build()).run(400)
+        result = compile_circuit(circuit, CompilerOptions(config=config))
+        mres = Machine(result.program, config).run(400)
+        return golden, mres, result.report
+
+    golden, mres, report = benchmark(run)
+    rows = [[f"{frac:.2f}", max_cores_heterogeneous(frac)]
+            for frac in (1.0, 0.5, 0.25, 0.0)]
+    print_table("Ablation: heterogeneous grid core bound (U200)",
+                ["scratchpad fraction", "max cores"], rows)
+    assert mres.displays == golden.displays
+    assert max_cores_heterogeneous(0.5) > 1.3 * max_cores()

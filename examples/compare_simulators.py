@@ -1,0 +1,61 @@
+"""Manticore vs the Verilator-like baseline on one benchmark - a
+single-row version of the paper's Table 3.
+
+For a chosen design this script reports:
+
+* the design's per-cycle instruction estimate (Table 3's "# instr."),
+* modeled serial Verilator rates on the desktop and server platforms,
+* modeled multithreaded Verilator rates (Sarkar macro-tasks + the
+  calibrated thread model),
+* Manticore's compiler-predicted rate (475 MHz / VCPL) and the resulting
+  speedups.
+
+Run:  python examples/compare_simulators.py [design]
+"""
+
+import sys
+
+from repro.baseline import (
+    best_mt_rate_khz,
+    instruction_estimate,
+    macrotasks_for,
+    modeled_serial_rate_khz,
+)
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.designs import DESIGNS
+from repro.machine import PROTOTYPE
+from repro.perfmodel import EPYC_7V73X, I7_9700K
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mm"
+    info = DESIGNS[name]
+    circuit = info.build()
+    est = instruction_estimate(circuit)
+    print(f"design {name!r}: {len(circuit.ops)} netlist ops, "
+          f"~{est} x86 instructions per RTL cycle")
+
+    print("\ncompiling for the 225-core prototype ...")
+    result = compile_circuit(info.build(),
+                             CompilerOptions(config=PROTOTYPE))
+    manticore_khz = result.report.simulated_rate_khz(475.0)
+    print(f"  VCPL {result.report.vcpl}, {result.report.cores_used} "
+          f"cores, {result.report.send_count} Sends/Vcycle")
+
+    graph = macrotasks_for(circuit)
+    rows = []
+    for platform in (I7_9700K, EPYC_7V73X):
+        serial = modeled_serial_rate_khz(circuit, platform)
+        threads, mt = best_mt_rate_khz(graph, platform)
+        rows.append((platform.name, serial, mt, threads))
+
+    print(f"\n{'platform':<14}{'serial kHz':>12}{'MT kHz':>10}"
+          f"{'threads':>9}{'xS':>8}{'xMT':>8}")
+    for pname, serial, mt, threads in rows:
+        print(f"{pname:<14}{serial:>12.1f}{mt:>10.1f}{threads:>9d}"
+              f"{manticore_khz / serial:>8.2f}{manticore_khz / mt:>8.2f}")
+    print(f"\nManticore (225 cores @ 475 MHz): {manticore_khz:.1f} kHz")
+
+
+if __name__ == "__main__":
+    main()

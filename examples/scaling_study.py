@@ -1,0 +1,44 @@
+"""Manticore multicore scaling for one design - a miniature of Fig. 7.
+
+Sweeps the number of cores the compiler may use and reports the
+compiler-predicted VCPL (machine cycles per simulated RTL cycle) and the
+speedup over the fewest-cores configuration.  The paper's Fig. 7 is
+produced exactly this way: "The speedup numbers are predicted by
+Manticore's compiler instead of actual execution, since the compiler can
+accurately count cycles."
+
+Run:  python examples/scaling_study.py [design] [max_cores...]
+"""
+
+import sys
+
+from repro.compiler import CompilerError, CompilerOptions, compile_circuit
+from repro.designs import DESIGNS
+from repro.machine import PROTOTYPE
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "cgra"
+    counts = [int(a) for a in sys.argv[2:]] or [1, 2, 4, 8, 16, 32, 64,
+                                                128, 225]
+    info = DESIGNS[name]
+    print(f"design {name!r} ({info.description})")
+    print(f"{'cores':>7}{'VCPL':>8}{'kHz @475MHz':>13}{'speedup':>9}")
+    base_vcpl = None
+    for cores in counts:
+        try:
+            result = compile_circuit(
+                info.build(),
+                CompilerOptions(config=PROTOTYPE, max_cores=cores))
+        except CompilerError as exc:
+            print(f"{cores:>7}  ({exc})")
+            continue
+        vcpl = result.report.vcpl
+        base_vcpl = base_vcpl or vcpl
+        rate = result.report.simulated_rate_khz(475.0)
+        print(f"{result.report.cores_used:>7}{vcpl:>8}{rate:>13.1f}"
+              f"{base_vcpl / vcpl:>9.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+// A hierarchical Verilog design exercising the frontend end to end:
+// a UART transmitter looped back into a UART receiver, with a test
+// driver that streams a message and checks every received byte.
+//
+//   python -m repro simulate examples/uart_loopback.v
+//   python -m repro run examples/uart_loopback.v --grid 4 4 --vcd uart.vcd --trace rx__state,tx__state
+//   python -m repro compile examples/uart_loopback.v --asm uart.s
+
+module uart_tx(input clk, input [7:0] data, input start,
+               output line, output busy);
+  parameter DIV = 4;                 // clocks per bit
+  reg [3:0] state = 0;               // 0 idle, 1 start, 2..9 data, 10 stop
+  reg [2:0] divcnt = 0;
+  reg [7:0] shift = 0;
+  reg line_r = 1;
+  assign line = line_r;
+  assign busy = |state;
+
+  always @(posedge clk) begin
+    if (state == 0) begin
+      line_r <= 1'b1;
+      if (start) begin
+        shift <= data;
+        state <= 1;
+        divcnt <= 0;
+        line_r <= 1'b0;              // start bit
+      end
+    end else begin
+      divcnt <= divcnt + 1;
+      if (divcnt == DIV - 1) begin
+        divcnt <= 0;
+        if (state >= 1 && state <= 8) begin
+          line_r <= shift[0];
+          shift <= {1'b0, shift[7:1]};
+          state <= state + 1;
+        end else begin
+          if (state == 9) begin
+            line_r <= 1'b1;          // stop bit
+            state <= 10;
+          end else begin
+            state <= 0;
+          end
+        end
+      end
+    end
+  end
+endmodule
+
+module uart_rx(input clk, input line, output [7:0] data, output valid);
+  parameter DIV = 4;
+  reg [3:0] state = 0;
+  reg [2:0] divcnt = 0;
+  reg [7:0] shift = 0;
+  reg [7:0] data_r = 0;
+  reg valid_r = 0;
+  assign data = data_r;
+  assign valid = valid_r;
+
+  always @(posedge clk) begin
+    valid_r <= 0;
+    if (state == 0) begin
+      if (line == 0) begin            // start bit edge
+        state <= 1;
+        divcnt <= 0;                    // first sample lands mid-d0
+      end
+    end else begin
+      divcnt <= divcnt + 1;
+      if (divcnt == DIV - 1) begin
+        divcnt <= 0;
+        if (state >= 1 && state <= 8) begin
+          shift <= {line, shift[7:1]};
+          state <= state + 1;
+        end else begin
+          data_r <= shift;
+          valid_r <= 1;
+          state <= 0;
+        end
+      end
+    end
+  end
+endmodule
+
+module top();
+  // Message ROM and driver state.
+  reg [7:0] message [0:7];
+  reg [3:0] sent = 0;
+  reg [3:0] received = 0;
+  reg [15:0] cyc = 0;
+  reg started = 0;
+
+  wire line;
+  wire busy;
+  wire [7:0] rx_data;
+  wire rx_valid;
+  reg [7:0] tx_data;
+  reg start;
+
+  uart_tx tx (.clk(clk), .data(tx_data), .start(start), .line(line),
+              .busy(busy));
+  uart_rx rx (.clk(clk), .line(line), .data(rx_data),
+              .valid(rx_valid));
+
+  integer i;
+  always @(*) begin
+    tx_data = message[sent[2:0]];
+    start = 0;
+    if (started == 0) start = 0;
+    if (busy == 0 && sent < 8 && cyc > 2) start = 1;
+  end
+
+  always @(posedge clk) begin
+    cyc <= cyc + 1;
+    started <= 1;
+    for (i = 0; i < 8; i = i + 1)
+      if (cyc == 0) message[i] <= 8'h41 + i;   // "ABCDEFGH"
+    if (start && !busy) sent <= sent + 1;
+    if (rx_valid) begin
+      $display("received %c (byte %d)", rx_data, received);
+      received <= received + 1;
+    end
+    if (received == 8) $display("loopback complete after %d cycles", cyc);
+    if (received == 8) $finish;
+    if (cyc == 2000) $finish;   // watchdog
+  end
+endmodule

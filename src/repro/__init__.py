@@ -1,0 +1,58 @@
+"""Manticore reproduction: hardware-accelerated RTL simulation with
+static bulk-synchronous parallelism (Emami et al., ASPLOS 2023).
+
+Subpackages
+-----------
+``repro.netlist``
+    RTL substrate: netlist IR, circuit builder, Verilog-subset frontend,
+    and the golden reference interpreter.
+``repro.isa``
+    The Manticore instruction set, binary encoding, and the functional
+    lower interpreter.
+``repro.compiler``
+    The full compiler: optimizations, 16-bit lowering, split/merge
+    partitioning, custom-function synthesis, NoC-aware scheduling, and
+    register allocation.
+``repro.machine``
+    Cycle-accurate machine model: cores, torus NoC, cache + global stall,
+    bootloader format, host runtime.
+``repro.baseline``
+    The Verilator-like software baseline (serial + Sarkar macro-tasks +
+    multithread cost model).
+``repro.perfmodel`` / ``repro.fpga`` / ``repro.cost``
+    The SS7.1 parallel-simulation models, the FPGA physical model
+    (Tables 1/7), and the Azure cost analysis (Tables 5/6).
+``repro.designs``
+    The paper's nine RTL benchmarks plus the Fig. 8 microbenchmarks.
+
+Quickstart
+----------
+>>> from repro import CircuitBuilder, simulate_on_manticore
+>>> m = CircuitBuilder("counter")
+>>> count = m.register("count", 8)
+>>> count.next = (count + 1).trunc(8)
+>>> m.display(count == 5, "done %d", count)
+>>> m.finish(count == 5)
+>>> simulate_on_manticore(m.build()).displays
+['done 5']
+"""
+
+from .compiler import CompilerOptions, compile_circuit
+from .machine import (
+    PROTOTYPE,
+    Machine,
+    MachineConfig,
+    SimulationRun,
+    simulate_on_manticore,
+)
+from .netlist import CircuitBuilder, NetlistInterpreter, run_circuit
+from .netlist.verilog import parse_verilog
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CircuitBuilder", "CompilerOptions", "Machine", "MachineConfig",
+    "NetlistInterpreter", "PROTOTYPE", "SimulationRun", "compile_circuit",
+    "parse_verilog", "run_circuit", "simulate_on_manticore",
+    "__version__",
+]

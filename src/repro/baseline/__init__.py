@@ -1,0 +1,26 @@
+"""The Verilator-like software baseline: serial full-cycle simulation,
+Sarkar macro-task coarsening, and a calibrated multithreaded cost model."""
+
+from .essent import ActivityStats, EssentSimulator
+from .sarkar import MacroTaskGraph, build_macrotask_graph, coarsen, macrotasks_for
+from .serial import (
+    MeasuredRate,
+    SerialSimulator,
+    instruction_estimate,
+    modeled_serial_rate_khz,
+)
+from .threads import (
+    MTResult,
+    assign_static,
+    best_mt_rate_khz,
+    scaling,
+    simulate_multithreaded,
+)
+
+__all__ = [
+    "ActivityStats", "EssentSimulator",
+    "MTResult", "MacroTaskGraph", "MeasuredRate", "SerialSimulator",
+    "assign_static", "best_mt_rate_khz", "build_macrotask_graph", "coarsen",
+    "instruction_estimate", "macrotasks_for", "modeled_serial_rate_khz",
+    "scaling", "simulate_multithreaded",
+]

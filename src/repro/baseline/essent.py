@@ -1,0 +1,215 @@
+"""An ESSENT-style conditional-evaluation simulator (paper SS9.3).
+
+ESSENT [6, 7] accelerates *sequential* RTL simulation by exploiting low
+activity factors: the netlist is coarsened into partitions, and a
+partition is re-evaluated only when one of its inputs changed - the
+"coarsened, conditional, singular, static (CCSS)" execution model. The
+paper contrasts it with Manticore: "Manticore's performance is
+independent of a design's activity factor"; this module exists to make
+that comparison executable (see ``benchmarks/test_activity_factor.py``).
+
+Implementation: partitions come from the same Sarkar coarsening used by
+the Verilator-like baseline; each partition caches the last values of its
+input wires and is skipped when they are unchanged. Memories make a
+partition always-active when written (conservative). The simulator is
+semantically exact (validated against the golden interpreter) and
+reports the measured *activity factor* - the fraction of partition
+evaluations actually performed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netlist.interp import format_display
+from ..netlist.ir import (
+    AssertEffect,
+    Circuit,
+    Display,
+    Finish,
+    OpKind,
+    evaluate_op,
+    mask,
+    topological_order,
+)
+from .sarkar import build_macrotask_graph, coarsen
+from .serial import op_cost
+
+
+@dataclass
+class _Partition:
+    """A coarsened group of ops evaluated as a unit."""
+
+    index: int
+    ops: list = field(default_factory=list)          # topological order
+    input_wires: list[str] = field(default_factory=list)
+    output_wires: set[str] = field(default_factory=set)
+    touches_memory: bool = False
+    cost: float = 0.0
+    last_inputs: tuple | None = None
+
+
+@dataclass
+class ActivityStats:
+    cycles: int = 0
+    partition_evals: int = 0
+    partition_skips: int = 0
+    instr_executed: float = 0.0
+    instr_total: float = 0.0
+
+    @property
+    def activity_factor(self) -> float:
+        total = self.partition_evals + self.partition_skips
+        return self.partition_evals / total if total else 1.0
+
+    @property
+    def work_factor(self) -> float:
+        return self.instr_executed / self.instr_total \
+            if self.instr_total else 1.0
+
+
+class EssentSimulator:
+    """Conditional full-cycle simulation over coarsened partitions."""
+
+    def __init__(self, circuit: Circuit, min_task_cost: float = 40.0,
+                 ) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self._build_partitions(min_task_cost)
+        self.values: dict[str, int] = dict()
+        self.registers = {name: reg.init
+                          for name, reg in circuit.registers.items()}
+        self.memories = {
+            name: list(memory.init) + [0] * (memory.depth
+                                             - len(memory.init))
+            for name, memory in circuit.memories.items()
+        }
+        self.stats = ActivityStats()
+        self.displays: list[str] = []
+        self.finished = False
+        self.cycle = 0
+        # Effect wires must always be fresh.
+        self._effect_wires = {w.name for w in circuit.effect_wires()}
+
+    # ------------------------------------------------------------------
+    def _build_partitions(self, min_task_cost: float) -> None:
+        circuit = self.circuit
+        graph = coarsen(build_macrotask_graph(circuit),
+                        min_task_cost=min_task_cost)
+        # Graph node i corresponds to circuit.ops[i]; the merge log
+        # tells us which surviving task absorbed each original op.
+        op_list = circuit.ops
+        membership = self._recover_membership(graph, len(op_list))
+        topo = topological_order(circuit)
+        order_of = {op.result.name: i for i, op in enumerate(topo)}
+
+        partitions: dict[int, _Partition] = {}
+        for op_index, task in enumerate(membership):
+            op = op_list[op_index]
+            part = partitions.setdefault(task, _Partition(task))
+            part.ops.append(op)
+            part.cost += op_cost(op)
+            part.output_wires.add(op.result.name)
+            if op.kind is OpKind.MEMRD:
+                part.touches_memory = True
+        for part in partitions.values():
+            part.ops.sort(key=lambda op: order_of[op.result.name])
+            inputs: set[str] = set()
+            for op in part.ops:
+                for arg in op.args:
+                    if arg.name not in part.output_wires:
+                        inputs.add(arg.name)
+            part.input_wires = sorted(inputs)
+        # Evaluate partitions in topological order of the coarsened task
+        # graph (tasks are convex, so whole-partition evaluation in task
+        # order respects every cross-partition dependence).
+        task_order = {task: i for i, task in enumerate(graph._topo())}
+        self.partitions = sorted(partitions.values(),
+                                 key=lambda p: task_order[p.index])
+        self.total_cost = sum(p.cost for p in self.partitions)
+
+    @staticmethod
+    def _recover_membership(graph, n_ops: int) -> list[int]:
+        """Map original op index -> surviving task id using the merge
+        trace recorded by MacroTaskGraph."""
+        parent = list(range(n_ops))
+        for absorbed, into in graph.merge_log:
+            parent[absorbed] = into
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        return [find(i) for i in range(n_ops)]
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        if self.finished:
+            return
+        circuit = self.circuit
+        values = self.values
+        for name, value in self.registers.items():
+            values[name] = value
+
+        for part in self.partitions:
+            snapshot = tuple(values.get(w, 0) for w in part.input_wires)
+            dirty = (part.last_inputs != snapshot or part.touches_memory
+                     or self.cycle == 0)
+            if dirty:
+                for op in part.ops:
+                    values[op.result.name] = evaluate_op(
+                        op, values, self.memories)
+                part.last_inputs = snapshot
+                self.stats.partition_evals += 1
+                self.stats.instr_executed += part.cost
+            else:
+                self.stats.partition_skips += 1
+            self.stats.instr_total += part.cost
+
+        for eff in circuit.effects:
+            if not values[eff.enable.name]:
+                continue
+            if isinstance(eff, Display):
+                self.displays.append(format_display(
+                    eff.fmt, [values[a.name] for a in eff.args]))
+            elif isinstance(eff, AssertEffect):
+                if not values[eff.cond.name]:
+                    raise AssertionError(
+                        f"cycle {self.cycle}: {eff.message}")
+            elif isinstance(eff, Finish):
+                self.finished = True
+
+        next_regs = {
+            name: values[reg.next_value.name] & mask(reg.width)
+            for name, reg in circuit.registers.items()
+        }
+        for name, memory in circuit.memories.items():
+            contents = self.memories[name]
+            for wr in memory.writes:
+                if values[wr.enable.name]:
+                    addr = values[wr.addr.name] % memory.depth
+                    contents[addr] = values[wr.data.name] & \
+                        mask(memory.width)
+        self.registers = next_regs
+        self.cycle += 1
+        self.stats.cycles += 1
+
+    def run(self, max_cycles: int) -> ActivityStats:
+        while not self.finished and self.cycle < max_cycles:
+            self.step()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def modeled_rate_khz(self, platform, overhead_per_partition: float
+                         = 12.0) -> float:
+        """CCSS rate model: executed work + a per-partition check cost."""
+        if not self.stats.cycles:
+            raise RuntimeError("run() first")
+        checks = (self.stats.partition_evals + self.stats.partition_skips)
+        instr_per_cycle = (
+            self.stats.instr_executed / self.stats.cycles
+            + overhead_per_partition * checks / self.stats.cycles
+        )
+        return platform.instr_rate / instr_per_cycle / 1e3

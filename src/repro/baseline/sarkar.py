@@ -1,0 +1,211 @@
+"""Macro-task coarsening via Sarkar's algorithm (paper SS7.3).
+
+Verilator partitions the netlist DAG into *macro-tasks*: initially every
+DAG node is its own task; tasks sharing an edge merge when the merge
+yields the smallest increase in critical-path length, until a granularity
+threshold is reached.  The resulting graph is statically assigned to a
+thread pool (see :mod:`repro.baseline.threads`).
+
+Merging two DAG nodes is only legal when it cannot create a cycle; we
+restrict candidate edges to the provably safe cases (sole successor /
+sole predecessor), which covers the chain-contraction behaviour that
+dominates in practice, then allow general edges guarded by an explicit
+reachability check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netlist.dag import CircuitDag
+from ..netlist.ir import Circuit
+from .serial import op_cost
+
+
+@dataclass
+class MacroTaskGraph:
+    """Coarsened DAG: ``costs`` in x86-instruction units."""
+
+    costs: list[float]
+    preds: list[set[int]]
+    succs: list[set[int]]
+    alive: list[bool]
+    #: (absorbed, into) pairs, in merge order - lets clients recover
+    #: which original node ended up in which surviving task.
+    merge_log: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(self.alive)
+
+    def task_ids(self) -> list[int]:
+        return [i for i, a in enumerate(self.alive) if a]
+
+    def total_cost(self) -> float:
+        return sum(self.costs[i] for i in self.task_ids())
+
+    # ------------------------------------------------------------------
+    def top_levels(self) -> dict[int, float]:
+        """Longest cost-weighted path *into* each task (excl. own cost)."""
+        order = self._topo()
+        top: dict[int, float] = {}
+        for i in order:
+            top[i] = max((top[p] + self.costs[p] for p in self.preds[i]),
+                         default=0.0)
+        return top
+
+    def bottom_levels(self) -> dict[int, float]:
+        """Longest cost-weighted path from each task (incl. own cost)."""
+        order = self._topo()
+        bottom: dict[int, float] = {}
+        for i in reversed(order):
+            bottom[i] = self.costs[i] + max(
+                (bottom[s] for s in self.succs[i]), default=0.0)
+        return bottom
+
+    def critical_path(self) -> float:
+        bottoms = self.bottom_levels()
+        return max(bottoms.values(), default=0.0)
+
+    def _topo(self) -> list[int]:
+        ids = self.task_ids()
+        indeg = {i: len(self.preds[i]) for i in ids}
+        ready = [i for i in ids if indeg[i] == 0]
+        order = []
+        while ready:
+            i = ready.pop()
+            order.append(i)
+            for s in self.succs[i]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+        if len(order) != len(ids):
+            raise ValueError("macro-task graph became cyclic")
+        return order
+
+    def _reaches(self, src: int, dst: int, skip_direct: bool) -> bool:
+        """Is there a path src -> dst (optionally ignoring the direct
+        edge)?  Bounded DFS; used to validate general merges."""
+        stack = []
+        for s in self.succs[src]:
+            if s == dst and skip_direct:
+                continue
+            stack.append(s)
+        seen = set()
+        while stack:
+            i = stack.pop()
+            if i == dst:
+                return True
+            if i in seen:
+                continue
+            seen.add(i)
+            stack.extend(self.succs[i])
+        return False
+
+    def merge(self, u: int, v: int) -> None:
+        """Contract v into u (u keeps its id)."""
+        self.costs[u] += self.costs[v]
+        self.alive[v] = False
+        self.merge_log.append((v, u))
+        for p in self.preds[v]:
+            self.succs[p].discard(v)
+            if p != u:
+                self.succs[p].add(u)
+                self.preds[u].add(p)
+        for s in self.succs[v]:
+            self.preds[s].discard(v)
+            if s != u:
+                self.preds[s].add(u)
+                self.succs[u].add(s)
+        self.succs[u].discard(u)
+        self.preds[u].discard(u)
+
+
+def build_macrotask_graph(circuit: Circuit) -> MacroTaskGraph:
+    """One macro-task per netlist op (Verilator's starting point)."""
+    dag = CircuitDag.from_circuit(circuit)
+    names = [op.result.name for op in circuit.ops]
+    index = {name: i for i, name in enumerate(names)}
+    n = len(names)
+    costs = [op_cost(op) for op in circuit.ops]
+    preds: list[set[int]] = [set() for _ in range(n)]
+    succs: list[set[int]] = [set() for _ in range(n)]
+    for name, consumers in dag.consumers.items():
+        for consumer in consumers:
+            u, v = index[name], index[consumer]
+            succs[u].add(v)
+            preds[v].add(u)
+    return MacroTaskGraph(costs, preds, succs, [True] * n)
+
+
+def coarsen(graph: MacroTaskGraph, min_task_cost: float = 200.0,
+            max_tasks: int | None = None,
+            refresh_every: int = 64) -> MacroTaskGraph:
+    """Sarkar-style coarsening: merge the edge with the smallest
+    critical-path increase until every task reaches ``min_task_cost``
+    (Verilator's granularity threshold) or ``max_tasks``."""
+    top = graph.top_levels()
+    bottom = graph.bottom_levels()
+    merges_since_refresh = 0
+
+    def path_through(u: int, v: int) -> float:
+        """Critical path through the merged (u, v) node (the Sarkar
+        merge score - lower is better)."""
+        return (top.get(u, 0.0) + graph.costs[u] + graph.costs[v]
+                + bottom.get(v, 0.0) - graph.costs[v])
+
+    while True:
+        ids = graph.task_ids()
+        if max_tasks is not None and len(ids) <= max_tasks:
+            break
+        small = [i for i in ids if graph.costs[i] < min_task_cost]
+        if not small and max_tasks is None:
+            break
+        best = None
+        best_score = None
+        # Candidate edges touching a too-small task.
+        pool = small if small else ids
+        for u in pool:
+            for v in graph.succs[u]:
+                safe = (len(graph.succs[u]) == 1
+                        or len(graph.preds[v]) == 1
+                        or not graph._reaches(u, v, skip_direct=True))
+                if not safe:
+                    continue
+                score = path_through(u, v)
+                if best_score is None or score < best_score:
+                    best, best_score = (u, v), score
+            for p in graph.preds[u]:
+                safe = (len(graph.succs[p]) == 1
+                        or len(graph.preds[u]) == 1
+                        or not graph._reaches(p, u, skip_direct=True))
+                if not safe:
+                    continue
+                score = path_through(p, u)
+                if best_score is None or score < best_score:
+                    best, best_score = (p, u), score
+        if best is None:
+            if max_tasks is not None and len(ids) > max_tasks:
+                # Disconnected components with no mergeable edges left:
+                # fuse the two cheapest independent tasks (always safe).
+                a, b = sorted(ids, key=lambda i: graph.costs[i])[:2]
+                if graph._reaches(a, b, skip_direct=False):
+                    break
+                graph.merge(a, b)
+                merges_since_refresh += 1
+                continue
+            break
+        graph.merge(*best)
+        merges_since_refresh += 1
+        if merges_since_refresh >= refresh_every:
+            top = graph.top_levels()
+            bottom = graph.bottom_levels()
+            merges_since_refresh = 0
+    return graph
+
+
+def macrotasks_for(circuit: Circuit, min_task_cost: float = 200.0,
+                   ) -> MacroTaskGraph:
+    """Convenience: build + coarsen in one call."""
+    return coarsen(build_macrotask_graph(circuit),
+                   min_task_cost=min_task_cost)

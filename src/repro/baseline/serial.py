@@ -1,0 +1,85 @@
+"""The Verilator-like baseline, serial flavor (paper SS7.3).
+
+Verilator compiles the netlist into optimized C++ executed in topological
+order - a full-cycle simulator.  Our substitute has two faces:
+
+* :class:`SerialSimulator` - an *executable* full-cycle simulator built on
+  the golden interpreter, used for correctness and for honest wall-clock
+  measurements (documented caveat: interpreted Python, not compiled C++);
+* :func:`instruction_estimate` - a static estimate of the x86 instructions
+  a Verilator-compiled model would execute per RTL cycle (the "# instr."
+  row of Table 3), used by the calibrated performance models.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..netlist.interp import NetlistInterpreter
+from ..netlist.ir import Circuit, OpKind
+
+#: x86 instructions per netlist op, per 16-bit limb of result width
+#: (load operands + compute + store, Verilator-style flat code).
+_OP_COST = {
+    OpKind.CONST: 0.0,
+    OpKind.AND: 4.0, OpKind.OR: 4.0, OpKind.XOR: 4.0, OpKind.NOT: 3.0,
+    OpKind.ADD: 4.0, OpKind.SUB: 4.0, OpKind.MUL: 6.0,
+    OpKind.EQ: 4.0, OpKind.NE: 4.0, OpKind.LTU: 4.0, OpKind.LTS: 5.0,
+    OpKind.SHL: 5.0, OpKind.LSHR: 5.0, OpKind.ASHR: 6.0,
+    OpKind.MUX: 4.0, OpKind.CONCAT: 3.0, OpKind.SLICE: 3.0,
+    OpKind.MEMRD: 7.0,
+    OpKind.REDOR: 3.0, OpKind.REDAND: 3.0, OpKind.REDXOR: 5.0,
+}
+
+
+def op_cost(op) -> float:
+    """x86-instruction estimate for one netlist op."""
+    limbs = (op.result.width + 31) // 32  # Verilator uses 32/64-bit words
+    return _OP_COST[op.kind] * max(1, limbs)
+
+
+def instruction_estimate(circuit: Circuit) -> int:
+    """Estimated x86 instructions to simulate one RTL cycle."""
+    total = sum(op_cost(op) for op in circuit.ops)
+    for reg in circuit.registers.values():
+        total += 2.0 * max(1, (reg.width + 31) // 32)  # state commit
+    for memory in circuit.memories.values():
+        total += 8.0 * len(memory.writes)
+    total += 6.0 * len(circuit.effects)
+    return int(total)
+
+
+@dataclass
+class MeasuredRate:
+    cycles: int
+    seconds: float
+
+    @property
+    def rate_khz(self) -> float:
+        return self.cycles / self.seconds / 1e3 if self.seconds else 0.0
+
+
+class SerialSimulator:
+    """Executable serial full-cycle simulator over a closed circuit."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.interp = NetlistInterpreter(circuit)
+
+    def run(self, cycles: int):
+        return self.interp.run(cycles)
+
+    def measure(self, cycles: int) -> MeasuredRate:
+        """Wall-clock simulation rate over ``cycles`` RTL cycles."""
+        start = time.perf_counter()
+        self.interp.run(self.interp.cycle + cycles)
+        return MeasuredRate(cycles, time.perf_counter() - start)
+
+
+def modeled_serial_rate_khz(circuit: Circuit, platform,
+                            icache: bool = True) -> float:
+    """Serial Verilator rate from the calibrated platform model."""
+    from ..perfmodel.bsp_model import simulation_rate_khz
+    n = instruction_estimate(circuit)
+    return simulation_rate_khz(n, 1, platform, icache=icache)

@@ -1,0 +1,151 @@
+"""Deterministic simulated-time model of multithreaded Verilator
+(paper SS7.3): macro-tasks statically assigned to a thread pool,
+spin-lock synchronization between dependent tasks, and two barriers per
+simulated cycle.
+
+Python threads cannot exhibit real parallel scaling (the GIL), so - like
+the paper's own SS7.1 study - multithreaded behaviour is evaluated on a
+calibrated cost model rather than wall clock.  The model is exact given
+its inputs: a macro-task graph with instruction costs, a platform
+descriptor, and a thread count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perfmodel.bsp_model import BYTES_PER_INSTR
+from ..perfmodel.platforms import Platform
+from .sarkar import MacroTaskGraph
+
+
+@dataclass
+class MTResult:
+    threads: int
+    cycle_time_s: float
+    makespan_s: float
+    barrier_s: float
+    rate_khz: float
+    assignment: dict[int, int]      # task -> thread
+    thread_busy_s: list[float]
+
+    @property
+    def efficiency(self) -> float:
+        busy = sum(self.thread_busy_s)
+        return busy / (self.threads * self.cycle_time_s) \
+            if self.cycle_time_s else 0.0
+
+
+def assign_static(graph: MacroTaskGraph, threads: int) -> dict[int, int]:
+    """Verilator statically assigns macro-tasks to threads: list tasks by
+    descending bottom level, place each on the least-loaded thread."""
+    order = _priority_order(graph)
+    loads = [0.0] * threads
+    assignment: dict[int, int] = {}
+    for task in order:
+        thread = loads.index(min(loads))
+        assignment[task] = thread
+        loads[thread] += graph.costs[task]
+    return assignment
+
+
+def _priority_order(graph: MacroTaskGraph) -> list[int]:
+    """Descending bottom level, ties broken topologically so per-thread
+    queues are always executable in order (no self-deadlock)."""
+    bottoms = graph.bottom_levels()
+    topo_pos = {t: i for i, t in enumerate(graph._topo())}
+    return sorted(graph.task_ids(),
+                  key=lambda t: (-bottoms[t], topo_pos[t]))
+
+
+def simulate_multithreaded(graph: MacroTaskGraph, platform: Platform,
+                           threads: int, icache: bool = True) -> MTResult:
+    """Event-driven simulation of one RTL cycle's macro-task execution."""
+    assignment = assign_static(graph, threads)
+    rate = platform.instr_rate
+
+    # Per-thread i-cache penalty from its assigned instruction footprint.
+    penalties = [1.0] * threads
+    if icache:
+        footprints = [0.0] * threads
+        for task, thread in assignment.items():
+            footprints[thread] += graph.costs[task] * BYTES_PER_INSTR
+        penalties = [platform.icache_penalty(f) for f in footprints]
+
+    overhead_s = platform.task_overhead_instrs / rate if threads > 1 else 0.0
+
+    # Threads execute their queues in assigned (priority) order; a task
+    # waits (spinning) until its predecessors finish.
+    queues: dict[int, list[int]] = {t: [] for t in range(threads)}
+    for task in _priority_order(graph):
+        queues[assignment[task]].append(task)
+
+    finish: dict[int, float] = {}
+    thread_time = [0.0] * threads
+    thread_busy = [0.0] * threads
+    remaining = {t: list(q) for t, q in queues.items()}
+    pending = sum(len(q) for q in queues.values())
+
+    while pending:
+        progressed = False
+        for t in range(threads):
+            queue = remaining[t]
+            while queue:
+                task = queue[0]
+                preds_done = all(p in finish for p in graph.preds[task])
+                if not preds_done:
+                    break
+                start = max(
+                    thread_time[t],
+                    max((finish[p] for p in graph.preds[task]),
+                        default=0.0),
+                ) + overhead_s
+                duration = graph.costs[task] * penalties[t] / rate
+                finish[task] = start + duration
+                thread_time[t] = finish[task]
+                thread_busy[t] += duration
+                queue.pop(0)
+                pending -= 1
+                progressed = True
+        if not progressed:
+            # Head-of-queue tasks all blocked on cross-thread deps whose
+            # producers are later in their own queues: advance the
+            # earliest blocked thread past the stall by releasing the
+            # globally-lowest unfinished dependency first.  With
+            # bottom-level priority order this cannot happen; guard
+            # against it to keep the model total.
+            raise RuntimeError("multithread model deadlocked")
+
+    makespan = max(finish.values(), default=0.0)
+    barrier = 2.0 * platform.barrier_ns(threads) * 1e-9
+    cycle_time = makespan + barrier
+    return MTResult(
+        threads=threads,
+        cycle_time_s=cycle_time,
+        makespan_s=makespan,
+        barrier_s=barrier,
+        rate_khz=1e-3 / cycle_time if cycle_time else 0.0,
+        assignment=assignment,
+        thread_busy_s=thread_busy,
+    )
+
+
+def scaling(graph: MacroTaskGraph, platform: Platform,
+            thread_counts: list[int] | None = None,
+            icache: bool = True) -> dict[int, float]:
+    """Rate (kHz) per thread count - Fig. 6/11/12 material."""
+    counts = thread_counts or [1, 2, 4, 8, 16]
+    return {
+        p: simulate_multithreaded(graph, platform, p, icache).rate_khz
+        for p in counts if p <= platform.cores
+    }
+
+
+def best_mt_rate_khz(graph: MacroTaskGraph, platform: Platform,
+                     icache: bool = True) -> tuple[int, float]:
+    """(threads, rate) of the best multithreaded configuration."""
+    rates = scaling(graph, platform,
+                    [p for p in (2, 4, 8, 16, 32, 64)
+                     if p <= platform.cores], icache)
+    best = max(rates, key=lambda p: rates[p])
+    return best, rates[best]

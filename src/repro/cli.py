@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate FILE.v``          golden-interpreter simulation of a Verilog file
+``compile FILE.v``           compile for Manticore; report VCPL/cores/sends,
+                             optionally dump assembly and the binary
+``run FILE.v``               compile + execute on the cycle-accurate machine,
+                             optionally writing a VCD waveform
+``designs``                  list the built-in benchmark designs
+``design NAME``              golden-run one benchmark design
+``disasm FILE.bin``          disassemble a bootloader binary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _load_circuit(path: str):
+    from .netlist.verilog import parse_verilog
+    with open(path) as f:
+        return parse_verilog(f.read())
+
+
+def _grid_config(args):
+    from .machine.config import MachineConfig
+    return MachineConfig(grid_x=args.grid[0], grid_y=args.grid[1])
+
+
+def cmd_simulate(args) -> int:
+    """Golden-interpreter simulation of a Verilog file."""
+    from .netlist.interp import run_circuit
+    circuit = _load_circuit(args.file)
+    result = run_circuit(circuit, args.cycles)
+    for line in result.displays:
+        print(line)
+    print(f"-- {result.cycles} cycles, "
+          f"{'finished' if result.finished else 'cycle limit reached'}",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_compile(args) -> int:
+    """Compile for Manticore and print the compile report."""
+    from .compiler.driver import CompilerOptions, compile_circuit
+    from .isa.asm import format_program
+    from .machine.boot import serialize
+
+    circuit = _load_circuit(args.file)
+    options = CompilerOptions(config=_grid_config(args))
+    result = compile_circuit(circuit, options)
+    r = result.report
+    print(f"design             : {r.name}")
+    print(f"netlist ops        : {r.netlist_ops}")
+    print(f"lower instructions : {r.lowered_instructions}")
+    print(f"split processes    : {r.split_processes} "
+          f"(|E| = {r.split_edges})")
+    print(f"cores used         : {r.cores_used}")
+    print(f"VCPL               : {r.vcpl}")
+    print(f"Sends per Vcycle   : {r.send_count}")
+    print(f"max imem footprint : {r.max_imem}")
+    print(f"compile time       : {r.times.total:.2f}s "
+          f"({', '.join(f'{k}={v:.2f}' for k, v in r.times.as_dict().items() if k != 'total')})")
+    print(f"rate @ 475 MHz     : {r.simulated_rate_khz(475.0):.1f} kHz")
+    if args.asm:
+        with open(args.asm, "w") as f:
+            f.write(format_program(result.program))
+        print(f"assembly           : {args.asm}")
+    if args.binary:
+        stream = serialize(result.program)
+        with open(args.binary, "wb") as f:
+            f.write(stream)
+        print(f"binary             : {args.binary} ({len(stream)} bytes)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Compile and execute on the cycle-accurate machine model."""
+    from .compiler.driver import CompilerOptions, compile_circuit
+    from .machine.grid import Machine
+    from .machine.waveform import WaveformCollector, trace_map_for
+
+    circuit = _load_circuit(args.file)
+    config = _grid_config(args)
+    result = compile_circuit(circuit, CompilerOptions(config=config))
+    machine = Machine(result.program, config)
+
+    if args.vcd:
+        names = args.trace.split(",") if args.trace else None
+        probes = trace_map_for(result, names=names)
+        collector = WaveformCollector(machine, probes)
+        collector.run(args.cycles)
+        with open(args.vcd, "w") as f:
+            collector.write_vcd(f)
+        print(f"-- wrote {len(probes)} signals to {args.vcd}",
+              file=sys.stderr)
+        mres = machine.run(0)
+    else:
+        mres = machine.run(args.cycles)
+    for line in mres.displays:
+        print(line)
+    c = mres.counters
+    print(f"-- {mres.vcycles} Vcycles, {c.total_cycles} machine cycles "
+          f"({c.stall_cycles} stalled), "
+          f"rate @475MHz = {mres.simulation_rate_khz(475.0):.1f} kHz",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_designs(_args) -> int:
+    """List the built-in benchmark designs."""
+    from .designs import DESIGNS
+    for name, info in DESIGNS.items():
+        print(f"{name:8s} {info.description}")
+    return 0
+
+
+def cmd_design(args) -> int:
+    """Golden-run one benchmark design by name."""
+    from .designs import DESIGNS
+    from .netlist.interp import run_circuit
+    info = DESIGNS[args.name]
+    result = run_circuit(info.build(), args.cycles or info.cycles + 300)
+    for line in result.displays:
+        print(line)
+    print(f"-- {result.cycles} cycles", file=sys.stderr)
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    """Disassemble a bootloader binary back to assembly."""
+    from .isa.asm import format_program
+    from .machine.boot import deserialize
+    with open(args.file, "rb") as f:
+        program = deserialize(f.read())
+    print(f"// {program.name}: grid {program.grid[0]}x{program.grid[1]}, "
+          f"VCPL {program.vcpl}")
+    print(format_program(program))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Manticore (ASPLOS 2023) reproduction toolchain")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_grid(p):
+        p.add_argument("--grid", nargs=2, type=int, default=[4, 4],
+                       metavar=("X", "Y"), help="Manticore grid size")
+
+    p = sub.add_parser("simulate", help="golden-interpreter simulation")
+    p.add_argument("file")
+    p.add_argument("--cycles", type=int, default=1_000_000)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("compile", help="compile for Manticore")
+    p.add_argument("file")
+    add_grid(p)
+    p.add_argument("--asm", help="write assembly listing")
+    p.add_argument("--binary", help="write bootloader binary")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="compile and run on the machine model")
+    p.add_argument("file")
+    add_grid(p)
+    p.add_argument("--cycles", type=int, default=1_000_000)
+    p.add_argument("--vcd", help="write a VCD waveform")
+    p.add_argument("--trace", help="comma-separated register prefixes")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("designs", help="list benchmark designs")
+    p.set_defaults(func=cmd_designs)
+
+    p = sub.add_parser("design", help="golden-run a benchmark design")
+    p.add_argument("name")
+    p.add_argument("--cycles", type=int)
+    p.set_defaults(func=cmd_design)
+
+    p = sub.add_parser("disasm", help="disassemble a program binary")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_disasm)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

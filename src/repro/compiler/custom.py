@@ -1,0 +1,352 @@
+"""Custom function synthesis (paper SS6.2).
+
+Collapses chains of bitwise logic instructions (AND/OR/XOR, including the
+XOR-with-constant NOTs produced by lowering) into single 4-input custom
+instructions evaluated by each core's CFU.
+
+Method, mirroring the paper:
+
+1. per process, prune the dependence graph to logic-only connected
+   components;
+2. exhaustively enumerate 4-feasible cuts (cut enumeration [16]);
+   constant operands are *free* because the per-bit-position truth tables
+   absorb them (SS5.1);
+3. keep cuts that are maximal fanout-free cones (no interior result used
+   outside the cone);
+4. group candidate cones by the function they compute - logical
+   equivalence up to input permutation, checked on the 256-bit truth
+   table;
+5. select a non-overlapping subset maximizing instruction savings, with
+   at most 32 distinct functions per core, via MILP
+   (``scipy.optimize.milp``) with a greedy fallback.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..isa import instructions as isa
+from ..isa.program import Process, ProgramImage
+from ..isa.semantics import eval_alu
+
+LOGIC_OPS = {"AND", "OR", "XOR"}
+MAX_CUT_INPUTS = 4
+MAX_CUTS_PER_NODE = 12
+MILP_CANDIDATE_LIMIT = 400
+
+
+def _is_const(reg: isa.Reg) -> bool:
+    return isinstance(reg, str) and reg.startswith("$c")
+
+
+@dataclass
+class Candidate:
+    """A fusable cone: ``root`` (body index) plus interior instructions."""
+
+    root: int
+    cone: frozenset[int]
+    inputs: tuple[str, ...]     # non-constant cut inputs, canonical order
+    config: int                 # 256-bit CFU configuration
+    savings: int
+
+
+@dataclass
+class ProcessSynthesisStats:
+    pid: int
+    instructions_before: int
+    instructions_after: int
+    fused_cones: int
+    functions_used: int
+
+
+@dataclass
+class CustomSynthesisResult:
+    per_process: list[ProcessSynthesisStats] = field(default_factory=list)
+
+    @property
+    def instructions_before(self) -> int:
+        return sum(p.instructions_before for p in self.per_process)
+
+    @property
+    def instructions_after(self) -> int:
+        return sum(p.instructions_after for p in self.per_process)
+
+    @property
+    def reduction_percent(self) -> float:
+        before = self.instructions_before
+        if before == 0:
+            return 0.0
+        return 100.0 * (before - self.instructions_after) / before
+
+
+def _evaluate_cone(body: list[isa.Instruction], cone_order: list[int],
+                   assignment: dict[str, int], root: int) -> int:
+    values = dict(assignment)
+    for i in cone_order:
+        instr = body[i]
+        assert isinstance(instr, isa.Alu)
+        a = values[instr.rs1]
+        b = values[instr.rs2]
+        values[instr.rd] = eval_alu(instr.op, a, b)
+    return values[body[root].rd]  # type: ignore[union-attr]
+
+
+def _cone_config(body: list[isa.Instruction], cone: frozenset[int],
+                 inputs: tuple[str, ...], consts: dict[str, int],
+                 root: int) -> int:
+    """256-bit truth table: row r of position p = output bit p when input
+    i carries bit (r >> i) & 1 at every position."""
+    cone_order = sorted(cone)
+    config = 0
+    for row in range(16):
+        assignment = dict(consts)
+        for i, reg in enumerate(inputs):
+            assignment[reg] = 0xFFFF if (row >> i) & 1 else 0
+        word = _evaluate_cone(body, cone_order, assignment, root)
+        for pos in range(16):
+            if (word >> pos) & 1:
+                config |= 1 << (pos * 16 + row)
+    return config
+
+
+def _canonicalize(body, cone, inputs, consts, root) -> tuple[int, tuple]:
+    """Minimum config over input permutations (logic equivalence class)."""
+    best_config = None
+    best_inputs = inputs
+    for perm in itertools.permutations(inputs):
+        config = _cone_config(body, cone, perm, consts, root)
+        if best_config is None or config < best_config:
+            best_config = config
+            best_inputs = perm
+    return best_config or 0, best_inputs
+
+
+def _enumerate_candidates(proc: Process) -> list[Candidate]:
+    body = proc.body
+    defs: dict[str, int] = {}
+    consumers: dict[str, int] = {}
+    for i, instr in enumerate(body):
+        for reg in instr.writes():
+            defs[reg] = i
+        for reg in instr.reads():
+            consumers[reg] = consumers.get(reg, 0) + 1
+
+    logic = {
+        i for i, instr in enumerate(body)
+        if isinstance(instr, isa.Alu) and instr.op in LOGIC_OPS
+    }
+    consts = {reg: proc.reg_init[reg] for reg in proc.reg_init
+              if _is_const(reg)}
+
+    # Cut enumeration, bottom-up in body order (bodies are topological).
+    cuts: dict[int, list[frozenset[str]]] = {}
+    for i in sorted(logic):
+        instr = body[i]
+        operand_cuts: list[list[frozenset[str]]] = []
+        for reg in (instr.rs1, instr.rs2):  # type: ignore[union-attr]
+            if _is_const(reg):
+                operand_cuts.append([frozenset()])
+                continue
+            d = defs.get(reg)
+            options = [frozenset([reg])]
+            if d is not None and d in logic:
+                options.extend(cuts.get(d, ()))
+            operand_cuts.append(options)
+        merged: set[frozenset[str]] = set()
+        for a in operand_cuts[0]:
+            for b in operand_cuts[1]:
+                u = a | b
+                if len(u) <= MAX_CUT_INPUTS:
+                    merged.add(u)
+        ranked = sorted(merged, key=lambda c: (len(c), sorted(c)))
+        cuts[i] = ranked[:MAX_CUTS_PER_NODE]
+
+    def cone_of(root: int, cut: frozenset[str]) -> frozenset[int] | None:
+        cone: set[int] = set()
+        stack = [root]
+        while stack:
+            i = stack.pop()
+            if i in cone:
+                continue
+            cone.add(i)
+            instr = body[i]
+            for reg in instr.reads():
+                if _is_const(reg) or reg in cut:
+                    continue
+                d = defs.get(reg)
+                if d is None or d not in logic:
+                    return None  # cut does not actually cover this cone
+                stack.append(d)
+        return frozenset(cone)
+
+    candidates: list[Candidate] = []
+    for root in sorted(logic):
+        root_result = body[root].writes()[0]
+        for cut in cuts.get(root, ()):
+            cone = cone_of(root, cut)
+            if cone is None or len(cone) < 2:
+                continue
+            # MFFC: interior results must have all consumers inside.
+            interior_ok = True
+            for i in cone:
+                if i == root:
+                    continue
+                result = body[i].writes()[0]
+                uses = consumers.get(result, 0)
+                internal = sum(
+                    1 for j in cone for reg in body[j].reads()
+                    if reg == result
+                )
+                if uses != internal:
+                    interior_ok = False
+                    break
+            if not interior_ok:
+                continue
+            inputs = tuple(sorted(cut))
+            config, ordered = _canonicalize(body, cone, inputs, consts, root)
+            candidates.append(Candidate(
+                root=root, cone=cone, inputs=ordered, config=config,
+                savings=len(cone) - 1,
+            ))
+    return candidates
+
+
+def _select_greedy(candidates: list[Candidate],
+                   max_functions: int) -> list[Candidate]:
+    chosen: list[Candidate] = []
+    used: set[int] = set()
+    functions: set[int] = set()
+    # Prefer high savings; among equals prefer reusable functions.
+    for cand in sorted(candidates, key=lambda c: (-c.savings, c.root)):
+        if cand.cone & used:
+            continue
+        if cand.config not in functions and len(functions) >= max_functions:
+            continue
+        chosen.append(cand)
+        used |= cand.cone
+        functions.add(cand.config)
+    return chosen
+
+
+def _select_milp(candidates: list[Candidate],
+                 max_functions: int) -> list[Candidate] | None:
+    """Exact selection via scipy MILP; None when unavailable/failed."""
+    try:
+        from scipy.optimize import LinearConstraint, Bounds, milp
+    except ImportError:  # pragma: no cover
+        return None
+    configs = sorted({c.config for c in candidates})
+    f_index = {cfg: i for i, cfg in enumerate(configs)}
+    n_x = len(candidates)
+    n_y = len(configs)
+    n = n_x + n_y
+    cost = np.zeros(n)
+    cost[:n_x] = [-c.savings for c in candidates]
+
+    rows, cols, vals = [], [], []
+    row = 0
+    lows, highs = [], []
+    # Overlap: for each instruction, sum of covering x <= 1.
+    coverage: dict[int, list[int]] = {}
+    for ci, cand in enumerate(candidates):
+        for i in cand.cone:
+            coverage.setdefault(i, []).append(ci)
+    for i, cands in coverage.items():
+        if len(cands) < 2:
+            continue
+        for ci in cands:
+            rows.append(row)
+            cols.append(ci)
+            vals.append(1.0)
+        lows.append(-np.inf)
+        highs.append(1.0)
+        row += 1
+    # Linking: x_c - y_f <= 0.
+    for ci, cand in enumerate(candidates):
+        rows.append(row)
+        cols.append(ci)
+        vals.append(1.0)
+        rows.append(row)
+        cols.append(n_x + f_index[cand.config])
+        vals.append(-1.0)
+        lows.append(-np.inf)
+        highs.append(0.0)
+        row += 1
+    # Function budget: sum y <= max_functions.
+    for fi in range(n_y):
+        rows.append(row)
+        cols.append(n_x + fi)
+        vals.append(1.0)
+    lows.append(-np.inf)
+    highs.append(float(max_functions))
+    row += 1
+
+    from scipy.sparse import coo_matrix
+    a = coo_matrix((vals, (rows, cols)), shape=(row, n))
+    constraint = LinearConstraint(a, lows, highs)
+    res = milp(cost, constraints=[constraint],
+               integrality=np.ones(n),
+               bounds=Bounds(0, 1),
+               options={"time_limit": 10.0})
+    if not res.success or res.x is None:
+        return None
+    return [candidates[i] for i in range(n_x) if res.x[i] > 0.5]
+
+
+def synthesize_custom_functions(image: ProgramImage,
+                                max_functions: int =
+                                isa.NUM_CUSTOM_FUNCTIONS,
+                                use_milp: bool = True,
+                                ) -> CustomSynthesisResult:
+    """Fuse logic chains in every process; mutates ``image`` in place."""
+    result = CustomSynthesisResult()
+    for pid in sorted(image.processes):
+        proc = image.processes[pid]
+        before = len(proc.body)
+        candidates = _enumerate_candidates(proc)
+        chosen: list[Candidate] | None = None
+        if use_milp and 0 < len(candidates) <= MILP_CANDIDATE_LIMIT:
+            chosen = _select_milp(candidates, max_functions)
+        if chosen is None:
+            chosen = _select_greedy(candidates, max_functions)
+
+        # Assign function indices (dedup by config).
+        cfu: list[int] = []
+        func_of: dict[int, int] = {}
+        for cand in chosen:
+            if cand.config not in func_of:
+                func_of[cand.config] = len(cfu)
+                cfu.append(cand.config)
+
+        # Rewrite the body.
+        replace: dict[int, isa.Instruction] = {}
+        delete: set[int] = set()
+        zero = "$c0000"
+        needs_zero = False
+        for cand in chosen:
+            rd = proc.body[cand.root].writes()[0]
+            rs = list(cand.inputs)
+            while len(rs) < 4:
+                rs.append(zero)
+                needs_zero = True
+            replace[cand.root] = isa.Custom(rd, func_of[cand.config],
+                                            tuple(rs))
+            delete |= cand.cone - {cand.root}
+        if needs_zero:
+            proc.reg_init.setdefault(zero, 0)
+        proc.body = [
+            replace.get(i, instr) for i, instr in enumerate(proc.body)
+            if i not in delete
+        ]
+        proc.cfu = cfu
+        result.per_process.append(ProcessSynthesisStats(
+            pid=pid,
+            instructions_before=before,
+            instructions_after=len(proc.body),
+            fused_cones=len(chosen),
+            functions_used=len(cfu),
+        ))
+    return result

@@ -1,0 +1,740 @@
+"""Lowering: word-level netlist assembly -> 16-bit Manticore lower assembly.
+
+Every arbitrary-width wire becomes a vector of 16-bit *limbs* (virtual
+registers, least significant first), and every netlist op becomes a short
+sequence of Manticore instructions (paper SS6: "transform the netlist
+assembly instructions into an equivalent sequence of lower assembly
+instructions whose operands match Manticore's 16-bit data path").
+
+Conventions established here and relied on by every later pass:
+
+* Limb invariant: the unused high bits of a value's top limb are zero.
+* Constants live in boot-initialized registers (the const pool); they cost
+  no instructions at runtime.
+* Wide adds/subs/compares use ``SetCarry``/``AddCarry`` chains; the carry
+  dependence is recorded in ``extra_data_edges`` so partitioning keeps
+  chains whole, and chains are serialized per-core by the scheduler.
+* RTL state registers become persistent ``name#k`` virtual registers; the
+  (current, next) commit relation is recorded in ``commits`` and realized
+  by the scheduler as a coalesced write or a ``Mov``.
+* RTL memories are placed in the scratchpad (or global DRAM when too large
+  or hinted), loads emit before stores, and every instruction touching a
+  memory is tagged so partitioning co-locates them.
+* ``$display``/``$finish``/assertions lower to mailbox ``GST`` + ``Expect``
+  in the privileged instruction chain (paper SSA.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa import instructions as isa
+from ..isa.program import AssertAction, DisplayAction, FinishAction
+from ..netlist.ir import (
+    AssertEffect,
+    Circuit,
+    Display,
+    Finish,
+    Op,
+    OpKind,
+    mask,
+    topological_order,
+)
+from .lir import LoweredDesign, MemoryLayout, PGlobalStore, PLocalStore
+
+WORD = 16
+
+
+class CompilerError(Exception):
+    """Raised when a design cannot be compiled for Manticore."""
+
+
+def nlimbs(width: int) -> int:
+    return (width + WORD - 1) // WORD
+
+
+def limb_width(width: int, index: int) -> int:
+    """Significant bits of limb ``index`` of a ``width``-bit value."""
+    rem = width - index * WORD
+    return min(rem, WORD)
+
+
+@dataclass
+class LowerOptions:
+    """Knobs for the lowering pass (ablation hooks)."""
+
+    scratchpad_words: int = isa.SCRATCHPAD_WORDS
+    #: memories larger than this many 16-bit words go to global DRAM
+    global_threshold_words: int = isa.SCRATCHPAD_WORDS
+    mailbox_base: int = 1 << 40  # global word address of the display mailbox
+
+
+class Lowerer:
+    """Single-use object: ``Lowerer(circuit).lower()``."""
+
+    def __init__(self, circuit: Circuit,
+                 options: LowerOptions | None = None) -> None:
+        circuit.validate()
+        if circuit.inputs:
+            raise CompilerError(
+                "Manticore compiles closed designs: wrap the circuit in a "
+                f"test driver (found inputs {sorted(circuit.inputs)})"
+            )
+        self.circuit = circuit
+        self.options = options or LowerOptions()
+        self.design = LoweredDesign(circuit.name)
+        self._tmp = 0
+        self._limbs: dict[str, list[str]] = {}
+        self._local_cursor = 0
+        self._global_cursor = 0
+        self._mailbox_cursor = self.options.mailbox_base
+        self._carry_prev: int | None = None  # last carry-op body index
+
+    # ------------------------------------------------------------------
+    # Emission primitives.
+    # ------------------------------------------------------------------
+    def fresh(self, prefix: str = "t") -> str:
+        self._tmp += 1
+        return f"%{prefix}{self._tmp}"
+
+    def emit(self, instr: isa.Instruction) -> int:
+        self.design.body.append(instr)
+        return len(self.design.body) - 1
+
+    def emit_carry(self, instr: isa.Instruction) -> int:
+        """Emit a SetCarry/AddCarry, recording the carry data edge."""
+        idx = self.emit(instr)
+        if isinstance(instr, isa.AddCarry) and self._carry_prev is not None:
+            self.design.extra_data_edges.append((self._carry_prev, idx))
+        self._carry_prev = idx
+        return idx
+
+    def const(self, value: int) -> str:
+        value &= 0xFFFF
+        reg = self.design.const_regs.get(value)
+        if reg is None:
+            reg = f"$c{value:04x}"
+            self.design.const_regs[value] = reg
+            self.design.reg_init[reg] = value
+        return reg
+
+    @property
+    def zero(self) -> str:
+        return self.const(0)
+
+    def const_limbs(self, value: int, width: int) -> list[str]:
+        return [self.const((value >> (WORD * i)) & 0xFFFF)
+                for i in range(nlimbs(width))]
+
+    def mark_memory(self, name: str, idx: int) -> None:
+        self.design.memory_users.setdefault(name, set()).add(idx)
+
+    def mark_privileged(self, idx: int) -> None:
+        self.design.privileged_indices.add(idx)
+
+    # ------------------------------------------------------------------
+    # ALU helpers (all return the result vreg).
+    # ------------------------------------------------------------------
+    def alu(self, op: str, a: str, b: str, prefix: str = "t") -> str:
+        rd = self.fresh(prefix)
+        self.emit(isa.Alu(op, rd, a, b))
+        return rd
+
+    def mask_to(self, reg: str, bits: int) -> str:
+        """AND with a constant mask when ``bits`` < 16 (limb invariant)."""
+        if bits >= WORD:
+            return reg
+        return self.alu("AND", reg, self.const(mask(bits)))
+
+    def or_tree(self, regs: list[str]) -> str:
+        """Balanced OR reduction of one or more limb registers."""
+        regs = list(regs)
+        if not regs:
+            return self.zero
+        while len(regs) > 1:
+            nxt = []
+            for i in range(0, len(regs) - 1, 2):
+                nxt.append(self.alu("OR", regs[i], regs[i + 1]))
+            if len(regs) % 2:
+                nxt.append(regs[-1])
+            regs = nxt
+        return regs[0]
+
+    def add_chain(self, a: list[str], b: list[str], width: int,
+                  carry_in: int = 0, invert_b: bool = False,
+                  want_carry_out: bool = False) -> tuple[list[str], str | None]:
+        """Multi-limb add (or subtract via ``invert_b``); masks the top limb.
+
+        Returns (result limbs, carry-out vreg or None).
+        """
+        n = nlimbs(width)
+        if invert_b:
+            b = [self.alu("XOR", limb, self.const(0xFFFF)) for limb in b]
+        out: list[str] = []
+        carry_out = None
+        if n == 1 and carry_in == 0 and not want_carry_out:
+            out.append(self.alu("ADD", a[0], b[0]))
+        else:
+            self.emit_carry(isa.SetCarry(carry_in))
+            for i in range(n):
+                rd = self.fresh("s")
+                self.emit_carry(isa.AddCarry(rd, a[i], b[i]))
+                out.append(rd)
+            if want_carry_out:
+                carry_out = self.fresh("co")
+                self.emit_carry(isa.AddCarry(carry_out, self.zero, self.zero))
+        out[-1] = self.mask_to(out[-1], limb_width(width, n - 1))
+        return out, carry_out
+
+    # ------------------------------------------------------------------
+    # Per-op lowering.
+    # ------------------------------------------------------------------
+    def lower(self) -> LoweredDesign:
+        circuit = self.circuit
+        self._place_memories()
+        self._declare_state()
+        for op in topological_order(circuit):
+            self._limbs[op.result.name] = self._lower_op(op)
+        self._lower_effects()
+        self._lower_commits()
+        self._serialize_memory_and_privileged_order()
+        return self.design
+
+    def _place_memories(self) -> None:
+        opts = self.options
+        for name, memory in self.circuit.memories.items():
+            limbs = nlimbs(memory.width)
+            words = limbs * memory.depth
+            is_global = memory.global_hint or words > opts.global_threshold_words
+            if is_global:
+                base = self._global_cursor
+                self._global_cursor += words
+                for i, value in enumerate(memory.init):
+                    for j in range(limbs):
+                        word = (value >> (WORD * j)) & 0xFFFF
+                        if word:
+                            self.design.global_init[base + i * limbs + j] = word
+            else:
+                base = self._local_cursor
+                self._local_cursor += words
+                if self._local_cursor > opts.scratchpad_words:
+                    raise CompilerError(
+                        f"local memories overflow the scratchpad at "
+                        f"{name!r} ({self._local_cursor} words)"
+                    )
+                for i, value in enumerate(memory.init):
+                    for j in range(limbs):
+                        word = (value >> (WORD * j)) & 0xFFFF
+                        if word:
+                            self.design.scratch_init[base + i * limbs + j] = word
+            self.design.memories[name] = MemoryLayout(
+                name, base, limbs, memory.depth, is_global)
+
+    def _declare_state(self) -> None:
+        for name, reg in self.circuit.registers.items():
+            limbs = []
+            for i in range(nlimbs(reg.width)):
+                vreg = f"{name}#{i}"
+                limbs.append(vreg)
+                self.design.reg_init[vreg] = (reg.init >> (WORD * i)) & 0xFFFF
+            self._limbs[name] = limbs
+
+    def _arg_limbs(self, op: Op, index: int) -> list[str]:
+        return self._limbs[op.args[index].name]
+
+    def _lower_op(self, op: Op) -> list[str]:
+        handler = getattr(self, f"_lower_{op.kind.name.lower()}", None)
+        if handler is None:
+            raise CompilerError(f"no lowering for {op.kind}")
+        return handler(op)
+
+    # -- constants and bitwise ------------------------------------------
+    def _lower_const(self, op: Op) -> list[str]:
+        return self.const_limbs(op.value, op.result.width)
+
+    def _bitwise(self, op: Op, alu_op: str) -> list[str]:
+        a = self._arg_limbs(op, 0)
+        b = self._arg_limbs(op, 1)
+        return [self.alu(alu_op, x, y) for x, y in zip(a, b)]
+
+    def _lower_and(self, op: Op) -> list[str]:
+        return self._bitwise(op, "AND")
+
+    def _lower_or(self, op: Op) -> list[str]:
+        return self._bitwise(op, "OR")
+
+    def _lower_xor(self, op: Op) -> list[str]:
+        return self._bitwise(op, "XOR")
+
+    def _lower_not(self, op: Op) -> list[str]:
+        a = self._arg_limbs(op, 0)
+        w = op.result.width
+        return [
+            self.alu("XOR", limb, self.const(mask(limb_width(w, i))))
+            for i, limb in enumerate(a)
+        ]
+
+    # -- arithmetic -------------------------------------------------------
+    def _lower_add(self, op: Op) -> list[str]:
+        out, _ = self.add_chain(self._arg_limbs(op, 0),
+                                self._arg_limbs(op, 1), op.result.width)
+        return out
+
+    def _lower_sub(self, op: Op) -> list[str]:
+        out, _ = self.add_chain(self._arg_limbs(op, 0),
+                                self._arg_limbs(op, 1), op.result.width,
+                                carry_in=1, invert_b=True)
+        return out
+
+    def _lower_mul(self, op: Op) -> list[str]:
+        a = self._arg_limbs(op, 0)
+        b = self._arg_limbs(op, 1)
+        w = op.result.width
+        n = nlimbs(w)
+        if n == 1:
+            return [self.mask_to(self.alu("MUL", a[0], b[0]),
+                                 limb_width(w, 0))]
+        # Schoolbook: partial products bucketed per destination limb, then
+        # column sums with explicit carry propagation into the next column.
+        addends: list[list[str]] = [[] for _ in range(n)]
+        for i, ai in enumerate(a):
+            for j, bj in enumerate(b):
+                k = i + j
+                if k >= n:
+                    continue
+                addends[k].append(self.alu("MUL", ai, bj, "pp"))
+                if k + 1 < n:
+                    addends[k + 1].append(self.alu("MULH", ai, bj, "pp"))
+        out: list[str] = []
+        for k in range(n):
+            column = addends[k]
+            acc = column[0] if column else self.zero
+            for extra in column[1:]:
+                self.emit_carry(isa.SetCarry(0))
+                rd = self.fresh("s")
+                self.emit_carry(isa.AddCarry(rd, acc, extra))
+                if k + 1 < n:
+                    co = self.fresh("co")
+                    self.emit_carry(isa.AddCarry(co, self.zero, self.zero))
+                    addends[k + 1].append(co)
+                acc = rd
+            out.append(self.mask_to(acc, limb_width(w, k)))
+        return out
+
+    # -- comparisons ------------------------------------------------------
+    def _lower_eq(self, op: Op) -> list[str]:
+        a = self._arg_limbs(op, 0)
+        b = self._arg_limbs(op, 1)
+        if len(a) == 1:
+            return [self.alu("SEQ", a[0], b[0])]
+        diffs = [self.alu("XOR", x, y) for x, y in zip(a, b)]
+        return [self.alu("SEQ", self.or_tree(diffs), self.zero)]
+
+    def _lower_ne(self, op: Op) -> list[str]:
+        eq = self._lower_eq(op)[0]
+        return [self.alu("XOR", eq, self.const(1))]
+
+    def _lower_ltu(self, op: Op) -> list[str]:
+        a = self._arg_limbs(op, 0)
+        b = self._arg_limbs(op, 1)
+        if len(a) == 1:
+            return [self.alu("SLTU", a[0], b[0])]
+        return [self._wide_ltu(a, b, op.args[0].width)]
+
+    def _wide_ltu(self, a: list[str], b: list[str], width: int) -> str:
+        # a < b  <=>  no carry out of a + ~b + 1.
+        _, carry = self.add_chain(a, b, width, carry_in=1, invert_b=True,
+                                  want_carry_out=True)
+        return self.alu("XOR", carry, self.const(1))
+
+    def _lower_lts(self, op: Op) -> list[str]:
+        a = list(self._arg_limbs(op, 0))
+        b = list(self._arg_limbs(op, 1))
+        width = op.args[0].width
+        if len(a) == 1 and width == WORD:
+            return [self.alu("SLTS", a[0], b[0])]
+        if len(a) == 1:
+            # Shift both into the top of the 16-bit container: order-preserving.
+            amount = self.const(WORD - width)
+            sa = self.alu("SLL", a[0], amount)
+            sb = self.alu("SLL", b[0], amount)
+            return [self.alu("SLTS", sa, sb)]
+        # Flip the sign bit of the top limb and compare unsigned.
+        pos = (width - 1) % WORD
+        flip = self.const(1 << pos)
+        a[-1] = self.alu("XOR", a[-1], flip)
+        b[-1] = self.alu("XOR", b[-1], flip)
+        return [self._wide_ltu(a, b, width)]
+
+    # -- shifts -----------------------------------------------------------
+    def _shift_const(self, a: list[str], width: int, amount: int,
+                     kind: OpKind) -> list[str]:
+        """Shift by a compile-time constant: pure limb shuffling."""
+        n = nlimbs(width)
+        sign = None
+        if kind is OpKind.ASHR:
+            top_bits = limb_width(width, n - 1)
+            sign_bit = self.alu(
+                "SRL", a[-1], self.const(top_bits - 1)) if top_bits > 1 \
+                else a[-1]
+            # sign-fill word: 0x0000 or 0xFFFF
+            sign = self.alu("MUL", sign_bit, self.const(0xFFFF))
+        out: list[str] = []
+        word_shift, bit_shift = divmod(amount, WORD)
+        for k in range(n):
+            if kind is OpKind.SHL:
+                src = k - word_shift
+                lo = a[src] if 0 <= src < n else self.zero
+                hi = a[src - 1] if 0 <= src - 1 < n else self.zero
+                if bit_shift == 0:
+                    limb = lo
+                else:
+                    p1 = self.alu("SLL", lo, self.const(bit_shift))
+                    p2 = self.alu("SRL", hi, self.const(WORD - bit_shift))
+                    limb = self.alu("OR", p1, p2)
+            else:  # LSHR / ASHR
+                src = k + word_shift
+                fill = sign if kind is OpKind.ASHR else self.zero
+                lo = a[src] if src < n else fill
+                hi = a[src + 1] if src + 1 < n else fill
+                if kind is OpKind.ASHR and src == n - 1:
+                    # Top limb of a non-multiple-of-16 value must be
+                    # sign-extended into its unused bits before shifting.
+                    lo = self._sign_extend_top(lo, width)
+                if kind is OpKind.ASHR and src < n - 1 and src + 1 == n - 1:
+                    hi = self._sign_extend_top(hi, width)
+                if bit_shift == 0:
+                    limb = lo
+                else:
+                    p1 = self.alu("SRL", lo, self.const(bit_shift))
+                    p2 = self.alu("SLL", hi, self.const(WORD - bit_shift))
+                    limb = self.alu("OR", p1, p2)
+            out.append(limb)
+        out = [self.mask_to(limb, limb_width(width, k))
+               for k, limb in enumerate(out)]
+        return out
+
+    def _sign_extend_top(self, limb: str, width: int) -> str:
+        """Sign-extend the top limb into its full 16-bit container."""
+        top_bits = limb_width(width, nlimbs(width) - 1)
+        if top_bits == WORD:
+            return limb
+        amount = self.const(WORD - top_bits)
+        shifted = self.alu("SLL", limb, amount)
+        return self.alu("SRA", shifted, amount)
+
+    def _lower_shift(self, op: Op, kind: OpKind) -> list[str]:
+        a = self._arg_limbs(op, 0)
+        width = op.result.width
+        amt_op = self._amount_const(op)
+        if amt_op is not None:
+            return self._shift_const(a, width, amt_op, kind)
+        # Dynamic shift: barrel of constant-shift stages selected by the
+        # amount's bits, then a clamp when the amount exceeds the width.
+        amt = self._arg_limbs(op, 1)
+        amt_width = op.args[1].width
+        stages = max(1, (width - 1).bit_length())
+        value = list(a)
+        for bit in range(min(stages, amt_width)):
+            sel = self.fresh("b")
+            self.emit(isa.Slice(sel, amt[bit // WORD],
+                                offset=bit % WORD, length=1))
+            shifted = self._shift_const(value, width, 1 << bit, kind)
+            value = [self.alu_mux(sel, keep, moved)
+                     for keep, moved in zip(value, shifted)]
+        # Clamp: any amount bit at or above `stages` zeroes the result
+        # (or sign-fills for ASHR via a max-shift).
+        high_bits = []
+        for bit in range(stages, amt_width):
+            hb = self.fresh("b")
+            self.emit(isa.Slice(hb, amt[bit // WORD],
+                                offset=bit % WORD, length=1))
+            high_bits.append(hb)
+        if high_bits:
+            overflow = self.or_tree(high_bits)
+            if kind is OpKind.ASHR:
+                full = self._shift_const(a, width, width - 1, kind)
+            else:
+                full = [self.zero] * len(value)
+            value = [self.alu_mux(overflow, keep, clamped)
+                     for keep, clamped in zip(value, full)]
+        return value
+
+    def alu_mux(self, sel: str, if_false: str, if_true: str) -> str:
+        rd = self.fresh("m")
+        self.emit(isa.Mux(rd, sel, if_false, if_true))
+        return rd
+
+    def _amount_const(self, op: Op) -> int | None:
+        """Constant shift amount if the producer is a CONST op."""
+        producer = self._const_producers.get(op.args[1].name)
+        return producer
+
+    def _lower_shl(self, op: Op) -> list[str]:
+        return self._lower_shift(op, OpKind.SHL)
+
+    def _lower_lshr(self, op: Op) -> list[str]:
+        return self._lower_shift(op, OpKind.LSHR)
+
+    def _lower_ashr(self, op: Op) -> list[str]:
+        return self._lower_shift(op, OpKind.ASHR)
+
+    # -- selection / structure ---------------------------------------------
+    def _lower_mux(self, op: Op) -> list[str]:
+        sel = self._arg_limbs(op, 0)[0]
+        f = self._arg_limbs(op, 1)
+        t = self._arg_limbs(op, 2)
+        return [self.alu_mux(sel, x, y) for x, y in zip(f, t)]
+
+    def _lower_concat(self, op: Op) -> list[str]:
+        w = op.result.width
+        n = nlimbs(w)
+        addends: list[list[str]] = [[] for _ in range(n)]
+        offset = 0
+        for arg in op.args:
+            src = self._limbs[arg.name]
+            self._place(addends, src, arg.width, offset)
+            offset += arg.width
+        return self._combine_placed(addends, w)
+
+    def _place(self, addends: list[list[str]], src: list[str],
+               src_width: int, offset: int) -> None:
+        """OR ``src`` (a limb vector) into ``addends`` at bit ``offset``."""
+        word_off, bit_off = divmod(offset, WORD)
+        for i, limb in enumerate(src):
+            dest = word_off + i
+            if bit_off == 0:
+                if dest < len(addends):
+                    addends[dest].append(limb)
+                continue
+            if dest < len(addends):
+                addends[dest].append(
+                    self.alu("SLL", limb, self.const(bit_off)))
+            bits = limb_width(src_width, i)
+            if bit_off + bits > WORD and dest + 1 < len(addends):
+                addends[dest + 1].append(
+                    self.alu("SRL", limb, self.const(WORD - bit_off)))
+
+    def _combine_placed(self, addends: list[list[str]], width: int,
+                        ) -> list[str]:
+        out = []
+        for k, column in enumerate(addends):
+            limb = self.or_tree(column) if column else self.zero
+            out.append(self.mask_to(limb, limb_width(width, k)))
+        return out
+
+    def _lower_slice(self, op: Op) -> list[str]:
+        a = self._limbs[op.args[0].name]
+        offset = op.offset
+        w = op.result.width
+        n = nlimbs(w)
+        word_off, bit_off = divmod(offset, WORD)
+        if bit_off == 0:
+            return [
+                self.mask_to(a[word_off + k] if word_off + k < len(a)
+                             else self.zero, limb_width(w, k))
+                for k in range(n)
+            ]
+        if n == 1 and bit_off + w <= WORD:
+            rd = self.fresh("sl")
+            self.emit(isa.Slice(rd, a[word_off], offset=bit_off, length=w))
+            return [rd]
+        out = []
+        for k in range(n):
+            src = word_off + k
+            lo = a[src] if src < len(a) else self.zero
+            hi = a[src + 1] if src + 1 < len(a) else self.zero
+            p1 = self.alu("SRL", lo, self.const(bit_off))
+            p2 = self.alu("SLL", hi, self.const(WORD - bit_off))
+            out.append(self.mask_to(self.alu("OR", p1, p2),
+                                    limb_width(w, k)))
+        return out
+
+    # -- reductions ---------------------------------------------------------
+    def _lower_redor(self, op: Op) -> list[str]:
+        t = self.or_tree(self._arg_limbs(op, 0))
+        return [self.alu("SLTU", self.zero, t)]
+
+    def _lower_redand(self, op: Op) -> list[str]:
+        a = list(self._arg_limbs(op, 0))
+        w = op.args[0].width
+        top_bits = limb_width(w, len(a) - 1)
+        if top_bits < WORD:
+            a[-1] = self.alu("OR", a[-1],
+                             self.const(0xFFFF ^ mask(top_bits)))
+        acc = a[0]
+        for limb in a[1:]:
+            acc = self.alu("AND", acc, limb)
+        return [self.alu("SEQ", acc, self.const(0xFFFF))]
+
+    def _lower_redxor(self, op: Op) -> list[str]:
+        a = self._arg_limbs(op, 0)
+        acc = a[0]
+        for limb in a[1:]:
+            acc = self.alu("XOR", acc, limb)
+        for shift in (8, 4, 2, 1):
+            acc = self.alu("XOR", acc,
+                           self.alu("SRL", acc, self.const(shift)))
+        return [self.alu("AND", acc, self.const(1))]
+
+    # -- memory ---------------------------------------------------------------
+    def _lower_memrd(self, op: Op) -> list[str]:
+        layout = self.design.memories[op.memory]
+        idx = self._memory_index(op.args[0], layout)
+        out = []
+        wide = self._limbs[op.args[0].name]
+        if layout.is_global:
+            for j in range(layout.limbs):
+                addr = self._global_addr_regs(idx, layout, j, wide_idx=wide)
+                rd = self.fresh("g")
+                i = self.emit(isa.GlobalLoad(rd, addr))
+                self.mark_privileged(i)
+                self.mark_memory(op.memory, i)
+                out.append(rd)
+        else:
+            for j in range(layout.limbs):
+                rd = self.fresh("l")
+                i = self.emit(isa.LocalLoad(rd, idx, layout.base + j))
+                self.mark_memory(op.memory, i)
+                out.append(rd)
+        return out[:nlimbs(op.result.width)]
+
+    def _memory_index(self, arg, layout: MemoryLayout) -> str:
+        """Word offset of element ``arg`` within the memory (limb 0 for
+        local memories; callers handle wide global indices separately)."""
+        limbs = self._limbs[arg.name]
+        idx = limbs[0]
+        if not layout.is_global:
+            depth = layout.depth
+            if arg.width > (depth - 1).bit_length():
+                if depth & (depth - 1):
+                    raise CompilerError(
+                        f"memory {layout.name!r}: index may exceed "
+                        "non-power-of-two depth"
+                    )
+                idx = self.alu("AND", idx, self.const(depth - 1))
+            if layout.limbs > 1:
+                idx = self.alu("MUL", idx, self.const(layout.limbs))
+        return idx
+
+    def _global_addr_regs(self, idx: str, layout: MemoryLayout, j: int,
+                          wide_idx: list[str] | None = None,
+                          ) -> tuple[str, str, str]:
+        """48-bit (hi, mid, lo) registers for ``base + idx*limbs + j``."""
+        base = layout.base + j
+        scale = layout.limbs
+        # offset = idx * scale as two limbs
+        if scale == 1:
+            o0, o1 = idx, self.zero
+        else:
+            o0 = self.alu("MUL", idx, self.const(scale))
+            o1 = self.alu("MULH", idx, self.const(scale))
+        if wide_idx is not None and len(wide_idx) > 1:
+            hi_part = self.alu("MUL", wide_idx[1], self.const(scale))
+            o1 = self.alu("ADD", o1, hi_part)
+        b0 = self.const(base & 0xFFFF)
+        b1 = self.const((base >> 16) & 0xFFFF)
+        b2 = self.const((base >> 32) & 0xFFFF)
+        self.emit_carry(isa.SetCarry(0))
+        lo = self.fresh("ga")
+        self.emit_carry(isa.AddCarry(lo, b0, o0))
+        mid = self.fresh("ga")
+        self.emit_carry(isa.AddCarry(mid, b1, o1))
+        hi = self.fresh("ga")
+        self.emit_carry(isa.AddCarry(hi, b2, self.zero))
+        return (hi, mid, lo)
+
+    def _lower_memwrites(self) -> None:
+        for name, memory in self.circuit.memories.items():
+            layout = self.design.memories[name]
+            for wr in memory.writes:
+                data = self._limbs[wr.data.name]
+                pred = self._limbs[wr.enable.name][0]
+                if layout.is_global:
+                    wide = self._limbs[wr.addr.name]
+                    idx = wide[0]
+                    for j in range(layout.limbs):
+                        addr = self._global_addr_regs(idx, layout, j,
+                                                      wide_idx=wide)
+                        i = self.emit(PGlobalStore(data[j], addr, pred))
+                        self.mark_privileged(i)
+                        self.mark_memory(name, i)
+                else:
+                    idx = self._memory_index(wr.addr, layout)
+                    for j in range(layout.limbs):
+                        i = self.emit(PLocalStore(data[j], idx,
+                                                  layout.base + j, pred))
+                        self.mark_memory(name, i)
+
+    # -- effects -----------------------------------------------------------
+    def _lower_effects(self) -> None:
+        self._lower_memwrites()
+        for eff in self.circuit.effects:
+            enable = self._limbs[eff.enable.name][0]
+            if isinstance(eff, Display):
+                arg_addrs = []
+                for arg in eff.args:
+                    limbs = self._limbs[arg.name]
+                    addrs = []
+                    for limb in limbs:
+                        addr = self._mailbox_cursor
+                        self._mailbox_cursor += 1
+                        addrs.append(addr)
+                        regs = (self.const((addr >> 32) & 0xFFFF),
+                                self.const((addr >> 16) & 0xFFFF),
+                                self.const(addr & 0xFFFF))
+                        i = self.emit(PGlobalStore(limb, regs, enable))
+                        self.mark_privileged(i)
+                    arg_addrs.append(tuple(addrs))
+                eid = self.design.exceptions.register(
+                    DisplayAction(eff.fmt, tuple(arg_addrs)))
+                i = self.emit(isa.Expect(enable, self.zero, eid))
+                self.mark_privileged(i)
+            elif isinstance(eff, AssertEffect):
+                cond = self._limbs[eff.cond.name][0]
+                notc = self.alu("XOR", cond, self.const(1))
+                fail = self.alu("AND", enable, notc)
+                eid = self.design.exceptions.register(
+                    AssertAction(eff.message))
+                i = self.emit(isa.Expect(fail, self.zero, eid))
+                self.mark_privileged(i)
+            elif isinstance(eff, Finish):
+                eid = self.design.exceptions.register(FinishAction())
+                i = self.emit(isa.Expect(enable, self.zero, eid))
+                self.mark_privileged(i)
+
+    # -- state commit --------------------------------------------------------
+    def _lower_commits(self) -> None:
+        for name, reg in self.circuit.registers.items():
+            next_name = reg.next_value.name
+            if next_name == name:  # hold
+                continue
+            cur = self._limbs[name]
+            nxt = self._limbs[next_name]
+            for c, x in zip(cur, nxt):
+                if c != x:
+                    self.design.commits.append((c, x))
+
+    # -- ordering metadata ----------------------------------------------------
+    def _serialize_memory_and_privileged_order(self) -> None:
+        # Nothing to do eagerly: split/schedule recompute order edges from
+        # the metadata (memory_users, privileged_indices, carry positions).
+        self.design.finalize_metadata()
+
+    # Populated lazily in lower(); maps CONST wire name -> value.
+    @property
+    def _const_producers(self) -> dict[str, int]:
+        cache = getattr(self, "_const_cache", None)
+        if cache is None:
+            cache = {
+                op.result.name: op.value
+                for op in self.circuit.ops if op.kind is OpKind.CONST
+            }
+            self._const_cache = cache
+        return cache
+
+
+def lower_circuit(circuit: Circuit,
+                  options: LowerOptions | None = None) -> LoweredDesign:
+    """Lower a netlist circuit to a monolithic 16-bit program."""
+    return Lowerer(circuit, options).lower()

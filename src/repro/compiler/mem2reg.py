@@ -1,0 +1,167 @@
+"""Memory-to-register conversion (the Yosys ``memory -nomap`` behaviour
+our frontend inherits).
+
+RTL designs keep small unpacked arrays - register files, weight buffers,
+accumulators - that synthesis tools map to flip-flops rather than SRAM
+macros.  This matters enormously for Manticore: every instruction touching
+one memory region must live in a single process (paper SS6.1), so a design
+whose dataflow runs through one big buffer would serialize onto one core.
+Converting small memories to per-element registers lets the splitter pull
+each element's cone into its own process.
+
+* memories with at most ``max_words`` 16-bit words convert;
+* read ports become mux trees over the element registers (selected by
+  address bits), which constant folding collapses for constant addresses;
+* write ports become per-element enabled updates, later writes winning;
+* never-written memories (ROMs) convert to constants, so ROM lookups
+  with constant addresses fold away entirely.
+"""
+
+from __future__ import annotations
+
+from ..netlist.ir import (
+    Circuit,
+    Memory,
+    Op,
+    OpKind,
+    Register,
+    Wire,
+    mask,
+)
+
+DEFAULT_MAX_WORDS = 512
+
+
+class _Emitter:
+    """Fresh-wire op emission into a plain op list."""
+
+    def __init__(self, prefix: str) -> None:
+        self.ops: list[Op] = []
+        self.prefix = prefix
+        self.count = 0
+        self._consts: dict[tuple[int, int], Wire] = {}
+
+    def fresh(self, width: int) -> Wire:
+        self.count += 1
+        return Wire(f"{self.prefix}{self.count}", width)
+
+    def emit(self, kind: OpKind, args: tuple[Wire, ...], width: int,
+             attrs: dict | None = None) -> Wire:
+        wire = self.fresh(width)
+        self.ops.append(Op(wire, kind, args, attrs or {}))
+        return wire
+
+    def const(self, value: int, width: int) -> Wire:
+        key = (value & mask(width), width)
+        if key not in self._consts:
+            self._consts[key] = self.emit(
+                OpKind.CONST, (), width, {"value": key[0]})
+        return self._consts[key]
+
+    def bit(self, wire: Wire, index: int) -> Wire:
+        return self.emit(OpKind.SLICE, (wire,), 1, {"offset": index})
+
+    def mux(self, sel: Wire, if_false: Wire, if_true: Wire) -> Wire:
+        return self.emit(OpKind.MUX, (sel, if_false, if_true),
+                         if_false.width)
+
+    def select(self, addr: Wire, leaves: list[Wire]) -> Wire:
+        """Mux tree over ``leaves`` indexed by ``addr`` (wrapping)."""
+        items = list(leaves)
+        bit_index = 0
+        while len(items) > 1:
+            sel = self.bit(addr, bit_index) if bit_index < addr.width \
+                else self.const(0, 1)
+            items = [
+                self.mux(sel, items[i],
+                         items[i + 1] if i + 1 < len(items) else items[i])
+                for i in range(0, len(items), 2)
+            ]
+            bit_index += 1
+        return items[0]
+
+    def eq_const(self, wire: Wire, value: int) -> Wire:
+        return self.emit(OpKind.EQ, (wire, self.const(value, wire.width)),
+                         1)
+
+    def and_(self, a: Wire, b: Wire) -> Wire:
+        return self.emit(OpKind.AND, (a, b), 1)
+
+
+def _convertible(memory: Memory, max_words: int) -> bool:
+    limbs = (memory.width + 15) // 16
+    return (memory.depth * limbs <= max_words
+            and not memory.global_hint and not memory.sram_hint)
+
+
+def memory_to_registers(circuit: Circuit,
+                        max_words: int = DEFAULT_MAX_WORDS) -> Circuit:
+    """Return a circuit with small memories flattened to registers."""
+    targets = {name: memory for name, memory in circuit.memories.items()
+               if _convertible(memory, max_words)}
+    if not targets:
+        return circuit
+
+    new = Circuit(circuit.name)
+    new.inputs = dict(circuit.inputs)
+    new.outputs = dict(circuit.outputs)
+    new.effects = list(circuit.effects)
+    new.registers = {
+        name: Register(reg.name, reg.width, reg.init, reg.next_value)
+        for name, reg in circuit.registers.items()
+    }
+    new.memories = {
+        name: Memory(memory.name, memory.width, memory.depth, memory.init,
+                     list(memory.writes), memory.global_hint,
+                     memory.sram_hint)
+        for name, memory in circuit.memories.items() if name not in targets
+    }
+
+    emit = _Emitter("%m2r")
+
+    # Element wires per converted memory: ROMs become constants,
+    # writable memories become registers.
+    elements: dict[str, list[Wire]] = {}
+    for name, memory in targets.items():
+        init = list(memory.init) + [0] * (memory.depth - len(memory.init))
+        if not memory.writes:
+            elements[name] = [
+                emit.const(init[e], memory.width)
+                for e in range(memory.depth)
+            ]
+            continue
+        leaves = []
+        for e in range(memory.depth):
+            reg_name = f"{name}%{e}"
+            new.registers[reg_name] = Register(reg_name, memory.width,
+                                               init[e] & mask(memory.width))
+            leaves.append(Wire(reg_name, memory.width))
+        elements[name] = leaves
+
+    # Rewrite reads.
+    for op in circuit.ops:
+        if op.kind is OpKind.MEMRD and op.memory in targets:
+            value = emit.select(op.args[0], elements[op.memory])
+            # Preserve the original result wire name via a width-exact
+            # aliasing op (AND with all-ones keeps SSA simple).
+            ones = emit.const(mask(op.result.width), op.result.width)
+            emit.ops.append(Op(op.result, OpKind.AND, (value, ones), {}))
+        else:
+            emit.ops.append(op)
+
+    # Rewrite writes: per element, fold the write ports in order.
+    for name, memory in targets.items():
+        if not memory.writes:
+            continue
+        for e, cur in enumerate(elements[name]):
+            value = cur
+            for wr in memory.writes:
+                hit = emit.and_(emit.eq_const(wr.addr, e), wr.enable)
+                data = wr.data
+                value = emit.mux(hit, value, data)
+            reg_name = f"{name}%{e}"
+            new.registers[reg_name].next_value = value
+
+    new.ops = emit.ops
+    new.validate()
+    return new

@@ -1,0 +1,303 @@
+"""Process merging (paper SS6.1 step 2) and final process construction.
+
+Two merge strategies, evaluated against each other in Fig. 9 / Table 4:
+
+* :func:`merge_balanced` (**B**) - the paper's communication-aware
+  heuristic: repeatedly take the cheapest process and merge it with a
+  *communicating* partner that minimizes the merged execution-time
+  estimate.  Merging is non-linear: duplicated instructions deduplicate
+  and intra-process Sends disappear.
+* :func:`merge_lpt` (**L**) - the communication-oblivious baseline:
+  longest-processing-time-first bin packing onto the available cores.
+
+:func:`build_processes` then materializes each partition into an
+:class:`~repro.isa.program.Process`: body instructions in topological
+order, ``Send`` instructions for every remote reader of an owned state
+register, and commit ``Mov`` pseudo-instructions (coalesced later by the
+scheduler when legal).
+"""
+
+from __future__ import annotations
+
+from ..isa import instructions as isa
+from ..isa.program import Process, ProgramImage
+from .lir import Mov
+from .split import Partition, PartitionedProgram, commit_ownership
+
+
+def sequence_commit_movs(commits: list[tuple[str, str]]) -> list[Mov]:
+    """Sequence the parallel state-commit copy into Mov instructions.
+
+    Standard parallel-copy algorithm: emit copies whose destination is not
+    a pending source; break cycles by saving one destination into a fresh
+    temporary.
+    """
+    pending = [(cur, nxt) for cur, nxt in commits if cur != nxt]
+    out: list[Mov] = []
+    tmp_count = 0
+    while pending:
+        sources = {src for _, src in pending}
+        progressed = False
+        remaining = []
+        for cur, nxt in pending:
+            if cur not in sources:
+                out.append(Mov(cur, nxt))
+                progressed = True
+            else:
+                remaining.append((cur, nxt))
+        pending = remaining
+        if pending and not progressed:
+            # Pure cycle: save one destination, redirect its readers.
+            cur0, _ = pending[0]
+            tmp = f"%swap{tmp_count}"
+            tmp_count += 1
+            out.append(Mov(tmp, cur0))
+            pending = [(cur, tmp if nxt == cur0 else nxt)
+                       for cur, nxt in pending]
+    return out
+
+
+class _MergeState:
+    """Incremental bookkeeping for the merge loop."""
+
+    def __init__(self, prog: PartitionedProgram) -> None:
+        self.design = prog.design
+        self.parts: dict[int, Partition] = dict(enumerate(prog.partitions))
+        self.owners: dict[str, int] = {}
+        self.readers: dict[str, set[int]] = {}
+        owners, readers = commit_ownership(prog)
+        self.owners = owners
+        self.readers = {k: set(v) for k, v in readers.items()}
+        self.commits_of: dict[int, list[tuple[str, str]]] = {
+            pid: list(p.commits) for pid, p in self.parts.items()
+        }
+
+    # -- costs ----------------------------------------------------------
+    def sends_from(self, pid: int) -> int:
+        total = 0
+        for cur, _ in self.commits_of[pid]:
+            total += sum(1 for r in self.readers.get(cur, ())
+                         if r != pid)
+        return total
+
+    def cost(self, pid: int) -> int:
+        part = self.parts[pid]
+        return len(part.indices) + len(part.commits) + self.sends_from(pid)
+
+    def merged_cost(self, a: int, b: int) -> int:
+        pa, pb = self.parts[a], self.parts[b]
+        indices = len(pa.indices | pb.indices)
+        commits = len(pa.commits) + len(pb.commits)
+        sends = 0
+        merged = {a, b}
+        for pid in (a, b):
+            for cur, _ in self.commits_of[pid]:
+                sends += sum(1 for r in self.readers.get(cur, ())
+                             if r not in merged)
+        return indices + commits + sends
+
+    def neighbors(self, pid: int) -> set[int]:
+        result: set[int] = set()
+        for cur, _ in self.commits_of[pid]:
+            result |= {r for r in self.readers.get(cur, ()) if r != pid}
+        part = self.parts[pid]
+        seen_regs: set[str] = set()
+        for i in part.indices:
+            for reg in self.design.body[i].reads():
+                if reg in self.owners:
+                    seen_regs.add(reg)
+        for _, nxt in part.commits:
+            if nxt in self.owners:
+                seen_regs.add(nxt)
+        for reg in seen_regs:
+            owner = self.owners[reg]
+            if owner != pid:
+                result.add(owner)
+        return result
+
+    # -- mutation ---------------------------------------------------------
+    def merge(self, a: int, b: int) -> int:
+        """Merge partition b into a; returns a."""
+        pa, pb = self.parts[a], self.parts[b]
+        pa.indices |= pb.indices
+        pa.commits.extend(pb.commits)
+        pa.privileged = pa.privileged or pb.privileged
+        self.commits_of[a].extend(self.commits_of[b])
+        del self.parts[b]
+        del self.commits_of[b]
+        for cur, owner in list(self.owners.items()):
+            if owner == b:
+                self.owners[cur] = a
+        for cur, rs in self.readers.items():
+            if b in rs:
+                rs.discard(b)
+                rs.add(a)
+        return a
+
+    def result(self) -> PartitionedProgram:
+        return PartitionedProgram(self.design, list(self.parts.values()))
+
+
+def merge_balanced(prog: PartitionedProgram, max_processes: int,
+                   extra_passes: int = 2) -> PartitionedProgram:
+    """The paper's communication-aware merge (**B**)."""
+    state = _MergeState(prog)
+
+    def best_partner(pid: int) -> int | None:
+        """Partner minimizing the *increase* in merged execution time
+        (paper SS6.1): score = cost(merged) - max(cost(a), cost(b)).
+        This prefers absorbing a small communicating process into one of
+        its readers (killing Sends and deduplicating shared cones) over
+        gluing two unrelated small processes together."""
+        candidates = set(state.neighbors(pid))
+        # Fallback for processes with no (remaining) communication
+        # partners: the cheapest other process.
+        others = [q for q in state.parts if q != pid]
+        if not others:
+            return None
+        if not candidates:
+            candidates.add(min(others, key=lambda q: (state.cost(q), q)))
+        my_cost = state.cost(pid)
+
+        def score(q: int) -> tuple:
+            merged = state.merged_cost(pid, q)
+            return (merged - max(my_cost, state.cost(q)), merged, q)
+
+        return min(candidates, key=score)
+
+    while len(state.parts) > max_processes:
+        pid = min(state.parts, key=lambda p: (state.cost(p), p))
+        partner = best_partner(pid)
+        if partner is None:
+            break
+        state.merge(pid, partner)
+
+    # Opportunistic phase (paper: "merging can continue even after
+    # reaching the number of available cores"): sweep processes cheapest
+    # first, absorbing each into its best partner while that reduces
+    # total work and does not push any process past the straggler as it
+    # stood when the core-count target was met (prevents ratcheting).
+    if state.parts:
+        straggler_cap = max(state.cost(p) for p in state.parts)
+        for _ in range(max(1, extra_passes)):
+            merged_any = False
+            for pid in sorted(state.parts,
+                              key=lambda p: (state.cost(p), p)):
+                if pid not in state.parts or len(state.parts) < 2:
+                    continue
+                partner = best_partner(pid)
+                if partner is None:
+                    continue
+                merged = state.merged_cost(pid, partner)
+                benefit = (state.cost(pid) + state.cost(partner)
+                           - merged)
+                # Only consolidate well below the straggler: the goal of
+                # this phase is absorbing small communicating processes,
+                # not building new near-stragglers.
+                if benefit <= 0 or merged > straggler_cap // 2:
+                    continue
+                state.merge(pid, partner)
+                merged_any = True
+            if not merged_any:
+                break
+    return state.result()
+
+
+def merge_lpt(prog: PartitionedProgram, max_processes: int,
+              ) -> PartitionedProgram:
+    """Longest-processing-time-first baseline (**L**): sort split
+    processes by estimated time, place each in the least-loaded core,
+    ignoring communication entirely (paper SS7.8.1)."""
+    if len(prog.partitions) <= max_processes:
+        return prog
+    order = sorted(range(len(prog.partitions)),
+                   key=lambda i: -prog.partitions[i].cost())
+    bins: list[list[int]] = [[] for _ in range(max_processes)]
+    loads = [0] * max_processes
+    for idx in order:
+        target = loads.index(min(loads))
+        bins[target].append(idx)
+        loads[target] += prog.partitions[idx].cost()
+    state = _MergeState(prog)
+    for group in bins:
+        if not group:
+            continue
+        head = group[0]
+        for other in group[1:]:
+            state.merge(head, other)
+    return state.result()
+
+
+def build_processes(prog: PartitionedProgram) -> ProgramImage:
+    """Materialize partitions into processes with Sends and commit Movs.
+
+    The privileged partition always receives pid 0 (it will be placed on
+    the privileged core).
+    """
+    design = prog.design
+    owners, readers = commit_ownership(prog)
+
+    # pid assignment: privileged first, then by descending size.
+    order = sorted(
+        range(len(prog.partitions)),
+        key=lambda i: (not prog.partitions[i].privileged,
+                       -prog.partitions[i].cost(), i),
+    )
+    pid_of = {part_index: pid for pid, part_index in enumerate(order)}
+
+    processes: dict[int, Process] = {}
+    receive_regs: dict[int, set] = {}
+
+    for part_index, part in enumerate(prog.partitions):
+        pid = pid_of[part_index]
+        body: list[isa.Instruction] = [design.body[i]
+                                       for i in sorted(part.indices)]
+        # Sends: one per (owned commit, remote reader).
+        for cur, nxt in part.commits:
+            for reader in sorted(readers.get(cur, ())):
+                if reader != part_index:
+                    body.append(isa.Send(pid_of[reader], cur, nxt))
+        # Commit Movs (candidates for current/next coalescing).  Commits
+        # are a *parallel* copy (all currents take their next values
+        # simultaneously); sequencing must respect read-before-overwrite,
+        # including swap cycles (a.next = b, b.next = a).
+        body.extend(sequence_commit_movs(part.commits))
+
+        # Boot-time register image: every operand with a known initial
+        # value (constants, state registers, memory bases).
+        init: dict[isa.Reg, int] = {}
+        for instr in body:
+            # Send.rd names a *remote* register and Send.writes() is empty,
+            # so reads()+writes() covers exactly the locally used registers.
+            for reg in (*instr.reads(), *instr.writes()):
+                if reg in design.reg_init:
+                    init[reg] = design.reg_init[reg]
+        # Scratchpad image for owned local memories.
+        scratch: dict[int, int] = {}
+        for mem_name, users in design.memory_users.items():
+            layout = design.memories[mem_name]
+            if layout.is_global or not (users & part.indices):
+                continue
+            for addr in range(layout.base, layout.base + layout.words):
+                if addr in design.scratch_init:
+                    scratch[addr] = design.scratch_init[addr]
+
+        processes[pid] = Process(
+            pid=pid, body=body, reg_init=init, cfu=[],
+            scratch_init=scratch, privileged=part.privileged,
+        )
+        # Receive bindings: state registers we read but another partition
+        # commits.
+        received = set()
+        for instr in body:
+            for reg in instr.reads():
+                owner = owners.get(reg)
+                if owner is not None and owner != part_index:
+                    received.add(reg)
+        receive_regs[pid] = received
+
+    # Rewrite Send targets from partition indices to pids happened above
+    # (Sends were created with pids directly).
+    image = ProgramImage(design.name, processes, design.exceptions,
+                         dict(design.global_init), receive_regs)
+    return image

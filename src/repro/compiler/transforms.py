@@ -1,0 +1,198 @@
+"""Netlist-level optimizations: constant folding, common-subexpression
+elimination, and dead-code elimination (paper SS6: "the backend ... applies
+simple optimizations").
+
+All passes are pure: they return a new :class:`Circuit` and leave the input
+untouched, which keeps differential testing against the golden interpreter
+trivial.
+"""
+
+from __future__ import annotations
+
+from ..netlist.ir import (
+    AssertEffect,
+    Circuit,
+    Display,
+    Finish,
+    Memory,
+    MemWrite,
+    Op,
+    OpKind,
+    Register,
+    Wire,
+    evaluate_op,
+    topological_order,
+)
+
+
+def _remap_wire(wire: Wire, remap: dict[str, str]) -> Wire:
+    name = remap.get(wire.name, wire.name)
+    return wire if name == wire.name else Wire(name, wire.width)
+
+
+def _rebuild(circuit: Circuit, ops: list[Op], remap: dict[str, str],
+             ) -> Circuit:
+    """Clone the circuit with new ops and wire substitutions applied to all
+    sink references (registers, memories, effects, outputs)."""
+    new = Circuit(circuit.name)
+    new.ops = [
+        Op(op.result, op.kind,
+           tuple(_remap_wire(a, remap) for a in op.args), dict(op.attrs))
+        for op in ops
+    ]
+    for name, reg in circuit.registers.items():
+        nxt = _remap_wire(reg.next_value, remap) if reg.next_value else None
+        new.registers[name] = Register(reg.name, reg.width, reg.init, nxt)
+    for name, memory in circuit.memories.items():
+        new.memories[name] = Memory(
+            memory.name, memory.width, memory.depth, memory.init,
+            [MemWrite(_remap_wire(w.addr, remap),
+                      _remap_wire(w.data, remap),
+                      _remap_wire(w.enable, remap))
+             for w in memory.writes],
+            memory.global_hint,
+            memory.sram_hint,
+        )
+    new.inputs = dict(circuit.inputs)
+    new.outputs = {k: _remap_wire(w, remap)
+                   for k, w in circuit.outputs.items()}
+    for eff in circuit.effects:
+        if isinstance(eff, Display):
+            new.effects.append(Display(
+                _remap_wire(eff.enable, remap), eff.fmt,
+                tuple(_remap_wire(a, remap) for a in eff.args)))
+        elif isinstance(eff, Finish):
+            new.effects.append(Finish(_remap_wire(eff.enable, remap)))
+        elif isinstance(eff, AssertEffect):
+            new.effects.append(AssertEffect(
+                _remap_wire(eff.enable, remap),
+                _remap_wire(eff.cond, remap), eff.message))
+    return new
+
+
+def constant_fold(circuit: Circuit) -> Circuit:
+    """Evaluate ops whose arguments are all constants.
+
+    ``MEMRD`` and ops reading registers/inputs are never folded.  Folded
+    ops become ``CONST`` ops (later CSE/DCE merges and prunes them).
+    """
+    const_values: dict[str, int] = {}
+    new_ops: list[Op] = []
+    for op in topological_order(circuit):
+        foldable = (
+            op.kind not in (OpKind.MEMRD, OpKind.CONST)
+            and all(a.name in const_values for a in op.args)
+        )
+        if op.kind is OpKind.CONST:
+            const_values[op.result.name] = op.value
+            new_ops.append(op)
+        elif foldable:
+            value = evaluate_op(op, const_values)
+            const_values[op.result.name] = value
+            new_ops.append(Op(op.result, OpKind.CONST, (),
+                              {"value": value}))
+        else:
+            new_ops.append(op)
+    return _rebuild(circuit, new_ops, {})
+
+
+def _op_key(op: Op, remap: dict[str, str]) -> tuple:
+    args = tuple(remap.get(a.name, a.name) for a in op.args)
+    attrs = tuple(sorted(op.attrs.items()))
+    if op.kind in (OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.ADD,
+                   OpKind.MUL, OpKind.EQ, OpKind.NE):
+        args = tuple(sorted(args))  # commutative
+    return (op.kind, op.result.width, args, attrs)
+
+
+def common_subexpression_elimination(circuit: Circuit) -> Circuit:
+    """Merge structurally identical ops (value numbering, one pass)."""
+    seen: dict[tuple, str] = {}
+    remap: dict[str, str] = {}
+    new_ops: list[Op] = []
+    for op in topological_order(circuit):
+        key = _op_key(op, remap)
+        existing = seen.get(key)
+        if existing is not None and op.kind is not OpKind.MEMRD:
+            remap[op.result.name] = existing
+            continue
+        seen[key] = op.result.name
+        new_ops.append(op)
+    return _rebuild(circuit, new_ops, remap)
+
+
+def dead_code_elimination(circuit: Circuit) -> Circuit:
+    """Remove ops not reachable backwards from any sink.
+
+    Registers whose value is never observed (not read by any live op,
+    effect, memory, or output - directly or transitively) are removed
+    along with their next-value cones.
+    """
+    producers = circuit.producers()
+
+    # Iteratively shrink the live register set: a register is live if its
+    # current value feeds a non-register sink, or feeds a live register.
+    def cone(roots: list[str]) -> set[str]:
+        seen: set[str] = set()
+        stack = [r for r in roots if r in producers]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(a.name for a in producers[name].args
+                         if a.name in producers and a.name not in seen)
+        return seen
+
+    hard_roots = [w.name for w in circuit.effect_wires()]
+    hard_roots += [w.name for w in circuit.outputs.values()]
+    for memory in circuit.memories.values():
+        for wr in memory.writes:
+            hard_roots += [wr.addr.name, wr.data.name, wr.enable.name]
+    hard_cone = cone(hard_roots)
+
+    def reads_of_cone(names: set[str], roots: list[str]) -> set[str]:
+        regs = set()
+        for name in names:
+            for arg in producers[name].args:
+                if arg.name in circuit.registers:
+                    regs.add(arg.name)
+        for root in roots:
+            if root in circuit.registers:
+                regs.add(root)
+        return regs
+
+    live_regs = reads_of_cone(hard_cone, hard_roots)
+    while True:
+        roots = list(hard_roots)
+        for reg_name in live_regs:
+            reg = circuit.registers[reg_name]
+            if reg.next_value is not None:
+                roots.append(reg.next_value.name)
+        live = cone(roots)
+        new_live_regs = reads_of_cone(live, roots)
+        if new_live_regs <= live_regs:
+            break
+        live_regs |= new_live_regs
+
+    new_ops = [op for op in circuit.ops if op.result.name in live]
+    new = _rebuild(circuit, new_ops, {})
+    new.registers = {
+        name: reg for name, reg in new.registers.items()
+        if name in live_regs
+    }
+    return new
+
+
+def optimize(circuit: Circuit, fold: bool = True, cse: bool = True,
+             dce: bool = True) -> Circuit:
+    """Standard pipeline: fold -> CSE -> DCE (paper SS6 backend opts)."""
+    result = circuit
+    if fold:
+        result = constant_fold(result)
+    if cse:
+        result = common_subexpression_elimination(result)
+    if dce:
+        result = dead_code_elimination(result)
+    result.validate()
+    return result

@@ -1,0 +1,135 @@
+"""Static verification of compiled machine programs.
+
+The paper validates its compiler with interpreters (SS6); we do the same
+*and* add a static checker over the final binary.  ``verify_program``
+checks every invariant the hardware relies on without executing anything:
+
+* instruction-memory bounds and grid placement,
+* machine register indices within the register file,
+* ``Send`` targets are instantiated cores with matching receive budgets,
+* scratchpad image and addressing bounds (and heterogeneous placement),
+* every ``Expect`` eid resolves in the exception table,
+* custom-function indices resolve in each core's CFU image,
+* Vcycle layout arithmetic (body + epilogue + sleep == VCPL).
+"""
+
+from __future__ import annotations
+
+from ..isa import instructions as isa
+from ..isa.program import MachineProgram
+from ..machine.config import MachineConfig
+
+
+class VerificationError(Exception):
+    """A compiled binary violates a hardware invariant."""
+
+
+def verify_program(program: MachineProgram,
+                   config: MachineConfig | None = None) -> None:
+    """Raise :class:`VerificationError` on the first violated invariant."""
+    config = config or MachineConfig(grid_x=program.grid[0],
+                                     grid_y=program.grid[1])
+    if (config.grid_x, config.grid_y) != program.grid:
+        raise VerificationError("config grid differs from program grid")
+    num_cores = config.num_cores
+    receive_budget = {cid: binary.epilogue_length
+                      for cid, binary in program.cores.items()}
+    sends_to: dict[int, int] = {cid: 0 for cid in program.cores}
+
+    if program.privileged_core not in program.cores:
+        raise VerificationError("privileged core has no binary")
+
+    for cid, binary in program.cores.items():
+        if not (0 <= cid < num_cores):
+            raise VerificationError(f"core {cid} outside the grid")
+        if binary.total_length > config.imem_words:
+            raise VerificationError(
+                f"core {cid}: imem overflow "
+                f"({binary.total_length} > {config.imem_words})"
+            )
+        layout = (len(binary.body) + binary.epilogue_length
+                  + binary.sleep_length)
+        if layout != program.vcpl:
+            raise VerificationError(
+                f"core {cid}: Vcycle layout {layout} != VCPL "
+                f"{program.vcpl}"
+            )
+        if binary.scratch_init:
+            if config.scratchpad_cores is not None and \
+                    cid >= config.scratchpad_cores:
+                raise VerificationError(
+                    f"core {cid}: scratch image on a scratchpad-less core"
+                )
+            top = max(binary.scratch_init)
+            if top >= config.scratchpad_words:
+                raise VerificationError(
+                    f"core {cid}: scratch image beyond "
+                    f"{config.scratchpad_words} words"
+                )
+        for reg in binary.reg_init:
+            _check_reg(reg, cid, config)
+        for instr in binary.body:
+            _check_instruction(instr, cid, binary, program, config,
+                               sends_to)
+
+    for cid, count in sends_to.items():
+        if count != receive_budget.get(cid, 0):
+            raise VerificationError(
+                f"core {cid}: {count} incoming Sends but "
+                f"{receive_budget.get(cid, 0)} receive slots"
+            )
+
+
+def _check_reg(reg, cid: int, config: MachineConfig) -> None:
+    if not isinstance(reg, int):
+        raise VerificationError(
+            f"core {cid}: unallocated virtual register {reg!r}"
+        )
+    if not (0 <= reg < config.num_registers):
+        raise VerificationError(f"core {cid}: register {reg} out of range")
+
+
+def _check_instruction(instr, cid, binary, program, config,
+                       sends_to) -> None:
+    for reg in (*instr.reads(), *instr.writes()):
+        _check_reg(reg, cid, config)
+    if isinstance(instr, isa.Send):
+        target = instr.target
+        if target not in program.cores:
+            raise VerificationError(
+                f"core {cid}: Send to missing core {target}"
+            )
+        _check_reg(instr.rd, target, config)
+        sends_to[target] += 1
+    elif isinstance(instr, isa.Custom):
+        if instr.index >= len(binary.cfu):
+            raise VerificationError(
+                f"core {cid}: custom function f{instr.index} not "
+                "configured"
+            )
+    elif isinstance(instr, isa.Expect):
+        if instr.eid not in program.exceptions.actions:
+            raise VerificationError(
+                f"core {cid}: unknown exception id {instr.eid}"
+            )
+    elif isinstance(instr, (isa.LocalLoad, isa.LocalStore)):
+        if config.scratchpad_cores is not None and \
+                cid >= config.scratchpad_cores:
+            raise VerificationError(
+                f"core {cid}: scratchpad access on a scratchpad-less core"
+            )
+        if not (0 <= instr.offset < config.scratchpad_words):
+            raise VerificationError(
+                f"core {cid}: scratchpad offset {instr.offset} out of "
+                "range"
+            )
+    elif isinstance(instr, (isa.GlobalLoad, isa.GlobalStore)):
+        if cid != program.privileged_core:
+            raise VerificationError(
+                f"core {cid}: privileged global access on an "
+                "unprivileged core"
+            )
+    if isinstance(instr, isa.Expect) and cid != program.privileged_core:
+        raise VerificationError(
+            f"core {cid}: Expect on an unprivileged core"
+        )

@@ -1,0 +1,19 @@
+"""Cloud cost analysis (paper SS7.9)."""
+
+from .azure import (
+    D2_V4,
+    D16_V4,
+    HB120,
+    INSTANCES,
+    NP10S,
+    CostEstimate,
+    Instance,
+    cost_table,
+    estimate,
+    workday_flags,
+)
+
+__all__ = [
+    "CostEstimate", "D16_V4", "D2_V4", "HB120", "INSTANCES", "Instance",
+    "NP10S", "cost_table", "estimate", "workday_flags",
+]

@@ -1,0 +1,74 @@
+"""Cloud cost analysis (paper SS7.9, Tables 5 and 6).
+
+Pure arithmetic over published Azure hourly prices: given a simulation
+rate (kHz) and a target cycle count, estimate wall-clock hours (rounded up
+to whole billed hours) and dollars per instance type.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Instance:
+    name: str
+    dollars_per_hour: float
+    description: str
+
+
+#: Paper Table 5.
+D2_V4 = Instance("D2 v4", 0.115, "Xeon 8272CL 2x vCPU (serial)")
+D16_V4 = Instance("D16 v4", 0.92, "Xeon 8272CL 16x vCPU (multithreaded)")
+HB120 = Instance("HB120rs v3", 4.68, "EPYC 7V73X 120x vCPU (multithreaded)")
+NP10S = Instance("NP10s", 2.145, "Alveo U250 + 10x vCPU (Manticore)")
+
+INSTANCES = {i.name: i for i in (D2_V4, D16_V4, HB120, NP10S)}
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    instance: str
+    hours: float
+    billed_hours: int
+    dollars: float
+
+
+def estimate(instance: Instance, rate_khz: float,
+             cycles: float) -> CostEstimate:
+    """Runtime and cost to simulate ``cycles`` RTL cycles at ``rate_khz``.
+
+    Azure bills by the hour; the paper rounds up to the next whole hour
+    for the multi-hour Table 6 runs.
+    """
+    if rate_khz <= 0:
+        raise ValueError("rate must be positive")
+    seconds = cycles / (rate_khz * 1e3)
+    hours = seconds / 3600.0
+    billed = max(1, math.ceil(hours))
+    return CostEstimate(instance.name, hours, billed,
+                        round(billed * instance.dollars_per_hour, 2))
+
+
+def cost_table(rates_khz: dict[str, dict[str, float]],
+               cycles: float) -> list[dict]:
+    """Table 6 rows: per benchmark, per instance, hours and dollars.
+
+    ``rates_khz`` maps benchmark -> {instance name -> rate}.
+    """
+    rows = []
+    for bench, rates in rates_khz.items():
+        row: dict = {"benchmark": bench, "cycles": cycles}
+        for name, rate in rates.items():
+            instance = INSTANCES[name]
+            est = estimate(instance, rate, cycles)
+            row[f"{name} h"] = round(est.hours, 2)
+            row[f"{name} $"] = est.dollars
+        rows.append(row)
+    return rows
+
+
+def workday_flags(hours: float, workday_hours: float = 8.0) -> bool:
+    """The paper bolds runtimes exceeding one workday."""
+    return hours > workday_hours

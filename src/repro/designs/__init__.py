@@ -1,0 +1,49 @@
+"""The paper's nine RTL benchmarks (SS7.5) plus the SS7.7 microbenchmarks,
+reimplemented on the netlist builder at parameterizable (default reduced)
+scale, each wrapped in an assertion-based test driver.
+
+``DESIGNS`` is the registry the benchmark harness iterates: paper name ->
+build function + default simulated cycles, ordered by the paper's Table 3
+columns (largest serial step first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..netlist.ir import Circuit
+from . import bc, blur, cgra, jpeg, mc, micro, mm, nocsim, rv32r, vta
+
+
+@dataclass(frozen=True)
+class DesignInfo:
+    name: str
+    build: Callable[[], Circuit]
+    cycles: int                 # driver-complete simulated cycles
+    description: str
+
+
+DESIGNS: dict[str, DesignInfo] = {
+    "vta": DesignInfo("vta", vta.build, vta.DEFAULT_CYCLES,
+                      "VTA-style GEMM ML accelerator"),
+    "mc": DesignInfo("mc", mc.build, mc.DEFAULT_CYCLES,
+                     "Monte-Carlo fixed-point price predictor"),
+    "noc": DesignInfo("noc", nocsim.build, nocsim.DEFAULT_CYCLES,
+                      "2D torus NoC with virtual channels"),
+    "mm": DesignInfo("mm", mm.build, mm.DEFAULT_CYCLES,
+                     "systolic integer matrix multiplier"),
+    "rv32r": DesignInfo("rv32r", rv32r.build, rv32r.DEFAULT_CYCLES,
+                        "ring of small in-order processors"),
+    "cgra": DesignInfo("cgra", cgra.build, cgra.DEFAULT_CYCLES,
+                       "coarse-grained reconfigurable array"),
+    "bc": DesignInfo("bc", bc.build, bc.DEFAULT_CYCLES,
+                     "SHA-256 bitcoin miner pipeline"),
+    "blur": DesignInfo("blur", blur.build, blur.DEFAULT_CYCLES,
+                       "3x3 stencil accelerator with line buffers"),
+    "jpeg": DesignInfo("jpeg", jpeg.build, jpeg.DEFAULT_CYCLES,
+                       "bit-serial Huffman decoder (serial bottleneck)"),
+}
+
+__all__ = ["DESIGNS", "DesignInfo", "bc", "blur", "cgra", "jpeg", "mc",
+           "micro", "mm", "nocsim", "rv32r", "vta"]

@@ -1,0 +1,113 @@
+"""``bc`` - a bitcoin miner (paper SS7.5, [32]).
+
+A pipelined SHA-256 round engine searching for a nonce whose digest has a
+given number of leading zero bits.  The paper uses the open-source FPGA
+miner (fully unrolled double SHA-256); we reproduce the same structure -
+a deep pipeline of SHA-256 rounds fed by an incrementing nonce - at a
+parameterizable number of rounds (default 8) so the netlist stays
+tractable for the Python toolchain.
+
+The design is wrapped in an assertion-based driver: a reference model in
+:func:`sha_rounds_reference` lets tests check every reported hit.
+"""
+
+from __future__ import annotations
+
+from ..netlist.builder import CircuitBuilder, Signal
+from ..netlist.ir import Circuit
+
+#: First eight SHA-256 round constants.
+K = [0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5,
+     0x3956C25B, 0x59F111F1, 0x923F82A6, 0xAB1C5ED5,
+     0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+     0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174]
+
+#: SHA-256 initial hash state.
+H0 = [0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+      0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19]
+
+MASK32 = 0xFFFFFFFF
+
+
+def _rotr(x: Signal, n: int) -> Signal:
+    m = x.builder
+    return m.cat(x.bits(n, 32 - n), x.bits(0, n))
+
+
+def _add32(*xs: Signal) -> Signal:
+    acc = xs[0]
+    for x in xs[1:]:
+        acc = (acc + x).trunc(32)
+    return acc
+
+
+def _round(m: CircuitBuilder, state: list[Signal], w: Signal,
+           k: int) -> list[Signal]:
+    a, b, c, d, e, f, g, h = state
+    s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+    ch = (e & f) ^ (~e & g)
+    t1 = _add32(h, s1, ch, m.const(k, 32), w)
+    s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+    maj = (a & b) ^ (a & c) ^ (b & c)
+    t2 = _add32(s0, maj)
+    return [_add32(t1, t2), a, b, c, _add32(d, t1), e, f, g]
+
+
+def sha_rounds_reference(nonce: int, rounds: int) -> int:
+    """Python model of the pipeline's digest word ``a`` for a nonce."""
+    def rotr(x, n):
+        return ((x >> n) | (x << (32 - n))) & MASK32
+
+    state = list(H0)
+    for i in range(rounds):
+        w = (nonce ^ (0x9E3779B9 * (i + 1))) & MASK32
+        a, b, c, d, e, f, g, h = state
+        s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25)
+        ch = (e & f) ^ (~e & g)
+        t1 = (h + s1 + ch + K[i % len(K)] + w) & MASK32
+        s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)
+        maj = (a & b) ^ (a & c) ^ (b & c)
+        t2 = (s0 + maj) & MASK32
+        state = [(t1 + t2) & MASK32, a, b, c, (d + t1) & MASK32, e, f, g]
+    return state[0]
+
+
+def build(rounds: int = 10, difficulty_bits: int = 7,
+          max_cycles: int = 512) -> Circuit:
+    """Build the miner: ``rounds`` pipeline stages, hit when the digest's
+    low ``difficulty_bits`` bits are zero."""
+    m = CircuitBuilder("bc")
+    cyc = m.register("cyc", 32)
+    cyc.next = (cyc + 1).trunc(32)
+    nonce = cyc  # one nonce per cycle
+
+    # Pipeline: stage i holds the SHA state after i rounds plus the nonce
+    # that produced it.
+    state: list[list[Signal]] = []
+    prev_state = [m.const(h, 32) for h in H0]
+    prev_nonce = nonce
+    for i in range(rounds):
+        # message word for this round, derived from the staged nonce.
+        w = (prev_nonce ^ m.const((0x9E3779B9 * (i + 1)) & MASK32, 32))
+        nxt = _round(m, prev_state, w, K[i % len(K)])
+        regs = [m.register(f"s{i}_{j}", 32) for j in range(8)]
+        nreg = m.register(f"n{i}", 32)
+        for reg, val in zip(regs, nxt):
+            reg.next = val
+        nreg.next = prev_nonce
+        prev_state = list(regs)
+        prev_nonce = nreg
+        state.append(regs)
+
+    digest = prev_state[0]
+    valid = cyc.geu(rounds)  # pipeline full
+    low = digest.trunc(difficulty_bits)
+    hit = valid & (low == 0)
+    m.display_staged(hit, "golden nonce %d digest %x", prev_nonce,
+                     digest)
+    m.finish(cyc == max_cycles)
+    m.output("digest", digest)
+    return m.build()
+
+
+DEFAULT_CYCLES = 512

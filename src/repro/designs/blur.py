@@ -1,0 +1,90 @@
+"""``blur`` - a stencil computation accelerator (paper SS7.5, [15]).
+
+A streaming 3x3 box blur over an 8-bit image: pixels arrive one per
+cycle in raster order; two line buffers (RTL memories) hold the previous
+rows; a 3x3 window of registers slides along.  The output stream is
+checksummed and compared against a Python reference at end of frame -
+the classic line-buffer structure of stencil accelerators.
+"""
+
+from __future__ import annotations
+
+from ..netlist.builder import CircuitBuilder, Signal
+from ..netlist.ir import Circuit
+
+
+def input_pixel(x: int, y: int) -> int:
+    return (13 * x + 31 * y + (x * y) // 3 + 7) & 0xFF
+
+
+def reference_checksum(width: int, height: int) -> int:
+    """Sum of all valid blur outputs (interior pixels only), mod 2^32."""
+    total = 0
+    for y in range(2, height):
+        for x in range(2, width):
+            acc = 0
+            for dy in range(3):
+                for dx in range(3):
+                    acc += input_pixel(x - dx, y - dy)
+            total = (total + acc // 9) & 0xFFFFFFFF
+    return total
+
+
+def build(width: int = 8, height: int = 8) -> Circuit:
+    m = CircuitBuilder("blur")
+    xbits = max(1, (width - 1).bit_length())
+    cyc = m.register("cyc", 16)
+    cyc.next = (cyc + 1).trunc(16)
+
+    # Raster coordinates.
+    x = m.register("x", xbits)
+    y = m.register("y", 16)
+    at_eol = x == (width - 1)
+    x.next = m.mux(at_eol, (x + 1).trunc(xbits), m.const(0, xbits))
+    y.update(at_eol, (y + 1).trunc(16))
+
+    # Synthetic pixel source: pixel = f(x, y) matching input_pixel().
+    xy = x.zext(16).mul_wide(y.trunc(8).zext(16)).trunc(16)
+    xy_div3 = ((xy.mul_wide(m.const(0x5556, 16))) >> 16).trunc(16)
+    pixel = (x.zext(16) * 13 + y * 31 + xy_div3 + 7).trunc(8)
+
+    # Two line buffers: row y-1 and row y-2 at each column.
+    line1 = m.memory("line1", 8, width)
+    line2 = m.memory("line2", 8, width)
+    above1 = line1.read(x)      # pixel at (x, y-1)
+    above2 = line2.read(x)      # pixel at (x, y-2)
+    one = m.const(1, 1)
+    line2.write(x, above1, one)
+    line1.write(x, pixel, one)
+
+    # 3x3 window registers: w[r][c] is row offset r, column offset c.
+    rows_in = [pixel, above1, above2]
+    window: list[list[Signal]] = []
+    for r, tap in enumerate(rows_in):
+        c1 = m.register(f"w{r}_1", 8)
+        c2 = m.register(f"w{r}_2", 8)
+        c1.next = tap
+        c2.next = c1
+        window.append([tap, c1, c2])
+
+    total = m.const(0, 12)
+    for r in range(3):
+        for c in range(3):
+            total = (total + window[r][c].zext(12)).trunc(12)
+    # Divide by 9 via multiply-shift: floor(t * 7282 / 2^16) == t // 9
+    # for t < 2^12.
+    blurred = (total.mul_wide(m.const(7282, 16)) >> 16).trunc(8)
+
+    valid = x.geu(2) & y.geu(2) & y.ltu(height)
+    checksum = m.register("checksum", 32)
+    checksum.update(valid, (checksum + blurred.zext(32)).trunc(32))
+
+    done = cyc == width * height
+    m.check_sticky(done, checksum == reference_checksum(width, height),
+                   "blur checksum mismatch")
+    shown = m.display_staged(done, "blur checksum %d", checksum)
+    m.finish(shown)
+    return m.build()
+
+
+DEFAULT_CYCLES = 128

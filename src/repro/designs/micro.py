@@ -1,0 +1,86 @@
+"""Global-stall microbenchmarks (paper SS7.7, Fig. 8): a FIFO and a RAM,
+each performing one load and one store per Vcycle, sized at 1 KiB,
+64 KiB, and 512 KiB.
+
+The 1 KiB configuration fits in a core's scratchpad (no global stalls);
+64 KiB exceeds the scratchpad but fits the 128 KiB cache; 512 KiB spills
+to DRAM.  The FIFO accesses memory sequentially (excellent spatial
+locality -> high hit rate); the RAM uses xorshift pseudo-random
+addresses (miss-dominated at 512 KiB).
+"""
+
+from __future__ import annotations
+
+from ..netlist.builder import CircuitBuilder
+from ..netlist.ir import Circuit
+
+KIB = 1024
+
+
+def _depth_for(size_bytes: int) -> int:
+    return size_bytes // 2  # 16-bit words
+
+
+def build_fifo(size_bytes: int = KIB, cycles: int = 4096,
+               force_global: bool | None = None) -> Circuit:
+    """Sequential load+store per cycle over a ``size_bytes`` buffer."""
+    depth = _depth_for(size_bytes)
+    abits = max(1, (depth - 1).bit_length())
+    m = CircuitBuilder(f"fifo_{size_bytes // KIB}k")
+    cyc = m.register("cyc", 32)
+    cyc.next = (cyc + 1).trunc(32)
+
+    mem = m.memory("fifo", 16, depth, sram_hint=True,
+                   global_hint=bool(force_global) if force_global
+                   is not None else False)
+    wr = m.register("wr", abits)
+    rd = m.register("rd", abits)
+    wr.next = (wr + 1).trunc(abits)
+    rd.next = (rd + 1).trunc(abits)
+
+    data = (cyc.trunc(16) ^ 0x5A5A).trunc(16)
+    mem.write(wr, data, m.const(1, 1))
+    head = mem.read(rd)
+    sink = m.register("sink", 16)
+    sink.next = sink ^ head
+
+    m.display(cyc == cycles, "fifo sink %x", sink)
+    m.finish(cyc == cycles)
+    return m.build()
+
+
+def build_ram(size_bytes: int = KIB, cycles: int = 4096,
+              force_global: bool | None = None) -> Circuit:
+    """Pseudo-random load+store per cycle (xorshift addresses)."""
+    depth = _depth_for(size_bytes)
+    abits = max(1, (depth - 1).bit_length())
+    m = CircuitBuilder(f"ram_{size_bytes // KIB}k")
+    cyc = m.register("cyc", 32)
+    cyc.next = (cyc + 1).trunc(32)
+
+    mem = m.memory("ram", 16, depth, sram_hint=True,
+                   global_hint=bool(force_global) if force_global
+                   is not None else False)
+    # xorshift32 address generator (paper: XOR-shift-128; 32 suffices for
+    # uniform pseudo-random addressing of these depths).
+    rng = m.register("rng", 32, init=0x1D872B41)
+    x1 = (rng ^ (rng << 13)).trunc(32)
+    x2 = (x1 ^ (x1 >> 17)).trunc(32)
+    rng.next = (x2 ^ (x2 << 5)).trunc(32)
+
+    raddr = rng.trunc(abits)
+    waddr = rng.bits(8, min(abits, 24)).zext(abits) \
+        if abits > 1 else rng.trunc(abits)
+    data = rng.trunc(16)
+    mem.write(waddr.trunc(abits), data, m.const(1, 1))
+    rd = mem.read(raddr)
+    sink = m.register("sink", 16)
+    sink.next = sink ^ rd
+
+    m.display(cyc == cycles, "ram sink %x", sink)
+    m.finish(cyc == cycles)
+    return m.build()
+
+
+#: The Fig. 8 sweep: (label, bytes).
+FIG8_SIZES = [("1KiB", KIB), ("64KiB", 64 * KIB), ("512KiB", 512 * KIB)]

@@ -1,0 +1,113 @@
+"""``mm`` - an integer matrix-matrix multiplier (paper SS7.5).
+
+An output-stationary systolic array: A values stream in from the west,
+B values from the north, each PE accumulates ``a*b``.  The paper uses a
+16x16 array; the default here is 4x4 (parameterizable) to keep the
+Python toolchain fast.  A driver streams two constant matrices, then
+checks every accumulator against the reference product and ``$display``s
+a checksum.
+"""
+
+from __future__ import annotations
+
+from ..netlist.builder import CircuitBuilder, Signal
+from ..netlist.ir import Circuit
+
+
+def reference_product(a: list[list[int]], b: list[list[int]],
+                      ) -> list[list[int]]:
+    """Reference matrix product mod 2^32."""
+    n = len(a)
+    return [
+        [sum(a[i][k] * b[k][j] for k in range(n)) & 0xFFFFFFFF
+         for j in range(n)]
+        for i in range(n)
+    ]
+
+
+def test_matrices(n: int) -> tuple[list[list[int]], list[list[int]]]:
+    """Deterministic input matrices baked into the design's ROMs."""
+    a = [[(3 * i + 5 * j + 1) & 0xFF for j in range(n)] for i in range(n)]
+    b = [[(7 * i + 2 * j + 3) & 0xFF for j in range(n)] for i in range(n)]
+    return a, b
+
+
+def build(n: int = 8, max_cycles: int | None = None) -> Circuit:
+    """Build an ``n x n`` output-stationary systolic multiplier."""
+    m = CircuitBuilder("mm")
+    a_mat, b_mat = test_matrices(n)
+    product = reference_product(a_mat, b_mat)
+
+    cyc = m.register("cyc", 16)
+    cyc.next = (cyc + 1).trunc(16)
+
+    # Input skewing: row i of A enters at the west edge delayed by i
+    # cycles; column j of B enters at the north edge delayed by j cycles.
+    # Elements are fed from small ROMs indexed by the cycle counter.
+    a_roms = []
+    b_roms = []
+    for i in range(n):
+        a_roms.append(m.memory(f"a_rom{i}", 8, n,
+                               init=[a_mat[i][k] for k in range(n)]))
+        b_roms.append(m.memory(f"b_rom{i}", 8, n,
+                               init=[b_mat[k][i] for k in range(n)]))
+
+    def feed(rom, delay: int) -> Signal:
+        """Stream rom[0..n-1] starting at cycle ``delay``, zero outside."""
+        t = (cyc - delay).trunc(16)
+        active = cyc.geu(delay) & t.ltu(n)
+        idx = t.trunc(max(1, (n - 1).bit_length()))
+        return m.mux(active, m.const(0, 8), rom.read(idx))
+
+    a_in = [feed(a_roms[i], i) for i in range(n)]
+    b_in = [feed(b_roms[j], j) for j in range(n)]
+
+    # The PE grid: each PE latches its west/north inputs and accumulates.
+    a_wire: list[list[Signal]] = [[None] * (n + 1) for _ in range(n)]
+    b_wire: list[list[Signal]] = [[None] * (n + 1) for _ in range(n)]
+    accs: list[list[Signal]] = [[None] * n for _ in range(n)]
+    for i in range(n):
+        a_wire[i][0] = a_in[i]
+    for j in range(n):
+        b_wire[j][0] = b_in[j]
+
+    for i in range(n):
+        for j in range(n):
+            a_reg = m.register(f"pe{i}_{j}_a", 8)
+            b_reg = m.register(f"pe{i}_{j}_b", 8)
+            acc = m.register(f"pe{i}_{j}_acc", 32)
+            a_reg.next = a_wire[i][j]
+            b_reg.next = b_wire[j][i]
+            prod = a_wire[i][j].mul_wide(b_wire[j][i])
+            acc.next = (acc + prod.zext(32)).trunc(32)
+            a_wire[i][j + 1] = a_reg
+            b_wire[j][i + 1] = b_reg
+            accs[i][j] = acc
+
+    # After the wavefront has fully passed (3n cycles is safe), check
+    # every accumulator against the reference product.
+    settle_cycle = 3 * n + 2
+    flat = [accs[i][j] for i in range(n) for j in range(n)]
+    expect = [product[i][j] for i in range(n) for j in range(n)]
+
+    def add32(group):
+        acc = group[0]
+        for s in group[1:]:
+            acc = (acc + s).trunc(32)
+        return acc
+
+    checksum, depth = m.registered_reduce("mm_sum", flat, add32)
+    checking = cyc == settle_cycle + depth
+    settled = cyc == settle_cycle
+    for k, (sig, value) in enumerate(zip(flat, expect)):
+        m.check_sticky(settled, sig == value,
+                       f"PE({k // n},{k % n}) product mismatch")
+    total_ref = sum(expect) & 0xFFFFFFFF
+    m.check_sticky(checking, checksum == total_ref,
+                   "mm checksum mismatch")
+    shown = m.display_staged(checking, "mm checksum %d", checksum)
+    m.finish(shown if max_cycles is None else (cyc == max_cycles))
+    return m.build()
+
+
+DEFAULT_CYCLES = 64

@@ -1,0 +1,262 @@
+"""``noc`` - a 2D unidirectional torus network-on-chip design
+(paper SS7.5): the RTL being *simulated* is itself a NoC, with
+dimension-ordered (X then Y) routing and per-link virtual channels.
+
+Each router has one single-flit buffer per virtual channel on its east
+and south outputs.  Flits carry (dest_x, dest_y, payload); routing is
+deterministic: travel east until the column matches, then south.  Each
+node injects a new flit from an LFSR-driven traffic generator whenever
+its preferred output VC is free.  Delivered flits are counted and XOR-
+folded into a signature checked against a cycle-exact Python model.
+"""
+
+from __future__ import annotations
+
+from ..netlist.builder import CircuitBuilder, Signal
+from ..netlist.ir import Circuit
+
+M16 = 0xFFFF
+
+
+def _lfsr_next(x: int) -> int:
+    bit = ((x >> 0) ^ (x >> 2) ^ (x >> 3) ^ (x >> 5)) & 1
+    return ((x >> 1) | (bit << 15)) & M16
+
+
+class _RefRouter:
+    def __init__(self) -> None:
+        # Per output ("E"/"S") per VC: None or flit tuple
+        # (dx, dy, payload).
+        self.out = {("E", 0): None, ("E", 1): None,
+                    ("S", 0): None, ("S", 1): None}
+
+
+def reference_signature(nx: int, ny: int, vcs: int, steps: int,
+                        ) -> tuple[int, int]:
+    """(delivered count, xor signature) after ``steps`` cycles."""
+    routers = [[_RefRouter() for _ in range(nx)] for _ in range(ny)]
+    lfsrs = [[(0xACE1 + 0x2137 * (y * nx + x)) & M16 or 1
+              for x in range(nx)] for y in range(ny)]
+    delivered = 0
+    signature = 0
+    for _t in range(steps):
+        # Phase 1: each router computes, for each incoming flit (from
+        # west neighbor's E outputs and north neighbor's S outputs, VC
+        # priority order), its requested output; delivery happens when
+        # the flit addresses this node.
+        new_routers = [[_RefRouter() for _ in range(nx)]
+                       for y in range(ny)]
+        requests: list[list[dict]] = [
+            [dict() for _ in range(nx)] for _ in range(ny)]
+
+        def offer(y, x, flit, vc):
+            """Flit arriving at router (y,x) on VC ``vc``."""
+            nonlocal delivered, signature
+            dx, dy, payload = flit
+            if dx == x and dy == y:
+                delivered += 1
+                signature ^= payload
+                return
+            out = ("E", vc) if dx != x else ("S", vc)
+            reqs = requests[y][x]
+            if out not in reqs:          # first claimant wins (W > N)
+                reqs[out] = flit
+
+        # Receiver-centric scan, priority: west E VCs, then north S VCs
+        # (must match the circuit's claim order exactly).
+        for y in range(ny):
+            for x in range(nx):
+                west = routers[y][(x - 1) % nx]
+                north = routers[(y - 1) % ny][x]
+                for vc in range(vcs):
+                    flit = west.out[("E", vc)]
+                    if flit is not None:
+                        offer(y, x, flit, vc)
+                for vc in range(vcs):
+                    flit = north.out[("S", vc)]
+                    if flit is not None:
+                        offer(y, x, flit, vc)
+
+        # Phase 2: traffic generators inject on VC = payload LSB when
+        # that output VC got no through-traffic claim.
+        for y in range(ny):
+            for x in range(nx):
+                state = lfsrs[y][x]
+                lfsrs[y][x] = _lfsr_next(state)
+                payload = state
+                dx = ((state >> 4) & 0xFF) % nx
+                dy = ((state >> 8) & 0xFF) % ny
+                if dx == x and dy == y:
+                    continue  # self-addressed: dropped at the generator
+                vc = state & 1 if vcs > 1 else 0
+                out = ("E", vc) if dx != x else ("S", vc)
+                reqs = requests[y][x]
+                if out not in reqs:
+                    reqs[out] = (dx, dy, payload)
+
+        # Phase 3: commit winning requests into output registers.
+        for y in range(ny):
+            for x in range(nx):
+                for out, flit in requests[y][x].items():
+                    new_routers[y][x].out[out] = flit
+        routers = new_routers
+    return delivered, signature
+
+
+def build(nx: int = 3, ny: int = 3, vcs: int = 1,
+          steps: int = 48) -> Circuit:
+    m = CircuitBuilder("noc")
+    xb = max(1, (nx - 1).bit_length())
+    yb = max(1, (ny - 1).bit_length())
+    cyc = m.register("cyc", 16)
+    cyc.next = (cyc + 1).trunc(16)
+
+    # Output registers: [y][x][dir][vc] -> (valid, dx, dy, payload).
+    def flit_regs(name: str):
+        return {
+            "valid": m.register(f"{name}_v", 1),
+            "dx": m.register(f"{name}_dx", xb),
+            "dy": m.register(f"{name}_dy", yb),
+            "pay": m.register(f"{name}_p", 16),
+        }
+
+    outs = [[{("E", vc): flit_regs(f"r{y}_{x}_E{vc}") for vc in range(vcs)}
+             | {("S", vc): flit_regs(f"r{y}_{x}_S{vc}")
+                for vc in range(vcs)}
+             for x in range(nx)] for y in range(ny)]
+
+    # Per-router delivery counters and XOR signatures (registered locally
+    # so the compiler can distribute them; reduced through a register
+    # tree for the final check).
+    local_counts: list[Signal] = []
+    local_sigs: list[Signal] = []
+
+    # Traffic generators.
+    lfsrs = [[m.register(f"lfsr{y}_{x}", 16,
+                         init=(0xACE1 + 0x2137 * (y * nx + x)) & M16 or 1)
+              for x in range(nx)] for y in range(ny)]
+
+    for y in range(ny):
+        for x in range(nx):
+            # Incoming flits in priority order: west E VCs, north S VCs,
+            # then local injection.
+            offers = []  # (valid, dx, dy, payload, vc)
+            west = outs[y][(x - 1) % nx]
+            north = outs[(y - 1) % ny][x]
+            for vc in range(vcs):
+                f = west[("E", vc)]
+                offers.append((f["valid"], f["dx"], f["dy"], f["pay"], vc))
+            for vc in range(vcs):
+                f = north[("S", vc)]
+                offers.append((f["valid"], f["dx"], f["dy"], f["pay"], vc))
+
+            state = lfsrs[y][x]
+            bit = (state[0] ^ state[2] ^ state[3] ^ state[5])
+            lfsrs[y][x].next = m.cat(state.bits(1, 15), bit)
+            gdx = ((state >> 4).trunc(xb) if nx & (nx - 1) == 0
+                   else _mod(m, (state >> 4).trunc(8), nx, xb))
+            gdy = ((state >> 8).trunc(yb) if ny & (ny - 1) == 0
+                   else _mod(m, (state >> 8).trunc(8), ny, yb))
+            gvc = state[0] if vcs > 1 else m.const(0, 1)
+            gen_valid = ~((gdx == x) & (gdy == y))
+
+            # Claim tracking per output (dir, vc).
+            claimed = {key: m.const(0, 1) for key in outs[y][x]}
+            winner = {key: None for key in outs[y][x]}
+
+            def claim(key, valid, dx, dy, pay):
+                prev = claimed[key]
+                take = valid & ~prev
+                claimed[key] = prev | valid
+                if winner[key] is None:
+                    winner[key] = (take, dx, dy, pay)
+                else:
+                    old = winner[key]
+                    winner[key] = (
+                        old[0] | take,
+                        m.mux(take, old[1], dx),
+                        m.mux(take, old[2], dy),
+                        m.mux(take, old[3], pay),
+                    )
+
+            deliver_count = m.const(0, 16)
+            deliver_xor = m.const(0, 16)
+            for valid, dx, dy, pay, vc in offers:
+                here = (dx == x) & (dy == y)
+                arrive = valid & here
+                deliver_count = (deliver_count + arrive.zext(16)).trunc(16)
+                deliver_xor = deliver_xor ^ m.mux(arrive,
+                                                  m.const(0, 16), pay)
+                through = valid & ~here
+                goes_east = ~(dx == x)
+                claim(("E", vc), through & goes_east, dx, dy, pay)
+                claim(("S", vc), through & ~goes_east, dx, dy, pay)
+
+            # Local injection last (lowest priority).
+            for vc in range(vcs):
+                sel_vc = (gvc == vc) if vcs > 1 else m.const(1, 1)
+                inj_east = gen_valid & sel_vc & ~(gdx == x)
+                inj_south = gen_valid & sel_vc & (gdx == x)
+                claim(("E", vc), inj_east, gdx, gdy, state)
+                claim(("S", vc), inj_south, gdx, gdy, state)
+
+            for key, regs in outs[y][x].items():
+                take, dx, dy, pay = winner[key]
+                regs["valid"].next = take
+                regs["dx"].next = m.mux(take, m.const(0, xb), dx)
+                regs["dy"].next = m.mux(take, m.const(0, yb), dy)
+                regs["pay"].next = m.mux(take, m.const(0, 16), pay)
+
+            # Counters freeze at `steps` so both reduction trees settle on
+            # the same snapshot regardless of their depths.
+            delv = m.register(f"delv{y}_{x}", 16)
+            sig = m.register(f"sig{y}_{x}", 16)
+            counting = cyc.ltu(steps)
+            delv.update(counting, (delv + deliver_count).trunc(16))
+            sig.update(counting, sig ^ deliver_xor)
+            local_counts.append(delv)
+            local_sigs.append(sig)
+
+    def add16(group):
+        acc = group[0]
+        for s in group[1:]:
+            acc = (acc + s).trunc(16)
+        return acc
+
+    def xor16(group):
+        acc = group[0]
+        for s in group[1:]:
+            acc = acc ^ s
+        return acc
+
+    delivered, d1 = m.registered_reduce("noc_cnt", local_counts, add16)
+    signature, d2 = m.registered_reduce("noc_sig", local_sigs, xor16)
+    depth = max(d1, d2)
+
+    ref_count, ref_sig = reference_signature(nx, ny, vcs, steps)
+    done = cyc == steps + depth
+    m.check_sticky(done, delivered == ref_count,
+                   "noc delivered count mismatch")
+    m.check_sticky(done, signature == (ref_sig & M16),
+                   "noc signature mismatch")
+    shown = m.display_staged(done, "noc delivered %d signature %x",
+                             delivered, signature)
+    m.finish(shown)
+    return m.build()
+
+
+def _mod(m: CircuitBuilder, value: Signal, modulus: int,
+         out_bits: int) -> Signal:
+    """value % modulus for small constants via repeated conditional
+    subtraction (value < 256, modulus < 8: a few comparator stages)."""
+    acc = value.zext(9)
+    for shift in (7, 6, 5, 4, 3, 2, 1, 0):
+        sub = modulus << shift
+        if sub > 511:
+            continue
+        ge = ~acc.ltu(sub)
+        acc = m.mux(ge, acc, (acc - sub).trunc(9))
+    return acc.trunc(out_bits)
+
+
+DEFAULT_CYCLES = 96

@@ -1,0 +1,182 @@
+"""``vta`` - a TVM VTA-style ML accelerator (paper SS7.5, [29]).
+
+A GEMM accelerator with the VTA structure: an instruction ROM drives
+load / compute / store modules around on-chip input, weight, and
+accumulator buffers.  The compute module is spatial: ``block_in``
+multipliers and an adder tree evaluate one dot product per cycle -
+matching the paper's enlarged spatial configuration (they grew blockIn /
+blockOut to benefit from acceleration; we default to 4x4 with batch 2 to
+keep the Python flow fast, all parameterizable).
+
+Phases (driven by a small instruction ROM):
+  LOAD_INP  - stream the input matrix into the inp buffer,
+  LOAD_WGT  - stream the weight matrix into the wgt buffer,
+  GEMM      - for each (batch, out) pair, one dot product per cycle,
+  STORE     - drain accumulators, checksum, and compare with reference.
+"""
+
+from __future__ import annotations
+
+from ..netlist.builder import CircuitBuilder, Signal
+from ..netlist.ir import Circuit
+
+M32 = 0xFFFFFFFF
+
+OP_LOAD_INP, OP_LOAD_WGT, OP_GEMM, OP_STORE, OP_HALT = range(5)
+
+
+def inp_value(addr: int) -> int:
+    return (addr * 29 + 3) & 0xFF
+
+
+def wgt_value(addr: int) -> int:
+    return (addr * 53 + 7) & 0xFF
+
+
+def reference_checksum(batch: int, block_in: int, block_out: int) -> int:
+    inp = [[inp_value(b * block_in + k) for k in range(block_in)]
+           for b in range(batch)]
+    wgt = [[wgt_value(o * block_in + k) for k in range(block_in)]
+           for o in range(block_out)]
+    checksum = 0
+    for b in range(batch):
+        for o in range(block_out):
+            dot = sum(inp[b][k] * wgt[o][k] for k in range(block_in))
+            checksum = (checksum + dot) & M32
+    return checksum
+
+
+def build(batch: int = 4, block_in: int = 8, block_out: int = 12) -> Circuit:
+    m = CircuitBuilder("vta")
+    if batch & (batch - 1):
+        raise ValueError("batch must be a power of two")
+    if block_in & (block_in - 1):
+        raise ValueError("block_in must be a power of two")
+    n_inp = batch * block_in
+    n_wgt = block_out * block_in
+    n_out = batch * block_out
+
+    cyc = m.register("cyc", 16)
+    cyc.next = (cyc + 1).trunc(16)
+
+    # Instruction ROM: op(3) | length(13).
+    instrs = [
+        (OP_LOAD_INP, n_inp),
+        (OP_LOAD_WGT, n_wgt),
+        (OP_GEMM, batch + 1),  # +1: pipeline drain cycle
+        (OP_STORE, n_out),
+        (OP_HALT, 0),
+    ]
+    rom = m.memory("imem", 16, 8,
+                   init=[(op | (ln << 3)) for op, ln in instrs])
+
+    pc = m.register("pc", 3)
+    step = m.register("step", 13)
+    instr = rom.read(pc)
+    op = instr.trunc(3)
+    length = instr.bits(3, 13)
+
+    last_step = (step + 1) == length
+    is_halt = op == OP_HALT
+    advance = last_step & ~is_halt
+    step.next = m.mux(advance, (step + 1).trunc(13), m.const(0, 13))
+    pc.update(advance, (pc + 1).trunc(3))
+
+    # Buffers: SRAM-pinned and banked per output column - the standard
+    # spatial-accelerator organization (VTA's buffers are SRAMs), and
+    # what lets the compiler's memory co-location rule distribute the
+    # MAC grid: each weight/accumulator bank and its dot product form an
+    # independent process.
+    inp = m.memory("inp_buf", 8, n_inp, sram_hint=True)
+    wgt_banks = [m.memory(f"wgt_bank{o}", 8, block_in, sram_hint=True)
+                 for o in range(block_out)]
+    acc_banks = [m.memory(f"acc_bank{o}", 32, batch, sram_hint=True)
+                 for o in range(block_out)]
+
+    def synth(addr: Signal, mul: int, add: int) -> Signal:
+        return (addr * mul + add).trunc(8)
+
+    abits = 13
+    addr = step
+
+    # LOAD modules: one element per cycle from synthetic DRAM.
+    is_load_inp = op == OP_LOAD_INP
+    is_load_wgt = op == OP_LOAD_WGT
+    inp.write(addr.trunc(max(1, (n_inp - 1).bit_length())),
+              synth(addr, 29, 3), is_load_inp)
+    kbits = (block_in - 1).bit_length()
+    wgt_k = addr.trunc(kbits) if kbits else m.const(0, 1)
+    wgt_o = (addr >> kbits).trunc(max(1, (block_out - 1).bit_length()))
+    for o in range(block_out):
+        wgt_banks[o].write(wgt_k, synth(addr, 53, 7),
+                           is_load_wgt & (wgt_o == o))
+
+    # GEMM: pipelined, weight-stationary.  Cycle t fetches input row
+    # b(t) into broadcast registers; cycle t+1 computes all block_out dot
+    # products against that row (block_in x block_out MAC grid - the
+    # paper's *spatial* configuration) and writes the banked
+    # accumulators.  The broadcast registers are the real VTA's input
+    # pipeline, and they matter for Manticore: every MAC process reads a
+    # register current instead of re-selecting from the whole buffer.
+    is_gemm = op == OP_GEMM
+    bbits_g = max(1, (batch - 1).bit_length())
+    b_idx = addr.trunc(bbits_g)
+    row_regs: list[Signal] = []
+    for k in range(block_in):
+        row = m.register(f"row{k}", 8)
+        rd = inp.read((b_idx.zext(abits) * block_in + k).trunc(
+            max(1, (n_inp - 1).bit_length())))
+        row.update(is_gemm, rd)
+        row_regs.append(row)
+    b_prev = m.register("b_prev", bbits_g)
+    b_prev.update(is_gemm, b_idx)
+    wvalid = m.register("wvalid", 1)
+    wvalid.next = is_gemm
+
+    for o in range(block_out):
+        partials = [
+            row_regs[k].mul_wide(
+                wgt_banks[o].read(m.const(k, max(1, kbits))))
+            for k in range(block_in)
+        ]
+        dot = m.const(0, 32)
+        for p in partials:
+            dot = (dot + p.zext(32)).trunc(32)
+        acc_banks[o].write(b_prev, dot, wvalid)
+
+    # STORE: each bank drains into its own partial-sum register (reads
+    # never cross banks, so banks stay in independent processes); a
+    # register tree reduces the partial sums into the frame checksum.
+    is_store = op == OP_STORE
+    bbits = (batch - 1).bit_length()
+    store_b = addr.trunc(bbits) if bbits else m.const(0, 1)
+    store_o = (addr >> bbits).trunc(
+        max(1, (block_out - 1).bit_length()))
+    bank_sums = []
+    for o in range(block_out):
+        bank_sum = m.register(f"bank_sum{o}", 32)
+        hit = is_store & (store_o == o)
+        bank_sum.update(hit, (bank_sum
+                              + acc_banks[o].read(store_b)).trunc(32))
+        bank_sums.append(bank_sum)
+
+    def add32(group):
+        acc32 = group[0]
+        for sig in group[1:]:
+            acc32 = (acc32 + sig).trunc(32)
+        return acc32
+
+    checksum, depth = m.registered_reduce("vta_sum", bank_sums, add32)
+
+    done = is_halt & (step == depth + 1)  # reduce-tree settling time
+    m.check_sticky(done, checksum == reference_checksum(batch, block_in,
+                                                        block_out),
+                   "vta checksum mismatch")
+    shown = m.display_staged(done, "vta checksum %d at cycle %d",
+                             checksum, cyc)
+    m.finish(shown)
+    m.check(m.const(1, 1), ~(cyc == 2000), "vta watchdog expired")
+    return m.build()
+
+
+DEFAULT_CYCLES = 256

@@ -1,0 +1,31 @@
+"""Physical (FPGA) model of the Manticore prototype: resource accounting
+(Table 7) and the frequency/floorplanning model (Table 1)."""
+
+from .resources import (
+    CACHE_URAM,
+    CORE,
+    CORE_URAM,
+    U200,
+    U200_AVAILABLE_URAM,
+    ResourceVector,
+    core_utilization_percent,
+    grid_resources,
+    max_cores,
+    sram_capacity_mib,
+)
+from .timing import (
+    SINGLE_REGION_CORES,
+    TABLE1,
+    TimingEstimate,
+    frequency_mhz,
+    needs_guided_floorplan,
+    table1_rows,
+)
+
+__all__ = [
+    "CACHE_URAM", "CORE", "CORE_URAM", "ResourceVector",
+    "SINGLE_REGION_CORES", "TABLE1", "TimingEstimate", "U200",
+    "U200_AVAILABLE_URAM", "core_utilization_percent", "frequency_mhz",
+    "grid_resources", "max_cores", "needs_guided_floorplan",
+    "sram_capacity_mib", "table1_rows",
+]

@@ -1,0 +1,99 @@
+"""FPGA resource model of the Manticore implementation (paper SS7.2,
+Table 7, SSA.7).
+
+Per-core resource usage and U200 capacities are the paper's published
+numbers; the model derives the quantities the paper reports from them:
+URAMs are the binding resource (two per core - instruction memory and
+scratchpad), capping the grid at 398 cores after the cache takes four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    lut: int = 0
+    lutram: int = 0
+    ff: int = 0
+    bram: int = 0
+    uram: int = 0
+    dsp: int = 0
+    srl: int = 0
+
+    def __mul__(self, n: int) -> "ResourceVector":
+        return ResourceVector(*(getattr(self, f) * n for f in
+                                ("lut", "lutram", "ff", "bram", "uram",
+                                 "dsp", "srl")))
+
+    def fits_in(self, other: "ResourceVector") -> bool:
+        return all(getattr(self, f) <= getattr(other, f)
+                   for f in ("lut", "lutram", "ff", "bram", "uram", "dsp"))
+
+    def utilization(self, capacity: "ResourceVector") -> dict[str, float]:
+        out = {}
+        for f in ("lut", "lutram", "ff", "bram", "uram", "dsp", "srl"):
+            cap = getattr(capacity, f)
+            out[f] = 100.0 * getattr(self, f) / cap if cap else 0.0
+        return out
+
+
+#: One Manticore core (paper Table 7).
+CORE = ResourceVector(lut=545, lutram=128, ff=1358, bram=4, uram=2,
+                      dsp=1, srl=102)
+
+#: Alveo U200 totals (XCU200: 1182k LUTs, 2364k FFs, 960 URAM, 2160
+#: 36Kb-BRAM, 6840 DSP).  LUTRAM/SRL capacities derive from the paper's
+#: percentages (128 LUTRAM = 0.02%, 102 SRL = 0.02%).
+U200 = ResourceVector(lut=1_182_000, lutram=591_840, ff=2_364_480,
+                      bram=2_160, uram=960, dsp=6_840, srl=591_840)
+
+#: URAMs available to user logic on the U200 platform (paper cites 800
+#: available, of which the cache uses 4).
+U200_AVAILABLE_URAM = 800
+CACHE_URAM = 4
+CORE_URAM = 2
+
+
+def max_cores(available_uram: int = U200_AVAILABLE_URAM,
+              cache_uram: int = CACHE_URAM) -> int:
+    """URAM-limited core count: (800 - 4) / 2 = 398 (paper SS7.2)."""
+    return (available_uram - cache_uram) // CORE_URAM
+
+
+def max_cores_heterogeneous(scratchpad_fraction: float,
+                            available_uram: int = U200_AVAILABLE_URAM,
+                            cache_uram: int = CACHE_URAM) -> int:
+    """Core bound when only a fraction of cores carry scratchpads
+    (paper SSA.7: "one optimization is a heterogeneous implementation
+    where some cores lack a scratchpad").
+
+    A scratchpad-less core needs one URAM (instruction memory only), a
+    full core needs two.
+    """
+    if not (0.0 <= scratchpad_fraction <= 1.0):
+        raise ValueError("fraction must be within [0, 1]")
+    budget = available_uram - cache_uram
+    per_core = 1.0 + scratchpad_fraction
+    return int(budget / per_core)
+
+
+def grid_resources(cores: int) -> ResourceVector:
+    """Aggregate core resources for a grid (excludes shell/cache/NoC)."""
+    return CORE * cores
+
+
+def core_utilization_percent() -> dict[str, float]:
+    """Table 7's percentage row."""
+    return CORE.utilization(U200)
+
+
+def sram_capacity_mib(cores: int) -> float:
+    """On-chip SRAM for data+instructions (paper: 225 cores ~ 18.45 MiB
+    counting register files; 14.4 MiB of URAM alone)."""
+    imem_bytes = 4096 * 8          # 4096 x 64b URAM
+    scratch_bytes = 16384 * 2      # 16384 x 16b URAM
+    regfile_bytes = 2048 * 17 // 8 * 4  # 4 mirrored BRAM copies
+    per_core = imem_bytes + scratch_bytes + regfile_bytes
+    return cores * per_core / (1 << 20)

@@ -1,0 +1,55 @@
+"""The Manticore ISA: instruction definitions, execution semantics, binary
+encoding, program containers, and the functional lower interpreter."""
+
+from .encoding import EncodingError, decode, decode_program, encode, encode_program
+from .instructions import (
+    AddCarry,
+    Alu,
+    Custom,
+    Expect,
+    GlobalLoad,
+    GlobalStore,
+    Instruction,
+    LocalLoad,
+    LocalStore,
+    Mux,
+    Nop,
+    Predicate,
+    Reg,
+    Send,
+    Set,
+    SetCarry,
+    Slice,
+    NUM_CUSTOM_FUNCTIONS,
+    NUM_REGISTERS,
+    SCRATCHPAD_WORDS,
+    WORD_MASK,
+    WORD_WIDTH,
+    is_privileged,
+)
+from .interp import FunctionalInterpreter, FunctionalResult, HazardError, NoCDropError
+from .program import (
+    AssertAction,
+    CoreBinary,
+    DisplayAction,
+    ExceptionTable,
+    FinishAction,
+    MachineProgram,
+    Process,
+    ProgramImage,
+    SimulationFailure,
+)
+from .semantics import eval_alu, eval_custom, execute, to_signed16
+
+__all__ = [
+    "AddCarry", "Alu", "AssertAction", "CoreBinary", "Custom",
+    "DisplayAction", "EncodingError", "ExceptionTable", "Expect",
+    "FinishAction", "FunctionalInterpreter", "FunctionalResult",
+    "GlobalLoad", "GlobalStore", "HazardError", "Instruction", "LocalLoad",
+    "LocalStore", "MachineProgram", "Mux", "NUM_CUSTOM_FUNCTIONS",
+    "NUM_REGISTERS", "NoCDropError", "Nop", "Predicate", "Process",
+    "ProgramImage", "Reg", "SCRATCHPAD_WORDS", "Send", "Set", "SetCarry",
+    "SimulationFailure", "Slice", "WORD_MASK", "WORD_WIDTH", "decode",
+    "decode_program", "encode", "encode_program", "eval_alu", "eval_custom",
+    "execute", "is_privileged", "to_signed16",
+]

@@ -1,0 +1,255 @@
+"""Textual Manticore assembly: printer and assembler.
+
+The paper's Fig. 13 shows programs in an assembly syntax (``ADD $r7,
+$r4, $r1``, ``SEND p0.$r4, $r4``, ``EXPECT $r5, $r0, 1`` ...).  This
+module renders processes/binaries in that style and parses it back -
+useful for dumping compiler output, writing tests, and hand-crafting
+microbenchmarks.
+
+Syntax (one instruction per line, ``//`` comments)::
+
+    NOP
+    SET   $rd, imm
+    ADD   $rd, $rs1, $rs2          // any ALU mnemonic
+    MUX   $rd, $sel, $rf, $rt
+    SLICE $rd, $rs, offset, length
+    ADDC  $rd, $rs1, $rs2
+    SETC  imm
+    CUST  $rd, fN, $a, $b, $c, $d
+    SEND  pT.$rd, $rs
+    LLD   $rd, $base, offset
+    LST   $rs, $base, offset
+    PRED  $rs
+    GLD   $rd, [$hi, $mid, $lo]
+    GST   $rs, [$hi, $mid, $lo]
+    EXPECT $rs1, $rs2, eid
+
+Virtual registers print as ``$name``; machine registers as ``$rN``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import instructions as isa
+from .instructions import _ALU_OPS
+
+
+class AsmError(ValueError):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Printing
+# ---------------------------------------------------------------------------
+def _reg(reg: isa.Reg) -> str:
+    if isinstance(reg, int):
+        return f"$r{reg}"
+    return f"${reg}"
+
+
+def format_instruction(instr: isa.Instruction) -> str:
+    if isinstance(instr, isa.Nop):
+        return "NOP"
+    if isinstance(instr, isa.Set):
+        return f"SET {_reg(instr.rd)}, {instr.imm}"
+    if isinstance(instr, isa.Alu):
+        return (f"{instr.op} {_reg(instr.rd)}, {_reg(instr.rs1)}, "
+                f"{_reg(instr.rs2)}")
+    if isinstance(instr, isa.Mux):
+        return (f"MUX {_reg(instr.rd)}, {_reg(instr.sel)}, "
+                f"{_reg(instr.rfalse)}, {_reg(instr.rtrue)}")
+    if isinstance(instr, isa.Slice):
+        return (f"SLICE {_reg(instr.rd)}, {_reg(instr.rs)}, "
+                f"{instr.offset}, {instr.length}")
+    if isinstance(instr, isa.AddCarry):
+        return (f"ADDC {_reg(instr.rd)}, {_reg(instr.rs1)}, "
+                f"{_reg(instr.rs2)}")
+    if isinstance(instr, isa.SetCarry):
+        return f"SETC {instr.imm}"
+    if isinstance(instr, isa.Custom):
+        args = ", ".join(_reg(r) for r in instr.rs)
+        return f"CUST {_reg(instr.rd)}, f{instr.index}, {args}"
+    if isinstance(instr, isa.Send):
+        return f"SEND p{instr.target}.{_reg(instr.rd)}, {_reg(instr.rs)}"
+    if isinstance(instr, isa.LocalLoad):
+        return (f"LLD {_reg(instr.rd)}, {_reg(instr.rbase)}, "
+                f"{instr.offset}")
+    if isinstance(instr, isa.LocalStore):
+        return (f"LST {_reg(instr.rs)}, {_reg(instr.rbase)}, "
+                f"{instr.offset}")
+    if isinstance(instr, isa.Predicate):
+        return f"PRED {_reg(instr.rs)}"
+    if isinstance(instr, isa.GlobalLoad):
+        hi, mid, lo = instr.addr
+        return (f"GLD {_reg(instr.rd)}, [{_reg(hi)}, {_reg(mid)}, "
+                f"{_reg(lo)}]")
+    if isinstance(instr, isa.GlobalStore):
+        hi, mid, lo = instr.addr
+        return (f"GST {_reg(instr.rs)}, [{_reg(hi)}, {_reg(mid)}, "
+                f"{_reg(lo)}]")
+    if isinstance(instr, isa.Expect):
+        return (f"EXPECT {_reg(instr.rs1)}, {_reg(instr.rs2)}, "
+                f"{instr.eid}")
+    # Compiler pseudo-instructions (pre-expansion listings).
+    name = type(instr).__name__
+    if name == "Mov":
+        return f"MOV {_reg(instr.rd)}, {_reg(instr.rs)}"  # type: ignore
+    if name == "PLocalStore":
+        return (f"PLST {_reg(instr.rs)}, {_reg(instr.rbase)}, "
+                f"{instr.offset}, {_reg(instr.pred)}")  # type: ignore
+    if name == "PGlobalStore":
+        hi, mid, lo = instr.addr  # type: ignore[attr-defined]
+        return (f"PGST {_reg(instr.rs)}, [{_reg(hi)}, {_reg(mid)}, "
+                f"{_reg(lo)}], {_reg(instr.pred)}")  # type: ignore
+    raise AsmError(f"cannot format {name}")
+
+
+def format_process(pid: int, body, reg_init=None, privileged=False,
+                   ) -> str:
+    """Fig. 13-style process listing with an init-comment header."""
+    lines = [f".p{pid}:" + (" // privileged process" if privileged else "")]
+    if reg_init:
+        inits = ", ".join(f"{_reg(r)} = {v}"
+                          for r, v in sorted(reg_init.items(), key=str)
+                          if v or True)
+        for chunk_start in range(0, len(inits), 68):
+            prefix = "// init " if chunk_start == 0 else "//      "
+            lines.append(f"  {prefix}{inits[chunk_start:chunk_start + 68]}")
+    for instr in body:
+        lines.append(f"  {format_instruction(instr)}")
+    lines.append(f"  // implicit jump to p{pid}")
+    return "\n".join(lines)
+
+
+def format_program(image_or_program) -> str:
+    """Render a ProgramImage or MachineProgram as assembly text."""
+    from .program import MachineProgram, ProgramImage
+    sections = []
+    if isinstance(image_or_program, ProgramImage):
+        for pid in sorted(image_or_program.processes):
+            proc = image_or_program.processes[pid]
+            sections.append(format_process(pid, proc.body, proc.reg_init,
+                                           proc.privileged))
+    elif isinstance(image_or_program, MachineProgram):
+        prog = image_or_program
+        for cid in sorted(prog.cores):
+            binary = prog.cores[cid]
+            header = format_process(
+                cid, binary.body, binary.reg_init,
+                privileged=(cid == prog.privileged_core))
+            footer = (f"  // EPILOGUE_LENGTH={binary.epilogue_length} "
+                      f"SLEEP_LENGTH={binary.sleep_length}")
+            sections.append(header + "\n" + footer)
+    else:
+        raise AsmError(f"cannot format {type(image_or_program).__name__}")
+    return "\n\n".join(sections)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+_REG_RE = re.compile(r"\$(r(\d+)|[A-Za-z_%][\w#%.$]*)")
+
+
+def _parse_reg(token: str) -> isa.Reg:
+    token = token.strip()
+    m = _REG_RE.fullmatch(token)
+    if not m:
+        raise AsmError(f"bad register {token!r}")
+    if m.group(2) is not None:
+        return int(m.group(2))
+    return m.group(1)
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    return int(token, 0)
+
+
+def parse_instruction(line: str) -> isa.Instruction:
+    line = line.split("//")[0].strip()
+    if not line:
+        raise AsmError("empty line")
+    mnemonic, _, rest = line.partition(" ")
+    mnemonic = mnemonic.upper()
+    args = [a.strip() for a in rest.split(",")] if rest.strip() else []
+
+    if mnemonic == "NOP":
+        return isa.Nop()
+    if mnemonic == "SET":
+        return isa.Set(_parse_reg(args[0]), _parse_int(args[1]))
+    if mnemonic in _ALU_OPS:
+        return isa.Alu(mnemonic, _parse_reg(args[0]),
+                       _parse_reg(args[1]), _parse_reg(args[2]))
+    if mnemonic == "MUX":
+        return isa.Mux(*(_parse_reg(a) for a in args))
+    if mnemonic == "SLICE":
+        return isa.Slice(_parse_reg(args[0]), _parse_reg(args[1]),
+                         _parse_int(args[2]), _parse_int(args[3]))
+    if mnemonic == "ADDC":
+        return isa.AddCarry(_parse_reg(args[0]), _parse_reg(args[1]),
+                            _parse_reg(args[2]))
+    if mnemonic == "SETC":
+        return isa.SetCarry(_parse_int(args[0]))
+    if mnemonic == "CUST":
+        index = int(args[1].lstrip("f"))
+        return isa.Custom(_parse_reg(args[0]), index,
+                          tuple(_parse_reg(a) for a in args[2:6]))
+    if mnemonic == "SEND":
+        target, _, rd = args[0].partition(".")
+        return isa.Send(int(target.lstrip("p")), _parse_reg(rd),
+                        _parse_reg(args[1]))
+    if mnemonic == "LLD":
+        return isa.LocalLoad(_parse_reg(args[0]), _parse_reg(args[1]),
+                             _parse_int(args[2]))
+    if mnemonic == "LST":
+        return isa.LocalStore(_parse_reg(args[0]), _parse_reg(args[1]),
+                              _parse_int(args[2]))
+    if mnemonic == "PRED":
+        return isa.Predicate(_parse_reg(args[0]))
+    if mnemonic in ("GLD", "GST"):
+        m = re.search(r"\[(.+)\]", rest)
+        if not m:
+            raise AsmError(f"missing address brackets in {line!r}")
+        addr = tuple(_parse_reg(a) for a in m.group(1).split(","))
+        first = rest.split(",", 1)[0]
+        if mnemonic == "GLD":
+            return isa.GlobalLoad(_parse_reg(first), addr)
+        return isa.GlobalStore(_parse_reg(first), addr)
+    if mnemonic == "EXPECT":
+        return isa.Expect(_parse_reg(args[0]), _parse_reg(args[1]),
+                          _parse_int(args[2]))
+    if mnemonic == "MOV":
+        from ..compiler.lir import Mov
+        return Mov(_parse_reg(args[0]), _parse_reg(args[1]))
+    if mnemonic == "PLST":
+        from ..compiler.lir import PLocalStore
+        return PLocalStore(_parse_reg(args[0]), _parse_reg(args[1]),
+                           _parse_int(args[2]), _parse_reg(args[3]))
+    if mnemonic == "PGST":
+        from ..compiler.lir import PGlobalStore
+        m = re.search(r"\[(.+)\]", rest)
+        if not m:
+            raise AsmError(f"missing address brackets in {line!r}")
+        addr = tuple(_parse_reg(a) for a in m.group(1).split(","))
+        first = rest.split(",", 1)[0]
+        pred = rest.rsplit(",", 1)[1]
+        return PGlobalStore(_parse_reg(first), addr, _parse_reg(pred))
+    raise AsmError(f"unknown mnemonic {mnemonic!r}")
+
+
+def parse_process(text: str) -> tuple[int, list[isa.Instruction]]:
+    """Parse one ``.pN:`` block into (pid, instructions)."""
+    pid = 0
+    body: list[isa.Instruction] = []
+    for raw in text.splitlines():
+        line = raw.split("//")[0].strip()
+        if not line:
+            continue
+        m = re.fullmatch(r"\.p(\d+):", line)
+        if m:
+            pid = int(m.group(1))
+            continue
+        body.append(parse_instruction(line))
+    return pid, body

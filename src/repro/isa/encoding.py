@@ -1,0 +1,200 @@
+"""Binary encoding of Manticore instructions into 64-bit words.
+
+The FPGA prototype fetches 64-bit instruction words from a 4096x64 URAM
+(paper SS5.1); the bootloader streams these words to each core (SSA.3.1).
+We reproduce a concrete encoding so that binaries are real artifacts:
+register fields are 11 bits (2048 registers), custom-function indices 5
+bits, slice offsets/lengths 4 bits, exception ids and immediates 16 bits.
+
+Layout (bit 63 is the MSB)::
+
+    [63:58] opcode
+    [57:47] rd      (11 bits)
+    [46:36] rs1 / sub-field
+    [35:25] rs2
+    [24:14] rs3
+    [13: 3] rs4
+    ...     format-specific immediates packed into unused low bits
+
+``Set``/``Expect``/``Send`` use the low 16 bits for their immediate.
+Encoding requires machine (integer) registers, i.e. post register
+allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from . import instructions as isa
+
+_OPCODES: dict[str, int] = {
+    "NOP": 0, "SET": 1, "ALU": 2, "MUX": 3, "SLICE": 4, "ADDCARRY": 5,
+    "SETCARRY": 6, "CUSTOM0": 7, "SEND": 8, "LLD": 9, "LST": 10,
+    "PREDICATE": 11, "GLD": 12, "GST": 13, "EXPECT": 14,
+    # A Custom instruction needs rd + four sources (55 bits) plus a 5-bit
+    # function index; the index's two high bits are folded into the opcode
+    # space (CUSTOM0..CUSTOM3), its low three bits into the word's low bits.
+    "CUSTOM1": 15, "CUSTOM2": 16, "CUSTOM3": 17,
+}
+_OPCODE_NAMES = {v: k for k, v in _OPCODES.items()}
+_ALU_INDEX = {op: i for i, op in enumerate(isa._ALU_OPS)}
+_ALU_NAMES = {i: op for op, i in _ALU_INDEX.items()}
+
+
+class EncodingError(ValueError):
+    pass
+
+
+def _reg_field(reg: isa.Reg) -> int:
+    if not isinstance(reg, int):
+        raise EncodingError(
+            f"cannot encode virtual register {reg!r}; run register "
+            "allocation first"
+        )
+    if not (0 <= reg < isa.NUM_REGISTERS):
+        raise EncodingError(f"register index {reg} out of range")
+    return reg
+
+
+def _pack(opcode: int, rd: int = 0, rs1: int = 0, rs2: int = 0,
+          rs3: int = 0, rs4: int = 0, low: int = 0, low_bits: int = 0) -> int:
+    word = (opcode << 58) | (rd << 47) | (rs1 << 36) | (rs2 << 25) | \
+        (rs3 << 14) | (rs4 << 3)
+    if low_bits:
+        if low >> low_bits:
+            raise EncodingError("immediate overflow")
+        # Low immediates live in the bottom 16 bits; formats using them
+        # leave rs3/rs4 unused so the fields never overlap in practice.
+        word = (opcode << 58) | (rd << 47) | (rs1 << 36) | (rs2 << 25) | low
+    return word
+
+
+def encode(instr: isa.Instruction) -> int:
+    """Encode one instruction into a 64-bit word."""
+    if isinstance(instr, isa.Nop):
+        return _pack(_OPCODES["NOP"])
+    if isinstance(instr, isa.Set):
+        return _pack(_OPCODES["SET"], rd=_reg_field(instr.rd),
+                     low=instr.imm & 0xFFFF, low_bits=16)
+    if isinstance(instr, isa.Alu):
+        return _pack(_OPCODES["ALU"], rd=_reg_field(instr.rd),
+                     rs1=_reg_field(instr.rs1), rs2=_reg_field(instr.rs2),
+                     rs3=_ALU_INDEX[instr.op])
+    if isinstance(instr, isa.Mux):
+        return _pack(_OPCODES["MUX"], rd=_reg_field(instr.rd),
+                     rs1=_reg_field(instr.sel), rs2=_reg_field(instr.rfalse),
+                     rs3=_reg_field(instr.rtrue))
+    if isinstance(instr, isa.Slice):
+        return _pack(_OPCODES["SLICE"], rd=_reg_field(instr.rd),
+                     rs1=_reg_field(instr.rs),
+                     low=(instr.offset << 4) | (instr.length - 1),
+                     low_bits=8)
+    if isinstance(instr, isa.AddCarry):
+        return _pack(_OPCODES["ADDCARRY"], rd=_reg_field(instr.rd),
+                     rs1=_reg_field(instr.rs1), rs2=_reg_field(instr.rs2))
+    if isinstance(instr, isa.SetCarry):
+        return _pack(_OPCODES["SETCARRY"], low=instr.imm, low_bits=1)
+    if isinstance(instr, isa.Custom):
+        regs = [_reg_field(r) for r in instr.rs]
+        opcode = _OPCODES[f"CUSTOM{instr.index >> 3}"]
+        word = _pack(opcode, rd=_reg_field(instr.rd),
+                     rs1=regs[0], rs2=regs[1], rs3=regs[2], rs4=regs[3])
+        return word | (instr.index & 0x7)
+    if isinstance(instr, isa.Send):
+        return _pack(_OPCODES["SEND"], rd=_reg_field(instr.rd),
+                     rs1=_reg_field(instr.rs),
+                     low=instr.target & 0xFFFF, low_bits=16)
+    if isinstance(instr, isa.LocalLoad):
+        return _pack(_OPCODES["LLD"], rd=_reg_field(instr.rd),
+                     rs1=_reg_field(instr.rbase),
+                     low=instr.offset & 0x3FFF, low_bits=14)
+    if isinstance(instr, isa.LocalStore):
+        return _pack(_OPCODES["LST"], rd=_reg_field(instr.rs),
+                     rs1=_reg_field(instr.rbase),
+                     low=instr.offset & 0x3FFF, low_bits=14)
+    if isinstance(instr, isa.Predicate):
+        return _pack(_OPCODES["PREDICATE"], rs1=_reg_field(instr.rs))
+    if isinstance(instr, isa.GlobalLoad):
+        hi, mid, lo = (_reg_field(r) for r in instr.addr)
+        return _pack(_OPCODES["GLD"], rd=_reg_field(instr.rd),
+                     rs1=hi, rs2=mid, rs3=lo)
+    if isinstance(instr, isa.GlobalStore):
+        hi, mid, lo = (_reg_field(r) for r in instr.addr)
+        return _pack(_OPCODES["GST"], rd=_reg_field(instr.rs),
+                     rs1=hi, rs2=mid, rs3=lo)
+    if isinstance(instr, isa.Expect):
+        return _pack(_OPCODES["EXPECT"], rd=_reg_field(instr.rs1),
+                     rs1=_reg_field(instr.rs2),
+                     low=instr.eid & 0xFFFF, low_bits=16)
+    raise EncodingError(f"cannot encode {type(instr).__name__}")
+
+
+def _rd(word: int) -> int:
+    return (word >> 47) & 0x7FF
+
+
+def _rs1(word: int) -> int:
+    return (word >> 36) & 0x7FF
+
+
+def _rs2(word: int) -> int:
+    return (word >> 25) & 0x7FF
+
+
+def _rs3(word: int) -> int:
+    return (word >> 14) & 0x7FF
+
+
+def _rs4(word: int) -> int:
+    return (word >> 3) & 0x7FF
+
+
+def decode(word: int) -> isa.Instruction:
+    """Decode a 64-bit word back into an instruction."""
+    opcode = (word >> 58) & 0x3F
+    name = _OPCODE_NAMES.get(opcode)
+    if name == "NOP":
+        return isa.Nop()
+    if name == "SET":
+        return isa.Set(_rd(word), word & 0xFFFF)
+    if name == "ALU":
+        return isa.Alu(_ALU_NAMES[_rs3(word)], _rd(word), _rs1(word),
+                       _rs2(word))
+    if name == "MUX":
+        return isa.Mux(_rd(word), _rs1(word), _rs2(word), _rs3(word))
+    if name == "SLICE":
+        return isa.Slice(_rd(word), _rs1(word), (word >> 4) & 0xF,
+                         (word & 0xF) + 1)
+    if name == "ADDCARRY":
+        return isa.AddCarry(_rd(word), _rs1(word), _rs2(word))
+    if name == "SETCARRY":
+        return isa.SetCarry(word & 1)
+    if name and name.startswith("CUSTOM"):
+        index = (int(name[6]) << 3) | (word & 0x7)
+        return isa.Custom(_rd(word), index,
+                          (_rs1(word), _rs2(word), _rs3(word), _rs4(word)))
+    if name == "SEND":
+        return isa.Send(word & 0xFFFF, _rd(word), _rs1(word))
+    if name == "LLD":
+        return isa.LocalLoad(_rd(word), _rs1(word), word & 0x3FFF)
+    if name == "LST":
+        return isa.LocalStore(_rd(word), _rs1(word), word & 0x3FFF)
+    if name == "PREDICATE":
+        return isa.Predicate(_rs1(word))
+    if name == "GLD":
+        return isa.GlobalLoad(_rd(word), (_rs1(word), _rs2(word),
+                                          _rs3(word)))
+    if name == "GST":
+        return isa.GlobalStore(_rd(word), (_rs1(word), _rs2(word),
+                                           _rs3(word)))
+    if name == "EXPECT":
+        return isa.Expect(_rd(word), _rs1(word), word & 0xFFFF)
+    raise EncodingError(f"unknown opcode {opcode}")
+
+
+def encode_program(body: Sequence[isa.Instruction]) -> list[int]:
+    return [encode(i) for i in body]
+
+
+def decode_program(words: Sequence[int]) -> list[isa.Instruction]:
+    return [decode(w) for w in words]

@@ -1,0 +1,150 @@
+"""Functional "lower interpreter" (paper SS6): executes lower-assembly
+programs with BSP semantics but no timing.
+
+The paper used its interpreters extensively to validate compiler passes; we
+do the same.  The interpreter accepts either a pre-placement
+:class:`~repro.isa.program.ProgramImage` (virtual registers, processes) or
+a final :class:`~repro.isa.program.MachineProgram` (machine registers,
+core binaries) - both reduce to a set of *units* with bodies, local state,
+and Send targets.
+
+BSP contract implemented here: within a Vcycle each unit executes its body
+sequentially; ``Send`` values are buffered and applied to target register
+files only at the end of the Vcycle, so results are architecturally visible
+one Vcycle later - exactly Fig. 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from . import instructions as isa
+from .program import (
+    CoreBinary,
+    ExceptionTable,
+    MachineProgram,
+    Process,
+    ProgramImage,
+)
+from .semantics import execute
+
+
+class HazardError(RuntimeError):
+    """Raised by the strict machine model; defined here for reuse."""
+
+
+class NoCDropError(RuntimeError):
+    """Two messages collided on a bufferless link (paper SS5.2)."""
+
+
+@dataclass
+class FunctionalResult:
+    vcycles: int
+    finished: bool
+    displays: list[str] = field(default_factory=list)
+    instructions_executed: int = 0
+
+
+class _Unit:
+    """Execution context of one process/core (implements ExecContext)."""
+
+    def __init__(self, uid: int, body, reg_init: Mapping, cfu, scratch_init,
+                 parent: "FunctionalInterpreter") -> None:
+        self.uid = uid
+        self.body = list(body)
+        self.regs: dict = dict(reg_init)
+        self.cfu = list(cfu)
+        self.scratch: dict[int, int] = dict(scratch_init)
+        self.carry = 0
+        self.predicate = 0
+        self._parent = parent
+
+    # -- ExecContext ----------------------------------------------------
+    def read_reg(self, reg):
+        return self.regs.get(reg, 0)
+
+    def write_reg(self, reg, value):
+        self.regs[reg] = value & 0xFFFF
+
+    def read_local(self, addr):
+        return self.scratch.get(addr, 0)
+
+    def write_local(self, addr, value):
+        self.scratch[addr] = value & 0xFFFF
+
+    def read_global(self, addr):
+        return self._parent.global_mem.get(addr, 0)
+
+    def write_global(self, addr, value):
+        self._parent.global_mem[addr] = value & 0xFFFF
+
+    def send(self, instr: isa.Send, value: int):
+        self._parent.pending_sends.append((instr.target, instr.rd, value))
+
+    def raise_exception(self, eid: int):
+        self._parent.service_exception(eid)
+
+    def custom_function(self, index: int) -> int:
+        return self.cfu[index]
+
+
+class FunctionalInterpreter:
+    """Executes a program image or machine program Vcycle by Vcycle."""
+
+    def __init__(self, program: ProgramImage | MachineProgram) -> None:
+        self.exceptions: ExceptionTable = program.exceptions
+        self.global_mem: dict[int, int] = dict(program.global_init)
+        self.units: dict[int, _Unit] = {}
+        if isinstance(program, ProgramImage):
+            items: Iterable[tuple[int, Process | CoreBinary]] = (
+                program.processes.items()
+            )
+        else:
+            items = program.cores.items()
+        for uid, unit in items:
+            self.units[uid] = _Unit(uid, unit.body, unit.reg_init, unit.cfu,
+                                    unit.scratch_init, self)
+        self.pending_sends: list[tuple[int, isa.Reg, int]] = []
+        self.finished = False
+        self.displays: list[str] = []
+        self.vcycle = 0
+        self.instructions_executed = 0
+
+    # ------------------------------------------------------------------
+    def service_exception(self, eid: int) -> None:
+        verdict, text = self.exceptions.service(
+            eid, lambda addr: self.global_mem.get(addr, 0))
+        if verdict == "finish":
+            self.finished = True
+        elif text is not None:
+            self.displays.append(text)
+
+    def step(self) -> None:
+        """Execute one Vcycle across all units, then commit Sends."""
+        if self.finished:
+            return
+        for unit in self.units.values():
+            for instr in unit.body:
+                execute(instr, unit)
+                self.instructions_executed += 1
+        for target, rd, value in self.pending_sends:
+            if target not in self.units:
+                raise NoCDropError(f"Send to unknown unit {target}")
+            self.units[target].regs[rd] = value
+        self.pending_sends.clear()
+        self.vcycle += 1
+
+    def run(self, max_vcycles: int) -> FunctionalResult:
+        while not self.finished and self.vcycle < max_vcycles:
+            self.step()
+        return FunctionalResult(self.vcycle, self.finished,
+                                list(self.displays),
+                                self.instructions_executed)
+
+    # -- probes ----------------------------------------------------------
+    def peek_reg(self, uid: int, reg: isa.Reg) -> int:
+        return self.units[uid].regs.get(reg, 0)
+
+    def peek_scratch(self, uid: int, addr: int) -> int:
+        return self.units[uid].scratch.get(addr, 0)

@@ -1,0 +1,173 @@
+"""Single-instruction execution semantics, shared by the functional lower
+interpreter (:mod:`repro.isa.interp`) and the cycle-accurate machine model
+(:mod:`repro.machine.core`) so behaviour can never diverge between them.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from . import instructions as isa
+from .instructions import WORD_MASK, WORD_WIDTH
+
+
+class ExecContext(Protocol):
+    """State and services an instruction needs; both interpreters and the
+    machine core implement this protocol."""
+
+    carry: int
+    predicate: int
+
+    def read_reg(self, reg: isa.Reg) -> int: ...
+
+    def write_reg(self, reg: isa.Reg, value: int) -> None: ...
+
+    def read_local(self, addr: int) -> int: ...
+
+    def write_local(self, addr: int, value: int) -> None: ...
+
+    def read_global(self, addr: int) -> int: ...
+
+    def write_global(self, addr: int, value: int) -> None: ...
+
+    def send(self, instr: isa.Send, value: int) -> None: ...
+
+    def raise_exception(self, eid: int) -> None: ...
+
+    def custom_function(self, index: int) -> int:
+        """256-bit CFU configuration for ``index``."""
+        ...
+
+
+def to_signed16(value: int) -> int:
+    value &= WORD_MASK
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def eval_alu(op: str, a: int, b: int) -> int:
+    """Pure 16-bit ALU evaluation."""
+    a &= WORD_MASK
+    b &= WORD_MASK
+    if op == "ADD":
+        return (a + b) & WORD_MASK
+    if op == "SUB":
+        return (a - b) & WORD_MASK
+    if op == "AND":
+        return a & b
+    if op == "OR":
+        return a | b
+    if op == "XOR":
+        return a ^ b
+    if op == "MUL":
+        return (a * b) & WORD_MASK
+    if op == "MULH":
+        return ((a * b) >> WORD_WIDTH) & WORD_MASK
+    if op == "SLL":
+        return (a << b) & WORD_MASK if b < WORD_WIDTH else 0
+    if op == "SRL":
+        return (a >> b) if b < WORD_WIDTH else 0
+    if op == "SRA":
+        return (to_signed16(a) >> min(b, WORD_WIDTH - 1)) & WORD_MASK
+    if op == "SEQ":
+        return 1 if a == b else 0
+    if op == "SLTU":
+        return 1 if a < b else 0
+    if op == "SLTS":
+        return 1 if to_signed16(a) < to_signed16(b) else 0
+    raise ValueError(f"unknown ALU op {op!r}")
+
+
+def eval_custom(config: int, a: int, b: int, c: int, d: int) -> int:
+    """Evaluate a 4-input per-bit-position custom function.
+
+    ``config`` packs 16 truth tables of 16 bits each: bits
+    ``[pos*16 + row]`` where ``row = a_p | b_p<<1 | c_p<<2 | d_p<<3``.
+    """
+    result = 0
+    for pos in range(WORD_WIDTH):
+        row = ((a >> pos) & 1) | (((b >> pos) & 1) << 1) | \
+              (((c >> pos) & 1) << 2) | (((d >> pos) & 1) << 3)
+        if (config >> (pos * 16 + row)) & 1:
+            result |= 1 << pos
+    return result
+
+
+def global_address(ctx: ExecContext, addr_regs: tuple[isa.Reg, ...]) -> int:
+    """Assemble a 48-bit address from (hi, mid, lo) registers."""
+    hi, mid, lo = (ctx.read_reg(r) for r in addr_regs)
+    return (hi << 32) | (mid << 16) | lo
+
+
+def execute(instr: isa.Instruction, ctx: ExecContext) -> None:
+    """Execute one instruction against ``ctx`` (architectural semantics,
+    no timing).  Compiler pseudo-instructions provide their own
+    ``execute_on`` hook so mid-pipeline programs stay interpretable."""
+    pseudo = getattr(instr, "execute_on", None)
+    if pseudo is not None:
+        pseudo(ctx)
+        return
+    if isinstance(instr, isa.Nop):
+        return
+    if isinstance(instr, isa.Set):
+        ctx.write_reg(instr.rd, instr.imm & WORD_MASK)
+        return
+    if isinstance(instr, isa.Alu):
+        ctx.write_reg(
+            instr.rd,
+            eval_alu(instr.op, ctx.read_reg(instr.rs1),
+                     ctx.read_reg(instr.rs2)),
+        )
+        return
+    if isinstance(instr, isa.Mux):
+        sel = ctx.read_reg(instr.sel) & 1
+        src = instr.rtrue if sel else instr.rfalse
+        ctx.write_reg(instr.rd, ctx.read_reg(src))
+        return
+    if isinstance(instr, isa.Slice):
+        value = ctx.read_reg(instr.rs)
+        ctx.write_reg(
+            instr.rd,
+            (value >> instr.offset) & ((1 << instr.length) - 1),
+        )
+        return
+    if isinstance(instr, isa.AddCarry):
+        total = ctx.read_reg(instr.rs1) + ctx.read_reg(instr.rs2) + ctx.carry
+        ctx.write_reg(instr.rd, total & WORD_MASK)
+        ctx.carry = total >> WORD_WIDTH
+        return
+    if isinstance(instr, isa.SetCarry):
+        ctx.carry = instr.imm
+        return
+    if isinstance(instr, isa.Custom):
+        config = ctx.custom_function(instr.index)
+        a, b, c, d = (ctx.read_reg(r) for r in instr.rs)
+        ctx.write_reg(instr.rd, eval_custom(config, a, b, c, d))
+        return
+    if isinstance(instr, isa.Send):
+        ctx.send(instr, ctx.read_reg(instr.rs))
+        return
+    if isinstance(instr, isa.LocalLoad):
+        addr = (ctx.read_reg(instr.rbase) + instr.offset) & WORD_MASK
+        ctx.write_reg(instr.rd, ctx.read_local(addr))
+        return
+    if isinstance(instr, isa.LocalStore):
+        if ctx.predicate:
+            addr = (ctx.read_reg(instr.rbase) + instr.offset) & WORD_MASK
+            ctx.write_local(addr, ctx.read_reg(instr.rs))
+        return
+    if isinstance(instr, isa.Predicate):
+        ctx.predicate = ctx.read_reg(instr.rs) & 1
+        return
+    if isinstance(instr, isa.GlobalLoad):
+        ctx.write_reg(instr.rd, ctx.read_global(global_address(ctx, instr.addr)))
+        return
+    if isinstance(instr, isa.GlobalStore):
+        if ctx.predicate:
+            ctx.write_global(global_address(ctx, instr.addr),
+                             ctx.read_reg(instr.rs))
+        return
+    if isinstance(instr, isa.Expect):
+        if ctx.read_reg(instr.rs1) != ctx.read_reg(instr.rs2):
+            ctx.raise_exception(instr.eid)
+        return
+    raise TypeError(f"cannot execute {type(instr).__name__}")

@@ -1,0 +1,18 @@
+"""The Manticore machine model: configuration, cache, the cycle-accurate
+lockstep grid with global stall, the bootloader binary format, and the
+host runtime."""
+
+from .boot import deserialize, serialize
+from .debug import TraceRecorder
+from .cache import Cache, CacheStats
+from .config import PROTOTYPE, TINY, MachineConfig
+from .grid import Machine, MachineResult, PerfCounters
+from .runtime import SimulationRun, simulate_on_manticore
+from .waveform import Probe, WaveformCollector, trace_map_for
+
+__all__ = [
+    "Cache", "CacheStats", "Machine", "MachineConfig", "MachineResult",
+    "PerfCounters", "PROTOTYPE", "Probe", "SimulationRun", "TINY",
+    "TraceRecorder", "WaveformCollector", "deserialize", "serialize",
+    "simulate_on_manticore", "trace_map_for",
+]

@@ -1,0 +1,156 @@
+"""Program binary serialization - the bootloader stream (paper SSA.3.1).
+
+The hardware bootloader reads the program binary from DRAM and streams it
+to each core: a header with the instruction count, the 64-bit encoded
+instructions, then a footer of three words - EPILOGUE_LENGTH,
+SLEEP_LENGTH, and COUNT_DOWN (the synchronized-start timer).  Register
+file, CFU, and scratchpad images follow as (address, value) sections.
+
+``serialize``/``deserialize`` round-trip a :class:`MachineProgram`
+through this stream format, making the binary a real, inspectable
+artifact and exercising the instruction encoding end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from ..isa.encoding import decode_program, encode_program
+from ..isa.program import (
+    AssertAction,
+    CoreBinary,
+    DisplayAction,
+    ExceptionTable,
+    FinishAction,
+    MachineProgram,
+)
+
+MAGIC = 0x4D414E5449434F52  # "MANTICOR"
+FORMAT_VERSION = 1
+
+
+def _pack_words(words: list[int]) -> bytes:
+    return struct.pack(f"<{len(words)}Q", *words)
+
+
+def serialize(program: MachineProgram, countdown: int = 64) -> bytes:
+    """Flatten a machine program into the bootloader byte stream."""
+    out = bytearray()
+    header = {
+        "magic": MAGIC,
+        "version": FORMAT_VERSION,
+        "name": program.name,
+        "grid": list(program.grid),
+        "vcpl": program.vcpl,
+        "privileged_core": program.privileged_core,
+        "cores": sorted(program.cores),
+        "global_init": {str(k): v for k, v in program.global_init.items()},
+        "exceptions": _exceptions_to_json(program.exceptions),
+    }
+    blob = json.dumps(header).encode()
+    out += struct.pack("<QI", MAGIC, len(blob))
+    out += blob
+    for core_id in sorted(program.cores):
+        binary = program.cores[core_id]
+        words = encode_program(binary.body)
+        out += struct.pack("<IIII", core_id, len(words),
+                           binary.epilogue_length, binary.sleep_length)
+        out += struct.pack("<I", countdown)
+        out += _pack_words(words)
+        for section in (binary.reg_init, binary.scratch_init):
+            out += struct.pack("<I", len(section))
+            for addr, value in sorted(section.items()):
+                out += struct.pack("<IH", addr, value)
+        out += struct.pack("<I", len(binary.cfu))
+        for config in binary.cfu:
+            out += config.to_bytes(32, "little")
+    return bytes(out)
+
+
+def deserialize(stream: bytes) -> MachineProgram:
+    """Parse a bootloader stream back into a machine program."""
+    magic, blob_len = struct.unpack_from("<QI", stream, 0)
+    if magic != MAGIC:
+        raise ValueError("not a Manticore program binary")
+    offset = 12
+    header = json.loads(stream[offset:offset + blob_len])
+    offset += blob_len
+    if header["version"] != FORMAT_VERSION:
+        raise ValueError(f"unsupported binary version {header['version']}")
+
+    cores: dict[int, CoreBinary] = {}
+    for _ in header["cores"]:
+        core_id, n_words, epilogue, sleep = struct.unpack_from(
+            "<IIII", stream, offset)
+        offset += 16
+        (_countdown,) = struct.unpack_from("<I", stream, offset)
+        offset += 4
+        words = list(struct.unpack_from(f"<{n_words}Q", stream, offset))
+        offset += 8 * n_words
+        sections = []
+        for _s in range(2):
+            (count,) = struct.unpack_from("<I", stream, offset)
+            offset += 4
+            section = {}
+            for _e in range(count):
+                addr, value = struct.unpack_from("<IH", stream, offset)
+                offset += 6
+                section[addr] = value
+            sections.append(section)
+        (n_cfu,) = struct.unpack_from("<I", stream, offset)
+        offset += 4
+        cfu = []
+        for _c in range(n_cfu):
+            cfu.append(int.from_bytes(stream[offset:offset + 32], "little"))
+            offset += 32
+        cores[core_id] = CoreBinary(
+            body=decode_program(words),
+            epilogue_length=epilogue,
+            sleep_length=sleep,
+            reg_init=sections[0],
+            scratch_init=sections[1],
+            cfu=cfu,
+        )
+
+    return MachineProgram(
+        name=header["name"],
+        grid=tuple(header["grid"]),
+        cores=cores,
+        vcpl=header["vcpl"],
+        exceptions=_exceptions_from_json(header["exceptions"]),
+        global_init={int(k): v for k, v in header["global_init"].items()},
+        privileged_core=header["privileged_core"],
+    )
+
+
+def _exceptions_to_json(table: ExceptionTable) -> dict:
+    out = {}
+    for eid, action in table.actions.items():
+        if isinstance(action, DisplayAction):
+            out[str(eid)] = {"kind": "display", "fmt": action.fmt,
+                             "args": [list(a) for a in action.arg_addrs]}
+        elif isinstance(action, FinishAction):
+            out[str(eid)] = {"kind": "finish"}
+        else:
+            out[str(eid)] = {"kind": "assert", "message": action.message}
+    return out
+
+
+def _exceptions_from_json(data: dict) -> ExceptionTable:
+    table = ExceptionTable()
+    actions = {}
+    max_eid = 0
+    for eid_str, entry in data.items():
+        eid = int(eid_str)
+        max_eid = max(max_eid, eid)
+        if entry["kind"] == "display":
+            actions[eid] = DisplayAction(
+                entry["fmt"], tuple(tuple(a) for a in entry["args"]))
+        elif entry["kind"] == "finish":
+            actions[eid] = FinishAction()
+        else:
+            actions[eid] = AssertAction(entry["message"])
+    table.actions = actions
+    table._next_eid = max_eid + 1
+    return table

@@ -1,0 +1,108 @@
+"""The privileged core's cache and DRAM model (paper SS5.3).
+
+A 128 KiB direct-mapped, write-allocate, write-back cache in front of a
+word-addressed DRAM.  Every access - hit or miss - stalls the whole
+compute domain for a configurable number of cycles ("we conservatively
+stall the execution on every access"), which is what Fig. 8 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import MachineConfig
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    accesses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class _Line:
+    __slots__ = ("tag", "dirty", "data")
+
+    def __init__(self, tag: int, data: list[int]) -> None:
+        self.tag = tag
+        self.dirty = False
+        self.data = data
+
+
+class Cache:
+    """Direct-mapped write-back cache over a sparse DRAM dict."""
+
+    def __init__(self, config: MachineConfig,
+                 dram: dict[int, int] | None = None) -> None:
+        self.config = config
+        self.dram: dict[int, int] = dram if dram is not None else {}
+        self.line_words = config.cache_line_words
+        self.num_lines = config.cache_words // self.line_words
+        self.lines: dict[int, _Line] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _locate(self, addr: int) -> tuple[_Line, int, int]:
+        """Return (line, word offset, stall cycles); fills on miss."""
+        line_addr = addr // self.line_words
+        index = line_addr % self.num_lines
+        tag = line_addr // self.num_lines
+        offset = addr % self.line_words
+        line = self.lines.get(index)
+        stall = self.config.cache_hit_stall
+        if line is None or line.tag != tag:
+            self.stats.misses += 1
+            stall = self.config.cache_miss_stall
+            if line is not None and line.dirty:
+                self.stats.writebacks += 1
+                stall += self.config.cache_writeback_stall
+                base = (line.tag * self.num_lines + index) * self.line_words
+                for i, word in enumerate(line.data):
+                    self.dram[base + i] = word
+            base = line_addr * self.line_words
+            data = [self.dram.get(base + i, 0)
+                    for i in range(self.line_words)]
+            line = _Line(tag, data)
+            self.lines[index] = line
+        else:
+            self.stats.hits += 1
+        return line, offset, stall
+
+    def read(self, addr: int) -> tuple[int, int]:
+        """Return (value, stall cycles)."""
+        self.stats.accesses += 1
+        line, offset, stall = self._locate(addr)
+        return line.data[offset], stall
+
+    def write(self, addr: int, value: int) -> int:
+        """Write-allocate store; returns stall cycles."""
+        self.stats.accesses += 1
+        line, offset, stall = self._locate(addr)
+        line.data[offset] = value & 0xFFFF
+        line.dirty = True
+        return stall
+
+    def flush(self) -> None:
+        """Write all dirty lines back (host does this before reading DRAM
+        to service an exception, paper SSA.3.2)."""
+        for index, line in self.lines.items():
+            if line.dirty:
+                base = (line.tag * self.num_lines + index) * self.line_words
+                for i, word in enumerate(line.data):
+                    self.dram[base + i] = word
+                line.dirty = False
+
+    def peek(self, addr: int) -> int:
+        """Coherent read without timing effects (host-side)."""
+        line_addr = addr // self.line_words
+        index = line_addr % self.num_lines
+        tag = line_addr // self.num_lines
+        line = self.lines.get(index)
+        if line is not None and line.tag == tag:
+            return line.data[addr % self.line_words]
+        return self.dram.get(addr, 0)

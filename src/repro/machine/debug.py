@@ -1,0 +1,89 @@
+"""Execution tracing for debugging compiled programs.
+
+``TraceRecorder`` hooks a :class:`~repro.machine.grid.Machine` and logs
+every issued instruction as ``(vcycle, cycle, core, asm)`` lines - the
+software analogue of an ILA capture.  Filters keep traces usable:
+by core, by mnemonic, and by Vcycle window.
+
+    machine = Machine(program, config)
+    trace = TraceRecorder(machine, cores={0}, last_vcycles=2)
+    machine.run(100)
+    print(trace.render())
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..isa.asm import format_instruction
+from .grid import Machine
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    vcycle: int
+    cycle: int
+    core: int
+    text: str
+
+    def __str__(self) -> str:
+        return (f"v{self.vcycle:>6} c{self.cycle:>5} "
+                f"core{self.core:>4}  {self.text}")
+
+
+class TraceRecorder:
+    """Wraps a machine's Vcycle event loop to record issued
+    instructions."""
+
+    def __init__(self, machine: Machine, cores: set[int] | None = None,
+                 mnemonics: set[str] | None = None,
+                 last_vcycles: int | None = None,
+                 max_entries: int = 100_000) -> None:
+        self.machine = machine
+        self.cores = cores
+        self.mnemonics = {m.upper() for m in mnemonics} if mnemonics \
+            else None
+        self.last_vcycles = last_vcycles
+        self.entries: deque[TraceEntry] = deque(maxlen=max_entries)
+        self._original_step = machine.step_vcycle
+        machine.step_vcycle = self._step  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    def _step(self) -> None:
+        machine = self.machine
+        vcycle = machine.counters.vcycles
+        for cycle, cid, item in machine._vcycle_events:
+            if self.cores is not None and cid not in self.cores:
+                continue
+            if item == "recv":
+                text = "RECV (epilogue slot)"
+                mnemonic = "RECV"
+            else:
+                try:
+                    text = format_instruction(item)
+                except Exception:
+                    text = repr(item)
+                mnemonic = text.split()[0]
+            if self.mnemonics is not None and \
+                    mnemonic not in self.mnemonics:
+                continue
+            self.entries.append(TraceEntry(vcycle, cycle, cid, text))
+        if self.last_vcycles is not None:
+            cutoff = vcycle - self.last_vcycles + 1
+            while self.entries and self.entries[0].vcycle < cutoff:
+                self.entries.popleft()
+        self._original_step()
+
+    def detach(self) -> None:
+        self.machine.step_vcycle = self._original_step  # type: ignore
+
+    def render(self, limit: int | None = None) -> str:
+        entries = list(self.entries)
+        if limit is not None:
+            entries = entries[-limit:]
+        return "\n".join(str(e) for e in entries)
+
+    def count(self, mnemonic: str) -> int:
+        m = mnemonic.upper()
+        return sum(1 for e in self.entries if e.text.startswith(m))

@@ -1,0 +1,309 @@
+"""Cycle-accurate model of the Manticore grid (paper SS4-SS5).
+
+The model executes a compiled :class:`~repro.isa.program.MachineProgram`
+with the same timing contract the compiler scheduled against:
+
+* one instruction per core per compute cycle, from a fixed Vcycle-long
+  schedule (body, receive epilogue, sleep);
+* register writes land ``result_latency`` cycles after issue (delayed
+  writeback, no interlocks) - in strict mode, reading a register with an
+  in-flight write raises :class:`HazardError`, proving the compiler's
+  schedule is hazard-free;
+* Sends traverse the bufferless unidirectional torus with dimension-
+  ordered routing; two messages on one (link, cycle) raise
+  :class:`NoCDropError` (the hardware would silently drop - we fault to
+  catch compiler bugs);
+* privileged global accesses and exceptions freeze the compute clock
+  (global stall, SS5.3) and charge stall cycles measured by Fig. 8's
+  counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa import instructions as isa
+from ..isa.interp import HazardError, NoCDropError
+from ..isa.program import CoreBinary, MachineProgram, SimulationFailure
+from .cache import Cache, CacheStats
+from .config import MachineConfig
+
+
+@dataclass
+class PerfCounters:
+    """Hardware performance counters (paper SS7.7)."""
+
+    vcycles: int = 0
+    compute_cycles: int = 0
+    stall_cycles: int = 0
+    instructions: int = 0
+    messages: int = 0
+    exceptions: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.stall_cycles
+
+
+@dataclass
+class MachineResult:
+    vcycles: int
+    finished: bool
+    displays: list[str]
+    counters: PerfCounters
+    cache: CacheStats
+
+    def simulation_rate_khz(self, frequency_mhz: float) -> float:
+        """Achieved RTL simulation rate given the machine frequency."""
+        if self.counters.total_cycles == 0:
+            return 0.0
+        return (frequency_mhz * 1e3 * self.vcycles
+                / self.counters.total_cycles)
+
+
+class _Core:
+    """Architectural state of one core."""
+
+    __slots__ = ("core_id", "binary", "regs", "scratch", "carry",
+                 "predicate", "pending", "queue", "machine", "events")
+
+    def __init__(self, core_id: int, binary: CoreBinary,
+                 config: MachineConfig, machine: "Machine") -> None:
+        self.core_id = core_id
+        self.binary = binary
+        self.regs = [0] * config.num_registers
+        for reg, value in binary.reg_init.items():
+            self.regs[reg] = value & 0xFFFF
+        has_scratchpad = (config.scratchpad_cores is None
+                          or core_id < config.scratchpad_cores)
+        self.scratch = [0] * config.scratchpad_words if has_scratchpad \
+            else None
+        for addr, value in binary.scratch_init.items():
+            if self.scratch is None:
+                raise SimulationFailure(
+                    f"core {core_id} has no scratchpad but a scratch image"
+                )
+            self.scratch[addr] = value & 0xFFFF
+        self.carry = 0
+        self.predicate = 0
+        #: delayed writebacks: list of (commit_cycle, reg, value)
+        self.pending: list[tuple[int, int, int]] = []
+        #: arrived messages: list of (arrival_cycle, rd, value)
+        self.queue: list[tuple[int, int, int]] = []
+        self.machine = machine
+        # Precompute non-NOP issue events for fast Vcycle execution.
+        self.events: list[tuple[int, isa.Instruction]] = [
+            (cycle, instr) for cycle, instr in enumerate(binary.body)
+            if not isinstance(instr, isa.Nop)
+        ]
+
+    # -- ExecContext protocol -------------------------------------------
+    def read_reg(self, reg: int) -> int:
+        if self.machine.strict:
+            for _t, r, _v in self.pending:
+                if r == reg:
+                    raise HazardError(
+                        f"core {self.core_id}: read of r{reg} with an "
+                        "in-flight write (compiler scheduling bug)"
+                    )
+        return self.regs[reg]
+
+    def write_reg(self, reg: int, value: int) -> None:
+        # Called via semantics.execute at issue; convert to delayed commit.
+        self.pending.append(
+            (self.machine.now + self.machine.config.result_latency,
+             reg, value & 0xFFFF))
+
+    def commit_writes(self, upto: int) -> None:
+        if not self.pending:
+            return
+        keep = []
+        for t, reg, value in self.pending:
+            if t <= upto:
+                self.regs[reg] = value
+            else:
+                keep.append((t, reg, value))
+        self.pending = keep
+
+    def read_local(self, addr: int) -> int:
+        if self.scratch is None:
+            raise SimulationFailure(
+                f"core {self.core_id} has no scratchpad (heterogeneous "
+                "grid misplacement)"
+            )
+        return self.scratch[addr % len(self.scratch)]
+
+    def write_local(self, addr: int, value: int) -> None:
+        if self.scratch is None:
+            raise SimulationFailure(
+                f"core {self.core_id} has no scratchpad (heterogeneous "
+                "grid misplacement)"
+            )
+        self.scratch[addr % len(self.scratch)] = value & 0xFFFF
+
+    def read_global(self, addr: int) -> int:
+        return self.machine.global_read(self.core_id, addr)
+
+    def write_global(self, addr: int, value: int) -> None:
+        self.machine.global_write(self.core_id, addr, value)
+
+    def send(self, instr: isa.Send, value: int) -> None:
+        self.machine.route_message(self.core_id, instr.target, instr.rd,
+                                   value)
+
+    def raise_exception(self, eid: int) -> None:
+        self.machine.service_exception(self.core_id, eid)
+
+    def custom_function(self, index: int) -> int:
+        return self.binary.cfu[index]
+
+
+class Machine:
+    """The whole grid in lockstep."""
+
+    def __init__(self, program: MachineProgram,
+                 config: MachineConfig | None = None,
+                 strict: bool = True,
+                 exception_stall: int = 500) -> None:
+        self.program = program
+        self.config = config or MachineConfig(
+            grid_x=program.grid[0], grid_y=program.grid[1])
+        if (self.config.grid_x, self.config.grid_y) != program.grid:
+            raise ValueError("program was compiled for a different grid")
+        self.strict = strict
+        self.exception_stall = exception_stall
+        self.counters = PerfCounters()
+        self.cache = Cache(self.config, dram=dict(program.global_init))
+        self.cores = {
+            cid: _Core(cid, binary, self.config, self)
+            for cid, binary in program.cores.items()
+        }
+        self.displays: list[str] = []
+        self.finished = False
+        self.now = 0               # compute-domain cycle within the Vcycle
+        self._link_busy: set[tuple] = set()
+        self._vcycle_events = self._merge_events()
+
+    # ------------------------------------------------------------------
+    def _merge_events(self) -> list[tuple[int, int, object]]:
+        """All (cycle, core, instr|"recv") events of one Vcycle, sorted."""
+        events: list[tuple[int, int, object]] = []
+        for cid, core in self.cores.items():
+            for cycle, instr in core.events:
+                events.append((cycle, cid, instr))
+            epi_start = len(core.binary.body)
+            for k in range(core.binary.epilogue_length):
+                events.append((epi_start + k, cid, "recv"))
+        events.sort(key=lambda e: (e[0], e[1]))
+        return events
+
+    # -- global services ---------------------------------------------------
+    def global_read(self, core_id: int, addr: int) -> int:
+        self._check_privileged(core_id)
+        value, stall = self.cache.read(addr)
+        self.counters.stall_cycles += stall
+        return value
+
+    def global_write(self, core_id: int, addr: int, value: int) -> None:
+        self._check_privileged(core_id)
+        stall = self.cache.write(addr, value)
+        self.counters.stall_cycles += stall
+
+    def _check_privileged(self, core_id: int) -> None:
+        if core_id != self.program.privileged_core:
+            raise SimulationFailure(
+                f"core {core_id} executed a privileged instruction but "
+                f"core {self.program.privileged_core} is privileged"
+            )
+
+    def route_message(self, src: int, dst: int, rd: int, value: int) -> None:
+        cfg = self.config
+        route = cfg.route(src, dst)
+        t0 = self.now + cfg.noc_inject_latency
+        slots = [((kind, x, y), t0 + j)
+                 for j, (kind, x, y) in enumerate(route)]
+        arrival = t0 + len(route) + cfg.noc_eject_latency
+        slots.append((("EJ", dst), arrival))
+        for slot in slots:
+            if slot in self._link_busy:
+                raise NoCDropError(
+                    f"link collision on {slot[0]} at cycle {slot[1]} "
+                    f"(message {src}->{dst})"
+                )
+        self._link_busy.update(slots)
+        self.cores[dst].queue.append((arrival, rd, value))
+        self.counters.messages += 1
+
+    def service_exception(self, core_id: int, eid: int) -> None:
+        self._check_privileged(core_id)
+        self.counters.exceptions += 1
+        self.counters.stall_cycles += self.exception_stall
+        # Host flushes the cache, then reads DRAM (paper SSA.3.2).
+        self.cache.flush()
+        verdict, text = self.program.exceptions.service(
+            eid, lambda addr: self.cache.dram.get(addr, 0))
+        if verdict == "finish":
+            self.finished = True
+        elif text is not None:
+            self.displays.append(text)
+
+    # -- execution -----------------------------------------------------------
+    def step_vcycle(self) -> None:
+        """Execute one full Vcycle across the grid."""
+        if self.finished:
+            return
+        from ..isa.semantics import execute
+
+        self._link_busy.clear()
+        vcpl = self.program.vcpl
+        for cycle, cid, item in self._vcycle_events:
+            self.now = cycle
+            core = self.cores[cid]
+            core.commit_writes(cycle)
+            if item == "recv":
+                if not core.queue:
+                    raise NoCDropError(
+                        f"core {cid}: receive slot at cycle {cycle} has "
+                        "no queued message"
+                    )
+                core.queue.sort(key=lambda m: m[0])
+                arrival, rd, value = core.queue.pop(0)
+                if arrival > cycle:
+                    raise NoCDropError(
+                        f"core {cid}: message arrives at {arrival} after "
+                        f"its receive slot at {cycle}"
+                    )
+                core.regs[rd] = value & 0xFFFF
+            else:
+                execute(item, core)  # type: ignore[arg-type]
+                self.counters.instructions += 1
+            if self.finished:
+                break
+
+        # End of Vcycle: drain all pending writebacks (the scheduler
+        # guarantees vcpl >= last issue + result_latency).
+        for core in self.cores.values():
+            core.commit_writes(vcpl)
+            if core.queue and not self.finished:
+                raise NoCDropError(
+                    f"core {core.core_id}: {len(core.queue)} messages "
+                    "left unconsumed at Vcycle end"
+                )
+        self.counters.vcycles += 1
+        self.counters.compute_cycles += vcpl
+        self.now = 0
+
+    def run(self, max_vcycles: int) -> MachineResult:
+        while not self.finished and self.counters.vcycles < max_vcycles:
+            self.step_vcycle()
+        return MachineResult(
+            vcycles=self.counters.vcycles,
+            finished=self.finished,
+            displays=list(self.displays),
+            counters=self.counters,
+            cache=self.cache.stats,
+        )
+
+    # -- probes ---------------------------------------------------------------
+    def peek_reg(self, core_id: int, reg: int) -> int:
+        return self.cores[core_id].regs[reg]

@@ -1,0 +1,54 @@
+"""RTL netlist substrate: IR, builder API, Verilog frontend, golden
+interpreter, and dependence-DAG utilities."""
+
+from .builder import CircuitBuilder, MemoryHandle, RegisterSignal, Signal
+from .dag import CircuitDag, sink_cones
+from .interp import (
+    NetlistInterpreter,
+    SimulationAssertionError,
+    SimulationResult,
+    format_display,
+    run_circuit,
+)
+from .ir import (
+    AssertEffect,
+    Circuit,
+    CircuitError,
+    Display,
+    Finish,
+    Memory,
+    Op,
+    OpKind,
+    Register,
+    Wire,
+    mask,
+    to_signed,
+    topological_order,
+)
+
+__all__ = [
+    "AssertEffect",
+    "Circuit",
+    "CircuitBuilder",
+    "CircuitDag",
+    "CircuitError",
+    "Display",
+    "Finish",
+    "Memory",
+    "MemoryHandle",
+    "NetlistInterpreter",
+    "Op",
+    "OpKind",
+    "Register",
+    "RegisterSignal",
+    "Signal",
+    "SimulationAssertionError",
+    "SimulationResult",
+    "Wire",
+    "format_display",
+    "mask",
+    "run_circuit",
+    "sink_cones",
+    "to_signed",
+    "topological_order",
+]

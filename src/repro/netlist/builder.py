@@ -1,0 +1,535 @@
+"""Ergonomic circuit construction API over the netlist IR.
+
+The nine paper benchmarks (:mod:`repro.designs`) and the Verilog frontend's
+elaborator both target this builder.  A :class:`CircuitBuilder` hands out
+:class:`Signal` handles with operator overloading::
+
+    m = CircuitBuilder("counter")
+    count = m.register("count", 8)
+    count.next = (count + 1).trunc(8)
+    m.display(count == 20, "done %d", count)
+    m.finish(count == 20)
+    circuit = m.build()
+
+All arithmetic follows the IR's explicit-width rules: binary arithmetic and
+bitwise ops zero-extend the narrower operand to the wider width; use
+``.trunc``/``.zext``/``.sext`` to resize explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .ir import (
+    AssertEffect,
+    Circuit,
+    CircuitError,
+    Display,
+    Finish,
+    MemWrite,
+    Memory,
+    Op,
+    OpKind,
+    Register,
+    Wire,
+    mask,
+)
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A handle to a wire inside a :class:`CircuitBuilder`.
+
+    Signals are immutable; every operator emits a fresh SSA op into the
+    owning builder and returns a new Signal.
+    """
+
+    builder: "CircuitBuilder"
+    wire: Wire
+
+    # -- shape ---------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return self.wire.width
+
+    def _coerce(self, other: "Signal | int", width_hint: int | None = None,
+                ) -> "Signal":
+        if isinstance(other, Signal):
+            if other.builder is not self.builder:
+                raise CircuitError("signals belong to different builders")
+            return other
+        return self.builder.const(other, width_hint or self.width)
+
+    def _binop(self, kind: OpKind, other: "Signal | int",
+               result_width: int | None = None) -> "Signal":
+        rhs = self._coerce(other)
+        a, b = self, rhs
+        w = max(a.width, b.width)
+        a, b = a.zext(w), b.zext(w)
+        return self.builder._emit(kind, (a.wire, b.wire),
+                                  result_width if result_width else w)
+
+    def _cmp(self, kind: OpKind, other: "Signal | int") -> "Signal":
+        rhs = self._coerce(other)
+        a, b = self, rhs
+        if kind is not OpKind.LTS:
+            w = max(a.width, b.width)
+            a, b = a.zext(w), b.zext(w)
+        elif a.width != b.width:
+            w = max(a.width, b.width)
+            a, b = a.sext(w), b.sext(w)
+        return self.builder._emit(kind, (a.wire, b.wire), 1)
+
+    # -- bitwise -------------------------------------------------------
+    def __and__(self, other: "Signal | int") -> "Signal":
+        return self._binop(OpKind.AND, other)
+
+    def __or__(self, other: "Signal | int") -> "Signal":
+        return self._binop(OpKind.OR, other)
+
+    def __xor__(self, other: "Signal | int") -> "Signal":
+        return self._binop(OpKind.XOR, other)
+
+    def __invert__(self) -> "Signal":
+        return self.builder._emit(OpKind.NOT, (self.wire,), self.width)
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "Signal | int") -> "Signal":
+        return self._binop(OpKind.ADD, other)
+
+    def __sub__(self, other: "Signal | int") -> "Signal":
+        return self._binop(OpKind.SUB, other)
+
+    def __mul__(self, other: "Signal | int") -> "Signal":
+        return self._binop(OpKind.MUL, other)
+
+    def add_wide(self, other: "Signal | int") -> "Signal":
+        """Addition with one extra result bit to keep the carry."""
+        rhs = self._coerce(other)
+        w = max(self.width, rhs.width) + 1
+        return self.zext(w)._binop(OpKind.ADD, rhs.zext(w))
+
+    def mul_wide(self, other: "Signal | int") -> "Signal":
+        """Full-width multiplication (sum of operand widths)."""
+        rhs = self._coerce(other)
+        w = self.width + rhs.width
+        return self.zext(w)._binop(OpKind.MUL, rhs.zext(w))
+
+    # -- comparisons ---------------------------------------------------
+    def __eq__(self, other: object):  # type: ignore[override]
+        return self._cmp(OpKind.EQ, other)  # type: ignore[arg-type]
+
+    def __ne__(self, other: object):  # type: ignore[override]
+        return self._cmp(OpKind.NE, other)  # type: ignore[arg-type]
+
+    def __hash__(self) -> int:
+        return hash((id(self.builder), self.wire))
+
+    def ltu(self, other: "Signal | int") -> "Signal":
+        return self._cmp(OpKind.LTU, other)
+
+    def lts(self, other: "Signal | int") -> "Signal":
+        return self._cmp(OpKind.LTS, other)
+
+    def geu(self, other: "Signal | int") -> "Signal":
+        return ~self.ltu(other)
+
+    def gtu(self, other: "Signal | int") -> "Signal":
+        rhs = self._coerce(other)
+        return rhs.ltu(self)
+
+    # -- shifts --------------------------------------------------------
+    def __lshift__(self, amount: "Signal | int") -> "Signal":
+        if isinstance(amount, int):
+            if amount == 0:
+                return self
+            zeros = self.builder.const(0, amount)
+            return self.builder.cat(zeros, self).trunc(self.width)
+        return self._binop(OpKind.SHL, amount)
+
+    def __rshift__(self, amount: "Signal | int") -> "Signal":
+        if isinstance(amount, int):
+            if amount == 0:
+                return self
+            if amount >= self.width:
+                return self.builder.const(0, self.width)
+            return self.bits(amount, self.width - amount).zext(self.width)
+        return self._binop(OpKind.LSHR, amount)
+
+    def ashr(self, amount: "Signal | int") -> "Signal":
+        if isinstance(amount, int):
+            amount = self.builder.const(amount, max(1, amount.bit_length()))
+        if amount.width < self.width:
+            amount = amount.zext(self.width)
+        return self.builder._emit(
+            OpKind.ASHR, (self.wire, amount.trunc(self.width).wire),
+            self.width,
+        )
+
+    # -- slicing / resizing --------------------------------------------
+    def bits(self, offset: int, count: int) -> "Signal":
+        """Extract ``count`` bits starting at ``offset`` (Verilog
+        ``x[offset +: count]``)."""
+        if offset == 0 and count == self.width:
+            return self
+        return self.builder._emit(
+            OpKind.SLICE, (self.wire,), count, attrs={"offset": offset}
+        )
+
+    def __getitem__(self, index: int | slice) -> "Signal":
+        if isinstance(index, int):
+            if index < 0:
+                index += self.width
+            return self.bits(index, 1)
+        # Verilog-style x[hi:lo] via Python slice as s[hi:lo] is awkward;
+        # support s[lo:hi_exclusive] Python-style on bit indices.
+        lo = index.start or 0
+        hi = self.width if index.stop is None else index.stop
+        return self.bits(lo, hi - lo)
+
+    def trunc(self, width: int) -> "Signal":
+        if width == self.width:
+            return self
+        if width > self.width:
+            raise CircuitError("trunc cannot widen; use zext/sext")
+        return self.bits(0, width)
+
+    def zext(self, width: int) -> "Signal":
+        if width == self.width:
+            return self
+        if width < self.width:
+            raise CircuitError("zext cannot narrow; use trunc")
+        zeros = self.builder.const(0, width - self.width)
+        return self.builder.cat(self, zeros)
+
+    def sext(self, width: int) -> "Signal":
+        if width == self.width:
+            return self
+        if width < self.width:
+            raise CircuitError("sext cannot narrow; use trunc")
+        sign = self[self.width - 1]
+        ext = self.builder.mux(
+            sign,
+            self.builder.const(0, width - self.width),
+            self.builder.const(mask(width - self.width), width - self.width),
+        )
+        return self.builder.cat(self, ext)
+
+    # -- reductions ----------------------------------------------------
+    def any(self) -> "Signal":
+        return self.builder._emit(OpKind.REDOR, (self.wire,), 1)
+
+    def all(self) -> "Signal":
+        return self.builder._emit(OpKind.REDAND, (self.wire,), 1)
+
+    def parity(self) -> "Signal":
+        return self.builder._emit(OpKind.REDXOR, (self.wire,), 1)
+
+    def __bool__(self) -> bool:
+        raise CircuitError(
+            "signals have no Python truth value; use mux()/any() instead"
+        )
+
+
+class RegisterSignal(Signal):
+    """Signal reading a register's *current* value; assign ``.next``."""
+
+    @property
+    def next(self) -> Signal:
+        raise CircuitError("register .next is write-only")
+
+    @next.setter
+    def next(self, value: "Signal | int") -> None:
+        sig = self._coerce(value, self.width)
+        if sig.width != self.width:
+            raise CircuitError(
+                f"register {self.wire.name!r} is {self.width} bits but "
+                f"next value is {sig.width} bits; resize explicitly"
+            )
+        self.builder._set_register_next(self.wire.name, sig)
+
+    def update(self, enable: "Signal", value: "Signal | int") -> None:
+        """``if (enable) reg <= value;`` - enabled register update."""
+        sig = self._coerce(value, self.width)
+        self.next = self.builder.mux(enable, self, sig)
+
+
+class MemoryHandle:
+    """Handle to an RTL memory: combinational reads, end-of-cycle writes."""
+
+    def __init__(self, builder: "CircuitBuilder", memory: Memory) -> None:
+        self._builder = builder
+        self._memory = memory
+
+    @property
+    def name(self) -> str:
+        return self._memory.name
+
+    @property
+    def width(self) -> int:
+        return self._memory.width
+
+    @property
+    def depth(self) -> int:
+        return self._memory.depth
+
+    def read(self, addr: Signal) -> Signal:
+        return self._builder._emit(
+            OpKind.MEMRD, (addr.wire,), self._memory.width,
+            attrs={"memory": self._memory.name},
+        )
+
+    def write(self, addr: Signal, data: "Signal | int",
+              enable: "Signal | int" = 1) -> None:
+        data_sig = addr._coerce(data, self._memory.width)
+        if data_sig.width < self._memory.width:
+            data_sig = data_sig.zext(self._memory.width)
+        elif data_sig.width > self._memory.width:
+            raise CircuitError(
+                f"write data wider than memory {self._memory.name!r}"
+            )
+        en_sig = addr._coerce(enable, 1)
+        if en_sig.width != 1:
+            en_sig = en_sig.any()
+        self._memory.writes.append(
+            MemWrite(addr.wire, data_sig.wire, en_sig.wire)
+        )
+
+
+class CircuitBuilder:
+    """Builds a :class:`Circuit` one SSA op at a time."""
+
+    def __init__(self, name: str) -> None:
+        self._circuit = Circuit(name)
+        self._counter = 0
+        self._const_cache: dict[tuple[int, int], Signal] = {}
+
+    # -- internals -----------------------------------------------------
+    def _fresh(self, prefix: str = "w") -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _emit(self, kind: OpKind, args: tuple[Wire, ...], width: int,
+              attrs: dict | None = None, name: str | None = None) -> Signal:
+        wire = Wire(name or self._fresh(), width)
+        self._circuit.ops.append(Op(wire, kind, args, attrs or {}))
+        return Signal(self, wire)
+
+    def _set_register_next(self, name: str, value: Signal) -> None:
+        reg = self._circuit.registers[name]
+        reg.next_value = value.wire
+
+    # -- declarations ---------------------------------------------------
+    def const(self, value: int, width: int) -> Signal:
+        value &= mask(width)
+        key = (value, width)
+        cached = self._const_cache.get(key)
+        if cached is not None:
+            return cached
+        sig = self._emit(OpKind.CONST, (), width, attrs={"value": value},
+                         name=self._fresh("c"))
+        self._const_cache[key] = sig
+        return sig
+
+    def input(self, name: str, width: int) -> Signal:
+        if name in self._circuit.inputs:
+            raise CircuitError(f"duplicate input {name!r}")
+        wire = Wire(name, width)
+        self._circuit.inputs[name] = wire
+        return Signal(self, wire)
+
+    def output(self, name: str, value: Signal) -> None:
+        if name in self._circuit.outputs:
+            raise CircuitError(f"duplicate output {name!r}")
+        self._circuit.outputs[name] = value.wire
+
+    def register(self, name: str, width: int, init: int = 0,
+                 ) -> RegisterSignal:
+        if name in self._circuit.registers:
+            raise CircuitError(f"duplicate register {name!r}")
+        reg = Register(name, width, init & mask(width))
+        self._circuit.registers[name] = reg
+        return RegisterSignal(self, reg.current)
+
+    def memory(self, name: str, width: int, depth: int,
+               init: Sequence[int] = (), global_hint: bool = False,
+               sram_hint: bool = False) -> MemoryHandle:
+        if name in self._circuit.memories:
+            raise CircuitError(f"duplicate memory {name!r}")
+        mem = Memory(name, width, depth, tuple(init),
+                     global_hint=global_hint, sram_hint=sram_hint)
+        self._circuit.memories[name] = mem
+        return MemoryHandle(self, mem)
+
+    # -- structural helpers ---------------------------------------------
+    def cat(self, *parts: Signal) -> Signal:
+        """Concatenate; *first argument is the least significant part*."""
+        if len(parts) == 1:
+            return parts[0]
+        width = sum(p.width for p in parts)
+        return self._emit(OpKind.CONCAT, tuple(p.wire for p in parts), width)
+
+    def mux(self, sel: Signal, if_false: "Signal | int",
+            if_true: "Signal | int") -> Signal:
+        if sel.width != 1:
+            sel = sel.any()
+        if isinstance(if_false, Signal):
+            f = if_false
+            t = f._coerce(if_true, f.width)
+        elif isinstance(if_true, Signal):
+            t = if_true
+            f = t._coerce(if_false, t.width)
+        else:
+            raise CircuitError("mux needs at least one Signal branch")
+        w = max(f.width, t.width)
+        f, t = f.zext(w), t.zext(w)
+        return self._emit(OpKind.MUX, (sel.wire, f.wire, t.wire), w)
+
+    def select(self, index: Signal, choices: Sequence["Signal | int"],
+               ) -> Signal:
+        """Mux tree indexed by ``index`` (out-of-range wraps)."""
+        sigs = [c if isinstance(c, Signal) else None for c in choices]
+        width = max(s.width for s in sigs if s is not None)
+        items: list[Signal] = [
+            (c if isinstance(c, Signal) else self.const(c, width)).zext(width)
+            for c in choices
+        ]
+        bit = 0
+        while len(items) > 1:
+            sel = index[bit]
+            items = [
+                self.mux(sel, items[i],
+                         items[i + 1] if i + 1 < len(items) else items[i])
+                for i in range(0, len(items), 2)
+            ]
+            bit += 1
+        return items[0]
+
+    # -- effects ----------------------------------------------------------
+    def display(self, enable: Signal, fmt: str, *args: Signal) -> None:
+        if enable.width != 1:
+            enable = enable.any()
+        self._circuit.effects.append(
+            Display(enable.wire, fmt, tuple(a.wire for a in args))
+        )
+
+    def finish(self, enable: Signal) -> None:
+        if enable.width != 1:
+            enable = enable.any()
+        self._circuit.effects.append(Finish(enable.wire))
+
+    def check(self, enable: Signal, cond: Signal, message: str) -> None:
+        """Assertion: when ``enable`` is high, ``cond`` must be high."""
+        if enable.width != 1:
+            enable = enable.any()
+        if cond.width != 1:
+            cond = cond.any()
+        self._circuit.effects.append(
+            AssertEffect(enable.wire, cond.wire, message)
+        )
+
+    def check_sticky(self, enable: Signal, cond: Signal,
+                     message: str) -> None:
+        """Assertion via a sticky failure register.
+
+        Unlike :meth:`check`, the condition logic feeds an ordinary
+        register, so on Manticore it compiles into a regular (parallel)
+        process.  All sticky failures are OR-reduced through a register
+        tree at :meth:`build` time, so the privileged core watches a
+        single bit no matter how many assertions the driver plants.
+        Failures surface a few cycles after the violating cycle.
+        """
+        if enable.width != 1:
+            enable = enable.any()
+        if cond.width != 1:
+            cond = cond.any()
+        self._sticky_count = getattr(self, "_sticky_count", 0) + 1
+        fail = self.register(f"_fail{self._sticky_count}", 1)
+        fail.next = fail | (enable & ~cond)
+        if not hasattr(self, "_sticky_fails"):
+            self._sticky_fails: list[tuple[Signal, str]] = []
+        self._sticky_fails.append((fail, message))
+
+    def registered_reduce(self, name: str, signals: list[Signal],
+                          combine, arity: int = 4,
+                          ) -> tuple[Signal, int]:
+        """Reduce ``signals`` through a tree of *register* stages.
+
+        ``combine`` folds a list of same-width signals into one.  Returns
+        (result signal, tree depth in cycles).  Because every tree node is
+        a register commit, the Manticore compiler distributes the
+        reduction across cores instead of serializing it into whichever
+        process consumes the result - the idiom for global counters,
+        checksums, and assertion roll-ups in our test drivers.
+        """
+        level = list(signals)
+        depth = 0
+        while len(level) > 1:
+            nxt: list[Signal] = []
+            for i in range(0, len(level), arity):
+                group = level[i:i + arity]
+                value = combine(group) if len(group) > 1 else group[0]
+                reg = self.register(f"{name}_t{depth}_{i // arity}",
+                                    value.width)
+                reg.next = value
+                nxt.append(reg)
+            level = nxt
+            depth += 1
+        return level[0], depth
+
+    def _flush_sticky(self) -> None:
+        fails = getattr(self, "_sticky_fails", None)
+        if not fails:
+            return
+        self._sticky_fails = []
+        if len(fails) <= 4:
+            for fail, message in fails:
+                self.check(self.const(1, 1), ~fail, message)
+            return
+        def any_of(group):
+            acc = group[0]
+            for s in group[1:]:
+                acc = acc | s
+            return acc
+        reduced, _depth = self.registered_reduce(
+            "_failtree", [f for f, _ in fails], any_of)
+        summary = "; ".join(msg for _, msg in fails[:4])
+        self.check(self.const(1, 1), ~reduced,
+                   f"sticky assertion failed (one of {len(fails)}: "
+                   f"{summary}, ...)")
+
+    def display_staged(self, enable: Signal, fmt: str,
+                       *args: Signal) -> Signal:
+        """``$display`` through a register stage.
+
+        Arguments and the enable are latched into registers first, so the
+        (privileged) display logic only reads register currents - keeping
+        the privileged process small on Manticore.  Fires one cycle after
+        ``enable``; returns the staged enable for chaining (e.g. into
+        :meth:`finish`).
+        """
+        if enable.width != 1:
+            enable = enable.any()
+        self._stage_count = getattr(self, "_stage_count", 0) + 1
+        tag = self._stage_count
+        en_r = self.register(f"_dispen{tag}", 1)
+        en_r.next = enable
+        staged = []
+        for i, arg in enumerate(args):
+            reg = self.register(f"_disparg{tag}_{i}", arg.width)
+            reg.next = arg
+            staged.append(reg)
+        self.display(en_r, fmt, *staged)
+        return en_r
+
+    # -- finalization ------------------------------------------------------
+    def build(self, validate: bool = True) -> Circuit:
+        self._flush_sticky()
+        circuit = self._circuit
+        for reg in circuit.registers.values():
+            if reg.next_value is None:
+                reg.next_value = reg.current  # hold value by default
+        if validate:
+            circuit.validate()
+        return circuit

@@ -1,0 +1,111 @@
+"""Dependence-DAG utilities over circuits (paper Fig. 1 and SS3.2).
+
+The netlist DAG has combinational ops as internal nodes; register *current*
+values, inputs, and memory reads are sources; register *next* values, memory
+writes, and effects are sinks.  These helpers back both the Manticore
+compiler's split step and the Verilator-like baseline's macro-task
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .ir import Circuit, Op
+
+
+@dataclass
+class CircuitDag:
+    """Explicit dependence graph over a circuit's ops.
+
+    Nodes are op result names; edges point producer -> consumer.
+    """
+
+    circuit: Circuit
+    producers: dict[str, Op]
+    consumers: dict[str, list[str]]
+    sinks: list[str]
+
+    @classmethod
+    def from_circuit(cls, circuit: Circuit) -> "CircuitDag":
+        producers = circuit.producers()
+        consumers: dict[str, list[str]] = {name: [] for name in producers}
+        for op in circuit.ops:
+            for arg in op.args:
+                if arg.name in producers:
+                    consumers[arg.name].append(op.result.name)
+        sink_names: list[str] = []
+        seen: set[str] = set()
+        for wire in circuit.sink_wires():
+            if wire.name in producers and wire.name not in seen:
+                seen.add(wire.name)
+                sink_names.append(wire.name)
+        return cls(circuit, producers, consumers, sink_names)
+
+    # ------------------------------------------------------------------
+    def transitive_fanin(self, roots: Iterable[str]) -> set[str]:
+        """All op names reachable backwards from ``roots`` (inclusive)."""
+        result: set[str] = set()
+        stack = [r for r in roots if r in self.producers]
+        while stack:
+            name = stack.pop()
+            if name in result:
+                continue
+            result.add(name)
+            for arg in self.producers[name].args:
+                if arg.name in self.producers and arg.name not in result:
+                    stack.append(arg.name)
+        return result
+
+    def levels(self) -> dict[str, int]:
+        """ASAP level of each op (sources at level 0)."""
+        level: dict[str, int] = {}
+        for op in _topo_ops(self):
+            deps = [level[a.name] + 1 for a in op.args
+                    if a.name in self.producers]
+            level[op.result.name] = max(deps, default=0)
+        return level
+
+    def critical_path_length(self) -> int:
+        """Number of ops on the longest dependence chain."""
+        levels = self.levels()
+        return max(levels.values(), default=-1) + 1
+
+    def height(self) -> dict[str, int]:
+        """Longest path (in ops) from each op down to any sink."""
+        heights: dict[str, int] = {}
+        for op in reversed(_topo_ops(self)):
+            succ = [heights[c] + 1 for c in self.consumers[op.result.name]]
+            heights[op.result.name] = max(succ, default=0)
+        return heights
+
+
+def _topo_ops(dag: CircuitDag) -> list[Op]:
+    """Ops of the DAG in topological order (producers first)."""
+    indeg = {
+        name: sum(1 for a in op.args if a.name in dag.producers)
+        for name, op in dag.producers.items()
+    }
+    ready = [name for name, d in indeg.items() if d == 0]
+    order: list[Op] = []
+    while ready:
+        name = ready.pop()
+        order.append(dag.producers[name])
+        for consumer in dag.consumers[name]:
+            indeg[consumer] -= 1
+            if indeg[consumer] == 0:
+                ready.append(consumer)
+    if len(order) != len(dag.producers):
+        raise ValueError("combinational cycle in circuit DAG")
+    return order
+
+
+def sink_cones(dag: CircuitDag) -> dict[str, set[str]]:
+    """Per-sink transitive fanin cones - the paper's per-sink DAG split.
+
+    Memory-order coupling (loads and stores of one memory must share a
+    process) and effect coupling are handled later by the compiler's split
+    pass; this returns the raw cones.
+    """
+    return {sink: dag.transitive_fanin([sink]) for sink in dag.sinks}

@@ -1,0 +1,182 @@
+"""Reference cycle-accurate netlist interpreter (the golden model).
+
+This is the semantic ground truth for the whole reproduction: the Manticore
+compiler + machine model and the Verilator-like baseline are both validated
+against it.  Evaluation follows full-cycle semantics (paper SS2.1):
+
+1. evaluate every combinational op in topological order from register
+   *current* values, inputs, and memory contents,
+2. fire effects (``$display`` text is collected, assertions checked,
+   ``$finish`` latches termination),
+3. commit register next values and memory writes simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from .ir import (
+    AssertEffect,
+    Circuit,
+    CircuitError,
+    Display,
+    Finish,
+    Op,
+    evaluate_op,
+    mask,
+    topological_order,
+)
+
+
+class SimulationAssertionError(AssertionError):
+    """An :class:`AssertEffect` fired with a false condition."""
+
+
+def format_display(fmt: str, values: Sequence[int]) -> str:
+    """Render a Verilog-style format string (%d, %x, %b, %0d, %%)."""
+    out: list[str] = []
+    it = iter(values)
+    i = 0
+    while i < len(fmt):
+        ch = fmt[i]
+        if ch != "%":
+            out.append(ch)
+            i += 1
+            continue
+        i += 1
+        spec = ""
+        while i < len(fmt) and fmt[i] in "0123456789":
+            spec += fmt[i]
+            i += 1
+        if i >= len(fmt):
+            raise CircuitError(f"dangling % in format {fmt!r}")
+        conv = fmt[i]
+        i += 1
+        if conv == "%":
+            out.append("%")
+            continue
+        value = next(it)
+        if conv == "d":
+            out.append(str(value))
+        elif conv == "x":
+            out.append(format(value, "x"))
+        elif conv == "b":
+            out.append(format(value, "b"))
+        elif conv == "c":
+            out.append(chr(value & 0xFF))
+        else:
+            raise CircuitError(f"unsupported format %{conv} in {fmt!r}")
+    return "".join(out)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of :meth:`NetlistInterpreter.run`."""
+
+    cycles: int
+    finished: bool
+    displays: list[str] = field(default_factory=list)
+
+
+InputProvider = Callable[[int], Mapping[str, int]]
+
+
+class NetlistInterpreter:
+    """Executes a :class:`Circuit` cycle by cycle.
+
+    ``inputs`` maps cycle number -> {input name: value}; a callable can be
+    supplied for stimulus generators.  Missing inputs default to 0.
+    """
+
+    def __init__(self, circuit: Circuit,
+                 inputs: InputProvider | None = None) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.inputs = inputs or (lambda _cycle: {})
+        self.order: list[Op] = topological_order(circuit)
+        self.registers: dict[str, int] = {
+            name: reg.init for name, reg in circuit.registers.items()
+        }
+        self.memories: dict[str, list[int]] = {}
+        for name, memory in circuit.memories.items():
+            contents = [0] * memory.depth
+            for i, v in enumerate(memory.init):
+                contents[i] = v & mask(memory.width)
+            self.memories[name] = contents
+        self.cycle = 0
+        self.finished = False
+        self.displays: list[str] = []
+        #: Wire values from the most recent cycle (for probing in tests).
+        self.trace: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Simulate one clock cycle."""
+        if self.finished:
+            return
+        circuit = self.circuit
+        values: dict[str, int] = dict(self.registers)
+        provided = self.inputs(self.cycle)
+        for name, wire in circuit.inputs.items():
+            values[name] = provided.get(name, 0) & mask(wire.width)
+
+        for op in self.order:
+            values[op.result.name] = evaluate_op(op, values, self.memories)
+
+        # Effects observe pre-commit (current-cycle) values.
+        for eff in circuit.effects:
+            if not values[eff.enable.name]:
+                continue
+            if isinstance(eff, Display):
+                self.displays.append(format_display(
+                    eff.fmt, [values[a.name] for a in eff.args]
+                ))
+            elif isinstance(eff, AssertEffect):
+                if not values[eff.cond.name]:
+                    raise SimulationAssertionError(
+                        f"cycle {self.cycle}: {eff.message}"
+                    )
+            elif isinstance(eff, Finish):
+                self.finished = True
+
+        # Commit state: registers first read their next wires, then
+        # memories apply writes (all from pre-commit values).
+        next_regs = {
+            name: values[reg.next_value.name] & mask(reg.width)
+            for name, reg in circuit.registers.items()
+        }
+        for name, memory in circuit.memories.items():
+            contents = self.memories[name]
+            for wr in memory.writes:
+                if values[wr.enable.name]:
+                    addr = values[wr.addr.name] % memory.depth
+                    contents[addr] = values[wr.data.name] & mask(memory.width)
+        self.registers = next_regs
+        self.trace = values
+        self.cycle += 1
+
+    def run(self, max_cycles: int) -> SimulationResult:
+        """Run until ``$finish`` or ``max_cycles``."""
+        while not self.finished and self.cycle < max_cycles:
+            self.step()
+        return SimulationResult(self.cycle, self.finished,
+                                list(self.displays))
+
+    # ------------------------------------------------------------------
+    def peek_register(self, name: str) -> int:
+        return self.registers[name]
+
+    def peek_memory(self, name: str, addr: int) -> int:
+        return self.memories[name][addr]
+
+    def peek_output(self, name: str) -> int:
+        """Value of a named output on the most recent cycle."""
+        wire = self.circuit.outputs[name]
+        return self.trace[wire.name]
+
+
+def run_circuit(circuit: Circuit, max_cycles: int,
+                inputs: InputProvider | None = None) -> SimulationResult:
+    """One-shot helper: build an interpreter and run it."""
+    return NetlistInterpreter(circuit, inputs).run(max_cycles)

@@ -1,0 +1,456 @@
+"""Word-level netlist intermediate representation ("netlist assembly").
+
+This is the abstraction the Manticore paper's Yosys-derived frontend emits:
+an *unordered*, static-single-assignment, word-level instruction list over
+arbitrary-width values (paper SS6).  A :class:`Circuit` holds:
+
+* combinational operations (:class:`Op`), each defining exactly one wire,
+* state elements (:class:`Register`, :class:`Memory`),
+* side effects (:class:`Display`, :class:`Finish`, :class:`AssertEffect`)
+  guarded by enable wires.
+
+Every wire carries an explicit bit width and evaluates to a non-negative
+Python integer masked to that width.  Signedness is a property of the
+*operation* (``LTS``, ``ASHR``), not the wire, mirroring netlist semantics
+after type elaboration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping, Sequence
+
+
+class OpKind(str, Enum):
+    """Word-level operation kinds available in netlist assembly."""
+
+    CONST = "CONST"
+    AND = "AND"
+    OR = "OR"
+    XOR = "XOR"
+    NOT = "NOT"
+    ADD = "ADD"
+    SUB = "SUB"
+    MUL = "MUL"
+    EQ = "EQ"
+    NE = "NE"
+    LTU = "LTU"
+    LTS = "LTS"
+    SHL = "SHL"
+    LSHR = "LSHR"
+    ASHR = "ASHR"
+    MUX = "MUX"
+    CONCAT = "CONCAT"
+    SLICE = "SLICE"
+    MEMRD = "MEMRD"
+    REDOR = "REDOR"
+    REDAND = "REDAND"
+    REDXOR = "REDXOR"
+
+
+#: Operation kinds whose lowering is pure bitwise logic; these are the
+#: candidates for Manticore custom-function fusion (paper SS6.2).
+BITWISE_KINDS = frozenset({OpKind.AND, OpKind.OR, OpKind.XOR, OpKind.NOT})
+
+#: Operation kinds with two's-complement signed interpretation.
+SIGNED_KINDS = frozenset({OpKind.LTS, OpKind.ASHR})
+
+
+def mask(width: int) -> int:
+    """All-ones mask for ``width`` bits."""
+    return (1 << width) - 1
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret ``value`` (masked to ``width``) as two's complement."""
+    value &= mask(width)
+    if value >> (width - 1):
+        return value - (1 << width)
+    return value
+
+
+@dataclass(frozen=True)
+class Wire:
+    """An SSA value: a named bundle of ``width`` bits."""
+
+    name: str
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"wire {self.name!r} must have positive width")
+
+    def __repr__(self) -> str:  # compact for dumps
+        return f"{self.name}:{self.width}"
+
+
+@dataclass(frozen=True)
+class Op:
+    """A single netlist-assembly instruction defining ``result``.
+
+    ``attrs`` carries kind-specific immediates:
+
+    * ``CONST``: ``value`` (int)
+    * ``SLICE``: ``offset`` (int) - result width gives the length
+    * ``MEMRD``: ``memory`` (str) - combinational read of current contents
+    """
+
+    result: Wire
+    kind: OpKind
+    args: tuple[Wire, ...] = ()
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check_op_shape(self)
+
+    @property
+    def value(self) -> int:
+        """Immediate of a CONST op."""
+        return int(self.attrs["value"])  # type: ignore[arg-type]
+
+    @property
+    def offset(self) -> int:
+        """Bit offset of a SLICE op."""
+        return int(self.attrs["offset"])  # type: ignore[arg-type]
+
+    @property
+    def memory(self) -> str:
+        """Memory name of a MEMRD op."""
+        return str(self.attrs["memory"])
+
+    def __repr__(self) -> str:
+        extra = f" {dict(self.attrs)}" if self.attrs else ""
+        args = ", ".join(a.name for a in self.args)
+        return f"{self.result!r} = {self.kind.value}({args}){extra}"
+
+
+_ARITY = {
+    OpKind.CONST: 0,
+    OpKind.NOT: 1,
+    OpKind.SLICE: 1,
+    OpKind.MEMRD: 1,
+    OpKind.REDOR: 1,
+    OpKind.REDAND: 1,
+    OpKind.REDXOR: 1,
+    OpKind.MUX: 3,
+}
+
+
+def _check_op_shape(op: Op) -> None:
+    expected = _ARITY.get(op.kind, 2)
+    if op.kind is OpKind.CONCAT:
+        if len(op.args) < 1:
+            raise ValueError("CONCAT needs at least one argument")
+        if sum(a.width for a in op.args) != op.result.width:
+            raise ValueError(
+                f"CONCAT width mismatch: {op.result!r} vs args {op.args}"
+            )
+        return
+    if len(op.args) != expected:
+        raise ValueError(
+            f"{op.kind.value} expects {expected} args, got {len(op.args)}"
+        )
+    if op.kind is OpKind.CONST and op.value < 0:
+        raise ValueError("CONST value must be non-negative (pre-masked)")
+    if op.kind is OpKind.SLICE:
+        lo = op.offset
+        if lo < 0 or lo + op.result.width > op.args[0].width:
+            raise ValueError(
+                f"SLICE [{lo}+:{op.result.width}] out of range of "
+                f"{op.args[0]!r}"
+            )
+    if op.kind in (OpKind.EQ, OpKind.NE, OpKind.LTU, OpKind.LTS,
+                   OpKind.REDOR, OpKind.REDAND, OpKind.REDXOR):
+        if op.result.width != 1:
+            raise ValueError(f"{op.kind.value} result must be 1 bit wide")
+    if op.kind is OpKind.MUX:
+        if op.args[0].width != 1:
+            raise ValueError("MUX select must be 1 bit wide")
+        if op.args[1].width != op.args[2].width != op.result.width:
+            raise ValueError("MUX operand widths must match result")
+
+
+@dataclass
+class Register:
+    """A state element: ``current`` is readable, ``next_value`` drives it.
+
+    At the end of every simulated cycle, ``current`` takes the value of the
+    wire bound to ``next_value`` - the +/- split of Fig. 1 in the paper.
+    """
+
+    name: str
+    width: int
+    init: int = 0
+    next_value: Wire | None = None
+
+    @property
+    def current(self) -> Wire:
+        return Wire(self.name, self.width)
+
+
+@dataclass
+class MemWrite:
+    """A predicated synchronous write port commit (end of cycle)."""
+
+    addr: Wire
+    data: Wire
+    enable: Wire
+
+
+@dataclass
+class Memory:
+    """An unpacked array (RTL memory) with combinational reads and
+    end-of-cycle writes.  ``global_hint`` forces placement in off-chip DRAM
+    behind the privileged core (paper SS7.7 microbenchmarks)."""
+
+    name: str
+    width: int
+    depth: int
+    init: Sequence[int] = ()
+    writes: list[MemWrite] = field(default_factory=list)
+    global_hint: bool = False
+    #: pin to SRAM (scratchpad): exempt from memory-to-register
+    #: conversion, like a (* ram_style = "block" *) attribute.
+    sram_hint: bool = False
+
+    @property
+    def bits(self) -> int:
+        return self.width * self.depth
+
+
+@dataclass
+class Display:
+    """``$display(fmt, *args)`` guarded by ``enable`` - serviced by host."""
+
+    enable: Wire
+    fmt: str
+    args: tuple[Wire, ...] = ()
+
+
+@dataclass
+class Finish:
+    """``$finish`` guarded by ``enable`` - terminates the simulation."""
+
+    enable: Wire
+
+
+@dataclass
+class AssertEffect:
+    """Raises a simulation failure when ``enable`` is high and ``cond`` is
+    low - the assertion-based test drivers wrapping each benchmark."""
+
+    enable: Wire
+    cond: Wire
+    message: str = "assertion failed"
+
+
+Effect = Display | Finish | AssertEffect
+
+
+class CircuitError(Exception):
+    """Raised for malformed circuits (unknown wires, multiple drivers...)."""
+
+
+@dataclass
+class Circuit:
+    """A complete single-clock netlist in SSA netlist-assembly form."""
+
+    name: str
+    ops: list[Op] = field(default_factory=list)
+    registers: dict[str, Register] = field(default_factory=dict)
+    memories: dict[str, Memory] = field(default_factory=dict)
+    inputs: dict[str, Wire] = field(default_factory=dict)
+    outputs: dict[str, Wire] = field(default_factory=dict)
+    effects: list[Effect] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used throughout the compiler.
+    # ------------------------------------------------------------------
+    def producers(self) -> dict[str, Op]:
+        """Map wire name -> defining op (SSA invariant: exactly one)."""
+        out: dict[str, Op] = {}
+        for op in self.ops:
+            if op.result.name in out:
+                raise CircuitError(f"multiple drivers for {op.result.name}")
+            out[op.result.name] = op
+        return out
+
+    def wire_widths(self) -> dict[str, int]:
+        widths = {op.result.name: op.result.width for op in self.ops}
+        for reg in self.registers.values():
+            widths[reg.name] = reg.width
+        for name, wire in self.inputs.items():
+            widths[name] = wire.width
+        return widths
+
+    def effect_wires(self) -> list[Wire]:
+        wires: list[Wire] = []
+        for eff in self.effects:
+            wires.append(eff.enable)
+            if isinstance(eff, Display):
+                wires.extend(eff.args)
+            elif isinstance(eff, AssertEffect):
+                wires.append(eff.cond)
+        return wires
+
+    def sink_wires(self) -> list[Wire]:
+        """All wires that must be computed every cycle: register next
+        values, memory write operands, effect operands, outputs."""
+        sinks: list[Wire] = []
+        for reg in self.registers.values():
+            if reg.next_value is not None:
+                sinks.append(reg.next_value)
+        for memory in self.memories.values():
+            for wr in memory.writes:
+                sinks.extend((wr.addr, wr.data, wr.enable))
+        sinks.extend(self.effect_wires())
+        sinks.extend(self.outputs.values())
+        return sinks
+
+    def validate(self) -> None:
+        """Check SSA form, driver existence, and width consistency."""
+        produced = set(self.producers())
+        known = produced | set(self.inputs) | set(self.registers)
+        widths = self.wire_widths()
+        for op in self.ops:
+            for arg in op.args:
+                if arg.name not in known:
+                    raise CircuitError(
+                        f"op {op!r} reads undriven wire {arg.name!r}"
+                    )
+                if widths[arg.name] != arg.width:
+                    raise CircuitError(
+                        f"width mismatch on {arg.name!r}: declared "
+                        f"{widths[arg.name]}, used as {arg.width}"
+                    )
+            if op.kind is OpKind.MEMRD and op.memory not in self.memories:
+                raise CircuitError(f"MEMRD of unknown memory {op.memory!r}")
+        for sink in self.sink_wires():
+            if sink.name not in known:
+                raise CircuitError(f"sink reads undriven wire {sink.name!r}")
+        for reg in self.registers.values():
+            if reg.next_value is not None and reg.next_value.width != reg.width:
+                raise CircuitError(
+                    f"register {reg.name!r} next width mismatch"
+                )
+        for memory in self.memories.values():
+            for wr in memory.writes:
+                if wr.data.width != memory.width:
+                    raise CircuitError(
+                        f"memory {memory.name!r} write data width mismatch"
+                    )
+                if wr.enable.width != 1:
+                    raise CircuitError(
+                        f"memory {memory.name!r} write enable must be 1 bit"
+                    )
+
+    def stats(self) -> dict[str, int]:
+        """Cheap size statistics used by reports and benchmarks."""
+        return {
+            "ops": len(self.ops),
+            "registers": len(self.registers),
+            "state_bits": sum(r.width for r in self.registers.values()),
+            "memories": len(self.memories),
+            "memory_bits": sum(m.bits for m in self.memories.values()),
+            "effects": len(self.effects),
+        }
+
+
+def topological_order(circuit: Circuit) -> list[Op]:
+    """Order combinational ops so every op follows its producers.
+
+    Register *current* values and inputs are graph sources.  Raises
+    :class:`CircuitError` on combinational cycles.
+    """
+    producers = circuit.producers()
+    order: list[Op] = []
+    state: dict[str, int] = {}  # 0 visiting, 1 done
+
+    for root in [op.result.name for op in circuit.ops]:
+        stack = [(root, False)]
+        while stack:
+            name, expanded = stack.pop()
+            if state.get(name) == 1:
+                continue
+            if expanded:
+                state[name] = 1
+                order.append(producers[name])
+                continue
+            if state.get(name) == 0:
+                raise CircuitError(f"combinational cycle through {name!r}")
+            if name not in producers:  # input or register current value
+                state[name] = 1
+                continue
+            state[name] = 0
+            stack.append((name, True))
+            for arg in producers[name].args:
+                if state.get(arg.name) != 1:
+                    stack.append((arg.name, False))
+    return order
+
+
+def evaluate_op(op: Op, values: Mapping[str, int],
+                memories: Mapping[str, Sequence[int]] | None = None) -> int:
+    """Evaluate one op given argument ``values`` (reference semantics)."""
+    kind = op.kind
+    w = op.result.width
+    if kind is OpKind.CONST:
+        return op.value & mask(w)
+    a = values[op.args[0].name] if op.args else 0
+    if kind is OpKind.NOT:
+        return (~a) & mask(w)
+    if kind is OpKind.SLICE:
+        return (a >> op.offset) & mask(w)
+    if kind is OpKind.MEMRD:
+        if memories is None:
+            raise CircuitError("MEMRD evaluated without memory context")
+        contents = memories[op.memory]
+        return contents[a % len(contents)]
+    if kind is OpKind.REDOR:
+        return 1 if a != 0 else 0
+    if kind is OpKind.REDAND:
+        return 1 if a == mask(op.args[0].width) else 0
+    if kind is OpKind.REDXOR:
+        return bin(a).count("1") & 1
+    if kind is OpKind.CONCAT:
+        acc = 0
+        shift = 0
+        for arg in op.args:  # args listed LSB-first
+            acc |= (values[arg.name] & mask(arg.width)) << shift
+            shift += arg.width
+        return acc & mask(w)
+    b = values[op.args[1].name]
+    if kind is OpKind.AND:
+        return (a & b) & mask(w)
+    if kind is OpKind.OR:
+        return (a | b) & mask(w)
+    if kind is OpKind.XOR:
+        return (a ^ b) & mask(w)
+    if kind is OpKind.ADD:
+        return (a + b) & mask(w)
+    if kind is OpKind.SUB:
+        return (a - b) & mask(w)
+    if kind is OpKind.MUL:
+        return (a * b) & mask(w)
+    if kind is OpKind.EQ:
+        return 1 if a == b else 0
+    if kind is OpKind.NE:
+        return 1 if a != b else 0
+    if kind is OpKind.LTU:
+        return 1 if a < b else 0
+    if kind is OpKind.LTS:
+        wa, wb = op.args[0].width, op.args[1].width
+        return 1 if to_signed(a, wa) < to_signed(b, wb) else 0
+    if kind is OpKind.SHL:
+        return (a << min(b, w)) & mask(w)
+    if kind is OpKind.LSHR:
+        return (a >> min(b, op.args[0].width)) & mask(w)
+    if kind is OpKind.ASHR:
+        wa = op.args[0].width
+        return (to_signed(a, wa) >> min(b, wa)) & mask(w)
+    if kind is OpKind.MUX:
+        sel = values[op.args[0].name]
+        c = values[op.args[2].name]
+        return (c if sel else b) & mask(w)
+    raise CircuitError(f"cannot evaluate {kind}")

@@ -1,0 +1,1137 @@
+"""A frontend for a synthesizable Verilog subset (paper SS6: "we derived
+our Verilog frontend from Yosys's ... extended to support basic system
+calls such as $display and $stop").
+
+Supported subset - enough for single-clock, closed (test-driver-wrapped)
+designs like the paper's Fig. 13 counter:
+
+* ``module`` with no ports (closed designs),
+* ``wire``/``reg`` declarations with ranges, initializers, and memories
+  (``reg [15:0] mem [0:255];``),
+* ``parameter NAME = value;`` compile-time constants,
+* ``assign`` continuous assignments,
+* one ``always @(posedge <clk>)`` block (single-clock designs) with
+  non-blocking assignments, ``if``/``else``, ``begin``/``end``, memory
+  writes, ``$display``/``$write``, ``$finish``/``$stop``,
+* expressions: sized/unsized literals, identifiers, bit/part selects,
+  memory reads, concatenation ``{a, b}`` and replication ``{4{x}}``,
+  unary ``~ ! - & | ^``, binary arithmetic/logic/shift/compare, ternary.
+
+Semantics deviations from full IEEE 1800 are the builder's rules: widths
+extend to the widest operand (zero-extension; all arithmetic unsigned),
+``>>>`` is arithmetic shift right.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .builder import CircuitBuilder, MemoryHandle, Signal
+from .ir import Circuit, CircuitError
+
+
+class VerilogError(CircuitError):
+    """Raised on parse or elaboration errors, with line info."""
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+|//[^\n]*|/\*.*?\*/)
+  | (?P<sized>\d+'[bodh][0-9a-fA-F_xzXZ?]+)
+  | (?P<number>\d[\d_]*)
+  | (?P<ident>[A-Za-z_$][A-Za-z0-9_$]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<op><<<|>>>|<<|>>|<=|>=|==|!=|&&|\|\||[-+*/%&|^~!<>=?:;,.#(){}\[\]@])
+""", re.VERBOSE | re.DOTALL)
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if not m:
+            raise VerilogError(f"line {line}: cannot tokenize "
+                               f"{source[pos:pos + 20]!r}")
+        text = m.group(0)
+        kind = m.lastgroup or "op"
+        if kind != "ws":
+            tokens.append(Token(kind, text, line))
+        line += text.count("\n")
+        pos = m.end()
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def parse_literal(text: str) -> tuple[int, int | None]:
+    """Parse a Verilog literal -> (value, width or None if unsized)."""
+    if "'" not in text:
+        return int(text.replace("_", "")), None
+    width_str, rest = text.split("'", 1)
+    base_char = rest[0].lower()
+    digits = rest[1:].replace("_", "")
+    base = {"b": 2, "o": 8, "d": 10, "h": 16}[base_char]
+    digits = digits.replace("x", "0").replace("z", "0").replace("?", "0")
+    value = int(digits, base) if digits else 0
+    return value, int(width_str)
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+@dataclass
+class Decl:
+    kind: str                 # "wire" | "reg"
+    name: str
+    width: int
+    init: int = 0
+    depth: int | None = None  # memories
+    direction: str | None = None  # "input" | "output" | None
+
+
+@dataclass
+class Assign:
+    target: str
+    expr: "Expr"
+
+
+@dataclass
+class NonBlocking:
+    target: str
+    index: "Expr | None"      # memory write or bit-select target
+    expr: "Expr"
+    line: int
+
+
+@dataclass
+class SysCall:
+    name: str                 # display/write/finish/stop
+    fmt: str | None
+    args: list["Expr"]
+    line: int
+
+
+@dataclass
+class If:
+    cond: "Expr"
+    then: list
+    other: list
+
+
+@dataclass
+class For:
+    """A constant-bound loop, unrolled at elaboration time."""
+
+    var: str
+    start: "Expr"
+    bound: "Expr"
+    body: list
+    line: int
+
+
+Stmt = NonBlocking | SysCall | If | For
+
+
+@dataclass
+class Expr:
+    kind: str                 # lit/ident/index/slice/unary/binary/ternary/concat/repl/memrd
+    line: int = 0
+    value: int = 0
+    width: int | None = None
+    name: str = ""
+    op: str = ""
+    args: list["Expr"] = field(default_factory=list)
+    lo: int = 0
+    hi: int = 0
+
+
+@dataclass
+class Instance:
+    """A submodule instantiation with named port connections."""
+
+    module: str
+    name: str
+    conns: dict[str, "Expr"]
+    line: int
+
+
+@dataclass
+class Module:
+    name: str
+    params: dict[str, int]
+    decls: dict[str, Decl]
+    assigns: list[Assign]
+    always: list[Stmt]
+    clock: str | None = None
+    ports: list[str] = field(default_factory=list)
+    instances: list[Instance] = field(default_factory=list)
+    #: combinational ``always @(*)`` blocks (blocking assignments)
+    comb: list[list[Stmt]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.params: dict[str, int] = {}
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise VerilogError(
+                f"line {tok.line}: expected {text!r}, found {tok.text!r}"
+            )
+        return tok
+
+    def accept(self, text: str) -> bool:
+        if self.peek().text == text:
+            self.pos += 1
+            return True
+        return False
+
+    # -- module ------------------------------------------------------------
+    def parse_module(self) -> Module:
+        self.params = {}
+        self.expect("module")
+        name = self.next().text
+        ports: list[str] = []
+        decls: dict[str, Decl] = {}
+        comb: list[list[Stmt]] = []
+        if self.accept("("):
+            while not self.accept(")"):
+                tok = self.peek()
+                if tok.text in ("input", "output"):
+                    # ANSI-style port declaration.
+                    direction = self.next().text
+                    self.accept("wire") or self.accept("reg")
+                    width = self._parse_range()
+                    pname = self.next().text
+                    decls[pname] = Decl("wire", pname, width,
+                                        direction=direction)
+                    ports.append(pname)
+                else:
+                    ports.append(self.next().text)
+                self.accept(",")
+        self.expect(";")
+        assigns: list[Assign] = []
+        always: list[Stmt] = []
+        instances: list[Instance] = []
+        clock = None
+        while self.peek().text != "endmodule":
+            tok = self.peek()
+            if tok.text == "parameter" or tok.text == "localparam":
+                self.next()
+                pname = self.next().text
+                self.expect("=")
+                self.params[pname] = self._const_expr()
+                self.expect(";")
+            elif tok.text in ("wire", "reg"):
+                for decl in self._parse_decl():
+                    decls[decl.name] = decl
+            elif tok.text in ("integer", "genvar"):
+                self.next()
+                while True:
+                    self.next()  # loop-variable name; value bound by for
+                    if not self.accept(","):
+                        break
+                self.expect(";")
+            elif tok.text in ("input", "output"):
+                direction = self.next().text
+                self.accept("wire") or self.accept("reg")
+                width = self._parse_range()
+                while True:
+                    pname = self.next().text
+                    kind = "reg" if direction == "output" and \
+                        pname in decls and decls[pname].kind == "reg" \
+                        else "wire"
+                    decls[pname] = Decl(kind, pname, width,
+                                        direction=direction)
+                    if pname not in ports:
+                        ports.append(pname)
+                    if not self.accept(","):
+                        break
+                self.expect(";")
+            elif tok.text == "assign":
+                self.next()
+                target = self.next().text
+                self.expect("=")
+                assigns.append(Assign(target, self.parse_expr()))
+                self.expect(";")
+            elif tok.text == "always":
+                kind, got_clock, stmts = self._parse_always()
+                if kind == "comb":
+                    comb.append(stmts)
+                elif always:
+                    raise VerilogError(
+                        f"line {tok.line}: only one clocked always block "
+                        "per module is supported (single-clock designs)"
+                    )
+                else:
+                    clock, always = got_clock, stmts
+            elif tok.text == "initial":
+                raise VerilogError(
+                    f"line {tok.line}: initial blocks are not supported; "
+                    "use declaration initializers"
+                )
+            elif tok.kind == "ident":
+                instances.append(self._parse_instance())
+            else:
+                raise VerilogError(
+                    f"line {tok.line}: unexpected {tok.text!r}"
+                )
+        self.expect("endmodule")
+        return Module(name, dict(self.params), decls, assigns, always,
+                      clock, ports, instances, comb)
+
+    def _parse_instance(self) -> Instance:
+        tok = self.next()
+        module_name = tok.text
+        if self.accept("#"):
+            raise VerilogError(
+                f"line {tok.line}: instance parameter overrides are not "
+                "supported; specialize the module with its own parameters"
+            )
+        inst_name = self.next().text
+        self.expect("(")
+        conns: dict[str, Expr] = {}
+        while not self.accept(")"):
+            self.expect(".")
+            port = self.next().text
+            self.expect("(")
+            conns[port] = self.parse_expr()
+            self.expect(")")
+            self.accept(",")
+        self.expect(";")
+        return Instance(module_name, inst_name, conns, tok.line)
+
+    def _const_expr(self) -> int:
+        expr = self.parse_expr()
+        return _eval_const(expr, self.params)
+
+    def _parse_range(self) -> int:
+        """Parse optional [msb:lsb]; returns bit width."""
+        if not self.accept("["):
+            return 1
+        msb = self._const_expr()
+        self.expect(":")
+        lsb = self._const_expr()
+        self.expect("]")
+        if lsb != 0:
+            raise VerilogError("only [msb:0] ranges are supported")
+        return msb - lsb + 1
+
+    def _parse_decl(self) -> list[Decl]:
+        kind = self.next().text
+        width = self._parse_range()
+        out = []
+        while True:
+            name = self.next().text
+            depth = None
+            init = 0
+            if self.accept("["):
+                lo = self._const_expr()
+                self.expect(":")
+                hi = self._const_expr()
+                self.expect("]")
+                depth = abs(hi - lo) + 1
+            if self.accept("="):
+                init = self._const_expr()
+            out.append(Decl(kind, name, width, init, depth))
+            if not self.accept(","):
+                break
+        self.expect(";")
+        return out
+
+    def _parse_always(self) -> tuple[str, str | None, list[Stmt]]:
+        """Returns ("clocked", clk, stmts) or ("comb", None, stmts)."""
+        self.expect("always")
+        self.expect("@")
+        if self.accept("*"):
+            return "comb", None, self._parse_stmt_block(comb=True)
+        self.expect("(")
+        if self.accept("*"):
+            self.expect(")")
+            return "comb", None, self._parse_stmt_block(comb=True)
+        self.expect("posedge")
+        clock = self.next().text
+        self.expect(")")
+        return "clocked", clock, self._parse_stmt_block()
+
+    def _parse_stmt_block(self, comb: bool = False) -> list[Stmt]:
+        if self.accept("begin"):
+            stmts = []
+            while not self.accept("end"):
+                stmts.extend(self._parse_stmt(comb))
+            return stmts
+        return self._parse_stmt(comb)
+
+    def _parse_stmt(self, comb: bool = False) -> list[Stmt]:
+        tok = self.peek()
+        if tok.text == "case":
+            return [self._parse_case(comb)]
+        if tok.text == "if":
+            self.next()
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            then = self._parse_stmt_block(comb)
+            other: list[Stmt] = []
+            if self.accept("else"):
+                other = self._parse_stmt_block(comb)
+            return [If(cond, then, other)]
+        if tok.text == "for":
+            return [self._parse_for(comb)]
+        if tok.text in ("$display", "$write"):
+            self.next()
+            self.expect("(")
+            fmt_tok = self.next()
+            if fmt_tok.kind != "string":
+                raise VerilogError(
+                    f"line {fmt_tok.line}: $display needs a format string"
+                )
+            fmt = fmt_tok.text[1:-1]
+            args = []
+            while self.accept(","):
+                args.append(self.parse_expr())
+            self.expect(")")
+            self.expect(";")
+            return [SysCall(tok.text[1:], fmt, args, tok.line)]
+        if tok.text in ("$finish", "$stop"):
+            self.next()
+            if self.accept("("):
+                self.expect(")")
+            self.expect(";")
+            return [SysCall(tok.text[1:], None, [], tok.line)]
+        # Assignment: name [ [index] ] (<=|=) expr ;
+        name = self.next().text
+        index: Expr | None = None
+        if self.accept("["):
+            index = self.parse_expr()
+            self.expect("]")
+        self.expect("=" if comb else "<=")
+        expr = self.parse_expr()
+        self.expect(";")
+        return [NonBlocking(name, index, expr, tok.line)]
+
+    def _parse_for(self, comb: bool = False) -> Stmt:
+        """``for (i = a; i < b; i = i + 1) ...`` with constant bounds,
+        unrolled during elaboration."""
+        tok = self.expect("for")
+        self.expect("(")
+        var = self.next().text
+        self.expect("=")
+        start = self.parse_expr()
+        self.expect(";")
+        cond_var = self.next().text
+        if cond_var != var:
+            raise VerilogError(
+                f"line {tok.line}: for-loop condition must test {var!r}"
+            )
+        self.expect("<")
+        bound = self.parse_expr()
+        self.expect(";")
+        step_var = self.next().text
+        self.expect("=")
+        step_lhs = self.next().text
+        self.expect("+")
+        step_amt = self.next().text
+        if step_var != var or step_lhs != var or step_amt != "1":
+            raise VerilogError(
+                f"line {tok.line}: only `{var} = {var} + 1` steps are "
+                "supported"
+            )
+        self.expect(")")
+        body = self._parse_stmt_block(comb)
+        return For(var, start, bound, body, tok.line)
+
+    def _parse_case(self, comb: bool = False) -> Stmt:
+        """Parse ``case (subject) labels: stmts ... endcase`` and desugar
+        into a priority if/else chain (full-case, no overlap semantics -
+        matching synthesis of a unique case without a parallel pragma)."""
+        tok = self.expect("case")
+        self.expect("(")
+        subject = self.parse_expr()
+        self.expect(")")
+        arms: list[tuple[list[Expr] | None, list[Stmt]]] = []
+        while not self.accept("endcase"):
+            if self.accept("default"):
+                self.expect(":")
+                arms.append((None, self._parse_stmt_block(comb)))
+                continue
+            labels = [self.parse_expr()]
+            while self.accept(","):
+                labels.append(self.parse_expr())
+            self.expect(":")
+            arms.append((labels, self._parse_stmt_block(comb)))
+
+        # Desugar, last arm first.
+        chain: list[Stmt] = []
+        for labels, stmts in reversed(arms):
+            if labels is None:
+                chain = list(stmts)
+                continue
+            cond: Expr | None = None
+            for label in labels:
+                eq = Expr("binary", tok.line, op="==",
+                          args=[subject, label])
+                cond = eq if cond is None else Expr(
+                    "binary", tok.line, op="||", args=[cond, eq])
+            chain = [If(cond, list(stmts), chain)]
+        if not chain:
+            raise VerilogError(f"line {tok.line}: empty case statement")
+        return chain[0]
+
+    # -- expressions ---------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self._ternary()
+
+    def _ternary(self) -> Expr:
+        cond = self._binary(0)
+        if self.accept("?"):
+            then = self._ternary()
+            self.expect(":")
+            other = self._ternary()
+            return Expr("ternary", cond.line, args=[cond, then, other])
+        return cond
+
+    _PRECEDENCE = [
+        ["||"], ["&&"], ["|"], ["^"], ["&"],
+        ["==", "!="], ["<", "<=", ">", ">="],
+        ["<<", ">>", ">>>", "<<<"],
+        ["+", "-"], ["*", "/", "%"],
+    ]
+
+    def _binary(self, level: int) -> Expr:
+        if level >= len(self._PRECEDENCE):
+            return self._unary()
+        lhs = self._binary(level + 1)
+        while self.peek().text in self._PRECEDENCE[level]:
+            op = self.next().text
+            rhs = self._binary(level + 1)
+            lhs = Expr("binary", lhs.line, op=op, args=[lhs, rhs])
+        return lhs
+
+    def _unary(self) -> Expr:
+        tok = self.peek()
+        if tok.text in ("~", "!", "-", "&", "|", "^"):
+            self.next()
+            operand = self._unary()
+            return Expr("unary", tok.line, op=tok.text, args=[operand])
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        tok = self.next()
+        if tok.text == "(":
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        if tok.text == "{":
+            first = self.parse_expr()
+            if self.accept("{"):  # replication {N{expr}}
+                count = _eval_const(first, self.params)
+                inner = self.parse_expr()
+                self.expect("}")
+                self.expect("}")
+                return Expr("repl", tok.line, value=count, args=[inner])
+            parts = [first]
+            while self.accept(","):
+                parts.append(self.parse_expr())
+            self.expect("}")
+            return Expr("concat", tok.line, args=parts)
+        if tok.kind == "sized":
+            value, width = parse_literal(tok.text)
+            return Expr("lit", tok.line, value=value, width=width)
+        if tok.kind == "number":
+            value, _ = parse_literal(tok.text)
+            return Expr("lit", tok.line, value=value, width=None)
+        if tok.kind == "ident":
+            name = tok.text
+            if name in self.params:
+                return Expr("lit", tok.line, value=self.params[name],
+                            width=None)
+            expr = Expr("ident", tok.line, name=name)
+            while self.accept("["):
+                first = self.parse_expr()
+                if self.accept(":"):
+                    hi = _eval_const(first, self.params)
+                    lo = self._const_expr()
+                    self.expect("]")
+                    expr = Expr("slice", tok.line, args=[expr],
+                                lo=lo, hi=hi)
+                else:
+                    self.expect("]")
+                    expr = Expr("index", tok.line, args=[expr, first])
+            return expr
+        raise VerilogError(f"line {tok.line}: unexpected {tok.text!r}")
+
+
+def _assigned_names(stmts) -> set[str]:
+    """All assignment targets in a statement tree."""
+    out: set[str] = set()
+    for stmt in stmts:
+        if isinstance(stmt, NonBlocking):
+            out.add(stmt.target)
+        elif isinstance(stmt, If):
+            out |= _assigned_names(stmt.then)
+            out |= _assigned_names(stmt.other)
+        elif isinstance(stmt, For):
+            out |= _assigned_names(stmt.body)
+    return out
+
+
+def _eval_const(expr: Expr, params: dict[str, int]) -> int:
+    if expr.kind == "lit":
+        return expr.value
+    if expr.kind == "ident" and expr.name in params:
+        return params[expr.name]
+    if expr.kind == "unary" and expr.op == "-":
+        return -_eval_const(expr.args[0], params)
+    if expr.kind == "binary":
+        a = _eval_const(expr.args[0], params)
+        b = _eval_const(expr.args[1], params)
+        ops = {"+": a + b, "-": a - b, "*": a * b,
+               "<<": a << b, ">>": a >> b}
+        if expr.op in ops:
+            return ops[expr.op]
+    raise VerilogError(
+        f"line {expr.line}: expected a compile-time constant"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Elaborator
+# ---------------------------------------------------------------------------
+class Elaborator:
+    """Turns a parsed module into a :class:`Circuit` via the builder."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.builder = CircuitBuilder(module.name)
+        self.regs: dict[str, Signal] = {}
+        self.memories: dict[str, MemoryHandle] = {}
+        self.assign_exprs: dict[str, Expr] = {}
+        self.cache: dict[str, Signal] = {}
+        self._resolving: set[str] = set()
+        self._bindings: dict[str, int] = {}  # unrolled for-loop variables
+
+    def elaborate(self) -> Circuit:
+        m = self.builder
+        module = self.module
+        for assign in module.assigns:
+            if assign.target in self.assign_exprs:
+                raise VerilogError(
+                    f"multiple drivers for wire {assign.target!r}"
+                )
+            self.assign_exprs[assign.target] = assign.expr
+        # Targets of combinational always blocks are wires, not state,
+        # however they were declared.
+        self._comb_block_of: dict[str, int] = {}
+        for index, block in enumerate(module.comb):
+            for target in _assigned_names(block):
+                if target in self._comb_block_of or \
+                        target in self.assign_exprs:
+                    raise VerilogError(
+                        f"multiple drivers for {target!r}"
+                    )
+                self._comb_block_of[target] = index
+        for decl in module.decls.values():
+            if decl.depth is not None:
+                self.memories[decl.name] = m.memory(
+                    decl.name, decl.width, decl.depth)
+            elif decl.kind == "reg" and \
+                    decl.name not in self._comb_block_of:
+                self.regs[decl.name] = m.register(
+                    decl.name, decl.width, decl.init)
+        pending: dict[str, Signal] = {}
+        self._walk(module.always, m.const(1, 1), pending)
+        for name, value in pending.items():
+            self.regs[name].next = value
+        # Force-elaborate every continuous assignment and comb block so
+        # undriven identifiers, combinational cycles, and latches are
+        # diagnosed even when the outputs are otherwise unused (dead
+        # logic is removed later by DCE).
+        for name in self.assign_exprs:
+            self.signal(name)
+        for index in range(len(module.comb)):
+            targets = _assigned_names(module.comb[index])
+            if not any(t in self.cache for t in targets):
+                self._elaborate_comb_block(index)
+        return m.build()
+
+    # -- name resolution ------------------------------------------------------
+    def signal(self, name: str, line: int = 0) -> Signal:
+        if name in self.regs:
+            return self.regs[name]
+        if name in self.cache:
+            return self.cache[name]
+        if name in self.assign_exprs:
+            if name in self._resolving:
+                raise VerilogError(
+                    f"combinational cycle through wire {name!r}"
+                )
+            self._resolving.add(name)
+            sig = self.expr(self.assign_exprs[name])
+            decl = self.module.decls.get(name)
+            if decl is not None:
+                sig = self._fit(sig, decl.width)
+            self._resolving.discard(name)
+            self.cache[name] = sig
+            return sig
+        if name in getattr(self, "_comb_block_of", {}):
+            self._elaborate_comb_block(self._comb_block_of[name])
+            return self.cache[name]
+        raise VerilogError(f"line {line}: unknown identifier {name!r}")
+
+    def _elaborate_comb_block(self, index: int) -> None:
+        """Elaborate one ``always @(*)`` block: blocking assignments with
+        last-wins priority; every target must be covered on every path
+        (no latches)."""
+        key = f"%comb{index}"
+        if key in self._resolving:
+            raise VerilogError(
+                f"combinational cycle through always @(*) block {index}"
+            )
+        self._resolving.add(key)
+        block = self.module.comb[index]
+        pending: dict[str, Signal] = {}
+        self._walk_comb(block, self.builder.const(1, 1), pending)
+        targets = _assigned_names(block)
+        for target in targets:
+            if target not in pending:
+                raise VerilogError(
+                    f"always @(*) target {target!r} is not assigned on "
+                    "every path (latch inferred)"
+                )
+            decl = self.module.decls.get(target)
+            sig = pending[target]
+            if decl is not None:
+                sig = self._fit(sig, decl.width)
+            self.cache[target] = sig
+        self._resolving.discard(key)
+
+    def _walk_comb(self, stmts, enable, pending: dict) -> None:
+        """Like _walk, but targets are wires: an If branch that assigns a
+        target not yet assigned at this point has no base value - that is
+        only an error if it survives to the end (checked by the caller),
+        so branches must fully cover or the merge drops the name."""
+        outer_scope = getattr(self, "_comb_scope", None)
+        self._comb_scope = pending
+        for stmt in stmts:
+            if isinstance(stmt, NonBlocking):
+                if stmt.index is not None:
+                    raise VerilogError(
+                        f"line {stmt.line}: memory writes are not allowed "
+                        "in always @(*)"
+                    )
+                value = self.expr(stmt.expr)
+                pending[stmt.target] = value
+            elif isinstance(stmt, SysCall):
+                self._syscall(stmt, enable)
+            elif isinstance(stmt, For):
+                self._unroll(stmt, enable, pending, self._walk_comb)
+            elif isinstance(stmt, If):
+                cond = self.expr(stmt.cond)
+                cond = cond.any() if cond.width > 1 else cond
+                then_env = dict(pending)
+                self._walk_comb(stmt.then, enable & cond, then_env)
+                else_env = dict(pending)
+                self._walk_comb(stmt.other, enable & ~cond, else_env)
+                self._comb_scope = pending
+                for name in set(then_env) | set(else_env):
+                    if name in then_env and name in else_env:
+                        t, f = then_env[name], else_env[name]
+                        decl = self.module.decls.get(name)
+                        width = decl.width if decl else max(t.width,
+                                                            f.width)
+                        t = self._fit(t, width)
+                        f = self._fit(f, width)
+                        pending[name] = t if t is f else \
+                            self.builder.mux(cond, f, t)
+                    # one-sided assignment without a prior base: drop -
+                    # caller reports the latch if never completed.
+                    elif name in pending:
+                        pass  # keeps the pre-if value already in pending
+        self._comb_scope = outer_scope
+
+    def _fit(self, sig: Signal, width: int) -> Signal:
+        if sig.width > width:
+            return sig.trunc(width)
+        if sig.width < width:
+            return sig.zext(width)
+        return sig
+
+    # -- expressions -------------------------------------------------------
+    def expr(self, e: Expr) -> Signal:
+        m = self.builder
+        if e.kind == "lit":
+            # Unsized literals are 32 bits, as in IEEE 1800.
+            width = e.width if e.width else max(32, e.value.bit_length())
+            return m.const(e.value, width)
+        if e.kind == "ident":
+            if e.name in self._bindings:
+                return m.const(self._bindings[e.name], 32)
+            # Blocking-assignment semantics: inside an always @(*) walk,
+            # a target assigned earlier in the block reads its pending
+            # procedural value.
+            pending = getattr(self, "_comb_scope", None)
+            if pending is not None and e.name in pending:
+                return pending[e.name]
+            return self.signal(e.name, e.line)
+        if e.kind == "index":
+            base = e.args[0]
+            if base.kind == "ident" and base.name in self.memories:
+                return self.memories[base.name].read(self.expr(e.args[1]))
+            sig = self.expr(base)
+            idx = e.args[1]
+            try:
+                const = _eval_const(idx, self.module.params)
+            except VerilogError:
+                shifted = sig >> self.expr(idx)
+                return shifted[0]
+            return sig[const]
+        if e.kind == "slice":
+            sig = self.expr(e.args[0])
+            return sig.bits(e.lo, e.hi - e.lo + 1)
+        if e.kind == "concat":
+            # Verilog lists MSB first; the builder wants LSB first.
+            parts = [self.expr(p) for p in reversed(e.args)]
+            return m.cat(*parts)
+        if e.kind == "repl":
+            inner = self.expr(e.args[0])
+            return m.cat(*([inner] * e.value))
+        if e.kind == "unary":
+            a = self.expr(e.args[0])
+            if e.op == "~":
+                return ~a
+            if e.op == "!":
+                return ~a.any()
+            if e.op == "-":
+                return m.const(0, a.width) - a
+            if e.op == "&":
+                return a.all()
+            if e.op == "|":
+                return a.any()
+            if e.op == "^":
+                return a.parity()
+        if e.kind == "binary":
+            a = self.expr(e.args[0])
+            b = self.expr(e.args[1])
+            op = e.op
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            if op in ("/", "%"):
+                raise VerilogError(
+                    f"line {e.line}: division is not synthesizable here"
+                )
+            if op == "&":
+                return a & b
+            if op == "|":
+                return a | b
+            if op == "^":
+                return a ^ b
+            if op == "&&":
+                return a.any() & b.any()
+            if op == "||":
+                return a.any() | b.any()
+            if op == "==":
+                return a == b
+            if op == "!=":
+                return a != b
+            if op == "<":
+                return a.ltu(b)
+            if op == ">":
+                return b.ltu(a)
+            if op == "<=":
+                return ~b.ltu(a)
+            if op == ">=":
+                return ~a.ltu(b)
+            if op in ("<<", "<<<"):
+                return self._shift(a, e.args[1], left=True)
+            if op == ">>":
+                return self._shift(a, e.args[1], left=False)
+            if op == ">>>":
+                return self._shift(a, e.args[1], left=False, arith=True)
+        if e.kind == "ternary":
+            cond = self.expr(e.args[0])
+            then = self.expr(e.args[1])
+            other = self.expr(e.args[2])
+            return m.mux(cond.any() if cond.width > 1 else cond,
+                         other, then)
+        raise VerilogError(f"line {e.line}: cannot elaborate {e.kind}")
+
+    def _shift(self, a: Signal, amount: Expr, left: bool,
+               arith: bool = False) -> Signal:
+        try:
+            const = _eval_const(amount, self.module.params)
+        except VerilogError:
+            amt = self.expr(amount)
+            if arith:
+                return a.ashr(amt)
+            return (a << amt) if left else (a >> amt)
+        if arith:
+            return a.ashr(const)
+        return (a << const) if left else (a >> const)
+
+    # -- always block ------------------------------------------------------
+    def _walk(self, stmts: list[Stmt], enable: Signal,
+              pending: dict[str, Signal]) -> None:
+        """Walk statements; ``pending`` maps register name -> next value
+        accumulated so far (registers hold by default).  The caller
+        commits the final pending map to register next values."""
+        for stmt in stmts:
+            if isinstance(stmt, NonBlocking):
+                self._non_blocking(stmt, enable, pending)
+            elif isinstance(stmt, SysCall):
+                self._syscall(stmt, enable)
+            elif isinstance(stmt, For):
+                self._unroll(stmt, enable, pending, self._walk)
+            elif isinstance(stmt, If):
+                cond = self.expr(stmt.cond)
+                cond = cond.any() if cond.width > 1 else cond
+                then_env = dict(pending)
+                self._walk(stmt.then, enable & cond, then_env)
+                else_env = dict(pending)
+                self._walk(stmt.other, enable & ~cond, else_env)
+                names = set(then_env) | set(else_env)
+                for name in names:
+                    reg = self.regs[name]
+                    base = pending.get(name, reg)
+                    t = then_env.get(name, base)
+                    f = else_env.get(name, base)
+                    if t is f:
+                        pending[name] = t
+                    else:
+                        pending[name] = self.builder.mux(cond, f, t)
+
+    def _unroll(self, stmt: For, enable: Signal, pending: dict,
+                walker) -> None:
+        """Unroll a constant-bound for loop, binding the loop variable as
+        a compile-time constant per iteration."""
+        env = {**self.module.params, **self._bindings}
+        start = _eval_const(stmt.start, env)
+        bound = _eval_const(stmt.bound, env)
+        if bound - start > 4096:
+            raise VerilogError(
+                f"line {stmt.line}: for-loop unrolls to {bound - start} "
+                "iterations; that cannot be intended"
+            )
+        saved = self._bindings.get(stmt.var)
+        for value in range(start, bound):
+            self._bindings[stmt.var] = value
+            walker(stmt.body, enable, pending)
+        if saved is None:
+            self._bindings.pop(stmt.var, None)
+        else:
+            self._bindings[stmt.var] = saved
+
+    def _non_blocking(self, stmt: NonBlocking, enable: Signal,
+                      pending: dict[str, Signal]) -> None:
+        value = self.expr(stmt.expr)
+        if stmt.target in self.memories:
+            mem = self.memories[stmt.target]
+            if stmt.index is None:
+                raise VerilogError(
+                    f"line {stmt.line}: memory write needs an index"
+                )
+            addr = self.expr(stmt.index)
+            mem.write(addr, self._fit(value, mem.width), enable)
+            return
+        if stmt.target not in self.regs:
+            raise VerilogError(
+                f"line {stmt.line}: non-blocking assignment to "
+                f"non-register {stmt.target!r}"
+            )
+        if stmt.index is not None:
+            raise VerilogError(
+                f"line {stmt.line}: bit-select register writes are not "
+                "supported; assign the whole register"
+            )
+        reg = self.regs[stmt.target]
+        pending[stmt.target] = self._fit(value, reg.width)
+
+    def _syscall(self, stmt: SysCall, enable: Signal) -> None:
+        m = self.builder
+        if stmt.name in ("display", "write"):
+            args = [self.expr(a) for a in stmt.args]
+            m.display(enable, stmt.fmt or "", *args)
+        elif stmt.name in ("finish", "stop"):
+            m.finish(enable)
+
+
+# ---------------------------------------------------------------------------
+# Hierarchy flattening
+# ---------------------------------------------------------------------------
+def _rename_expr(e: Expr, mapping: dict[str, str]) -> Expr:
+    out = Expr(e.kind, e.line, value=e.value, width=e.width,
+               name=mapping.get(e.name, e.name), op=e.op,
+               args=[_rename_expr(a, mapping) for a in e.args],
+               lo=e.lo, hi=e.hi)
+    return out
+
+
+def _rename_stmt(stmt: Stmt, mapping: dict[str, str]) -> Stmt:
+    if isinstance(stmt, NonBlocking):
+        return NonBlocking(
+            mapping.get(stmt.target, stmt.target),
+            _rename_expr(stmt.index, mapping) if stmt.index else None,
+            _rename_expr(stmt.expr, mapping), stmt.line)
+    if isinstance(stmt, SysCall):
+        return SysCall(stmt.name, stmt.fmt,
+                       [_rename_expr(a, mapping) for a in stmt.args],
+                       stmt.line)
+    if isinstance(stmt, If):
+        return If(_rename_expr(stmt.cond, mapping),
+                  [_rename_stmt(x, mapping) for x in stmt.then],
+                  [_rename_stmt(x, mapping) for x in stmt.other])
+    if isinstance(stmt, For):
+        return For(stmt.var, _rename_expr(stmt.start, mapping),
+                   _rename_expr(stmt.bound, mapping),
+                   [_rename_stmt(x, mapping) for x in stmt.body],
+                   stmt.line)
+    raise VerilogError(f"cannot rename {type(stmt).__name__}")
+
+
+def flatten(modules: dict[str, Module], top: str) -> Module:
+    """Inline every instantiation below ``top`` into one flat module.
+
+    Input ports become prefixed wires driven by the connection
+    expression; output ports keep their (prefixed) internal drivers and
+    the parent wire named in the connection is assigned from them.
+    Identifiers gain an ``<instance>__`` prefix per hierarchy level.
+    """
+    if top not in modules:
+        raise VerilogError(f"no module named {top!r}")
+
+    flat = Module(top, dict(modules[top].params), {}, [], [],
+                  modules[top].clock)
+
+    def inline(module: Module, prefix: str) -> None:
+        mapping = {name: prefix + name for name in module.decls}
+        clock = module.clock
+        if clock:
+            mapping.setdefault(clock, clock)  # clocks stay global
+        for decl in module.decls.values():
+            if decl.direction == "input" and decl.name == module.clock:
+                continue  # clocks are implicit in cycle-level semantics
+            flat.decls[prefix + decl.name] = Decl(
+                decl.kind, prefix + decl.name, decl.width, decl.init,
+                decl.depth, None)
+        for assign in module.assigns:
+            flat.assigns.append(Assign(
+                mapping.get(assign.target, assign.target),
+                _rename_expr(assign.expr, mapping)))
+        for stmt in module.always:
+            flat.always.append(_rename_stmt(stmt, mapping))
+        for block in module.comb:
+            flat.comb.append([_rename_stmt(s, mapping) for s in block])
+        for inst in module.instances:
+            child = modules.get(inst.module)
+            if child is None:
+                raise VerilogError(
+                    f"line {inst.line}: unknown module {inst.module!r}"
+                )
+            child_prefix = f"{prefix}{inst.name}__"
+            inline(child, child_prefix)
+            for port, expr in inst.conns.items():
+                if port == child.clock:
+                    continue  # implicit clock
+                decl = child.decls.get(port)
+                if decl is None or decl.direction is None:
+                    raise VerilogError(
+                        f"line {inst.line}: {inst.module}.{port} is not "
+                        "a port"
+                    )
+                bound = _rename_expr(expr, mapping)
+                if decl.direction == "input":
+                    flat.assigns.append(
+                        Assign(child_prefix + port, bound))
+                else:
+                    if bound.kind != "ident":
+                        raise VerilogError(
+                            f"line {inst.line}: output port {port!r} "
+                            "must connect to a plain wire"
+                        )
+                    flat.assigns.append(Assign(
+                        bound.name,
+                        Expr("ident", inst.line,
+                             name=child_prefix + port)))
+            # unconnected inputs default to zero
+            for decl in child.decls.values():
+                if decl.direction == "input" and \
+                        decl.name != child.clock and \
+                        decl.name not in inst.conns:
+                    flat.assigns.append(Assign(
+                        child_prefix + decl.name,
+                        Expr("lit", inst.line, value=0,
+                             width=decl.width)))
+
+    inline(modules[top], "")
+    return flat
+
+
+def parse_modules(source: str) -> dict[str, Module]:
+    """Parse every module in a source file."""
+    parser = Parser(source)
+    modules: dict[str, Module] = {}
+    while parser.peek().kind != "eof":
+        module = parser.parse_module()
+        modules[module.name] = module
+    if not modules:
+        raise VerilogError("no modules found")
+    return modules
+
+
+def parse_verilog(source: str, top: str | None = None) -> Circuit:
+    """Parse and elaborate a Verilog-subset design into a circuit.
+
+    Multiple modules are supported; the hierarchy below ``top`` (default:
+    the unique module never instantiated by another) is flattened by
+    inlining.
+    """
+    modules = parse_modules(source)
+    if top is None:
+        instantiated = {inst.module for m in modules.values()
+                        for inst in m.instances}
+        roots = [name for name in modules if name not in instantiated]
+        if len(roots) != 1:
+            raise VerilogError(
+                f"cannot infer the top module (candidates: {roots}); "
+                "pass top= explicitly"
+            )
+        top = roots[0]
+    module = flatten(modules, top) if (len(modules) > 1
+                                       or modules[top].instances) \
+        else modules[top]
+    if any(d.direction is not None for d in module.decls.values()):
+        raise VerilogError(
+            f"top module {top!r} has ports; Manticore compiles closed "
+            "designs - wrap it in a test driver"
+        )
+    return Elaborator(module).elaborate()

@@ -1,0 +1,20 @@
+"""Analytical models of fine-grained parallel RTL simulation (paper SS7.1)
+and the evaluated hardware platforms (Table 2)."""
+
+from .bsp_model import (
+    BYTES_PER_INSTR,
+    FIG5_SIZES,
+    ScalingCurve,
+    cycle_time_s,
+    fig5_curves,
+    scaling_curve,
+    simulation_rate_khz,
+    speedup_table,
+)
+from .platforms import EPYC_7V73X, I7_9700K, PLATFORMS, TABLE2, XEON_8272CL, Platform
+
+__all__ = [
+    "BYTES_PER_INSTR", "EPYC_7V73X", "FIG5_SIZES", "I7_9700K", "PLATFORMS",
+    "Platform", "ScalingCurve", "TABLE2", "XEON_8272CL", "cycle_time_s",
+    "fig5_curves", "scaling_curve", "simulation_rate_khz", "speedup_table",
+]

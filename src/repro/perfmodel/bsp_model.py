@@ -1,0 +1,97 @@
+"""The SS7.1 models of fine-grained parallel RTL simulation (Fig. 5/15).
+
+Model 1 (Listing 1): each RTL cycle executes N independent instructions
+split over P threads, with two barriers per cycle (end of computation,
+end of communication).  Model 2 adds i-cache pressure: the per-thread
+instruction footprint is N/P x bytes-per-instruction, and execution slows
+by the platform's i-cache penalty curve.
+
+These are *upper bounds* on any software simulator (the paper's argument):
+they ignore data transfer entirely and assume perfectly balanced work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .platforms import Platform
+
+#: x86 code bytes per simulator instruction (model 2 footprint).
+BYTES_PER_INSTR = 4.0
+
+#: Instruction counts per simulated cycle studied by Fig. 5.
+FIG5_SIZES = (3_500, 35_000, 350_000, 3_500_000)
+
+
+def cycle_time_s(n_instrs: int, threads: int, platform: Platform,
+                 icache: bool) -> float:
+    """Seconds to simulate one RTL cycle."""
+    work = n_instrs / max(1, threads)
+    rate = platform.instr_rate
+    if icache:
+        footprint = work * BYTES_PER_INSTR
+        rate /= platform.icache_penalty(footprint)
+    return work / rate + 2.0 * platform.barrier_ns(threads) * 1e-9
+
+
+def simulation_rate_khz(n_instrs: int, threads: int, platform: Platform,
+                        icache: bool = False) -> float:
+    """Simulated kHz for the given working set and thread count."""
+    return 1e-3 / cycle_time_s(n_instrs, threads, platform, icache)
+
+
+@dataclass
+class ScalingCurve:
+    """One curve of Fig. 5: rate vs thread count."""
+
+    platform: str
+    n_instrs: int
+    model: int                       # 1 (sync only) or 2 (+ i-cache)
+    threads: list[int]
+    rates_khz: list[float]
+
+    @property
+    def max_speedup(self) -> float:
+        base = self.rates_khz[0]
+        return max(r / base for r in self.rates_khz)
+
+    @property
+    def best_threads(self) -> int:
+        best = max(range(len(self.rates_khz)),
+                   key=lambda i: self.rates_khz[i])
+        return self.threads[best]
+
+
+def scaling_curve(platform: Platform, n_instrs: int, model: int,
+                  max_threads: int | None = None) -> ScalingCurve:
+    threads = list(range(1, (max_threads or platform.cores) + 1))
+    rates = [
+        simulation_rate_khz(n_instrs, p, platform, icache=(model == 2))
+        for p in threads
+    ]
+    return ScalingCurve(platform.name, n_instrs, model, threads, rates)
+
+
+def fig5_curves(platform: Platform,
+                sizes: tuple[int, ...] = FIG5_SIZES) -> list[ScalingCurve]:
+    """All Fig. 5 curves for one platform (both models, all sizes)."""
+    out = []
+    for n in sizes:
+        for model in (1, 2):
+            out.append(scaling_curve(platform, n, model))
+    return out
+
+
+def speedup_table(platforms: list[Platform],
+                  sizes: tuple[int, ...] = FIG5_SIZES) -> list[dict]:
+    """The Fig. 5 inset table: max speedup per (platform, N, model)."""
+    rows = []
+    for platform in platforms:
+        for n in sizes:
+            row = {"platform": platform.name, "n_instrs": n}
+            for model in (1, 2):
+                curve = scaling_curve(platform, n, model)
+                row[f"model{model}_speedup"] = round(curve.max_speedup, 2)
+                row[f"model{model}_best_threads"] = curve.best_threads
+            rows.append(row)
+    return rows

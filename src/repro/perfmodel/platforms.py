@@ -1,0 +1,107 @@
+"""x86 platform descriptors (paper Table 2) and their cost parameters.
+
+The paper measured a desktop (Core i7-9700K), and two servers
+(Xeon 8272CL, EPYC 7V73X).  The architectural facts (cores, clocks, SRAM,
+dates) are the paper's; the microbenchmark-level cost parameters (IPC,
+barrier latencies, i-cache penalty curve) are calibrated so the SS7.1
+models reproduce the paper's Fig. 5 regimes:
+
+* fine-grain (N ~ 3.5k instr/cycle): serial hits a few MHz, a steep drop
+  from 1 -> 2 threads;
+* medium (N ~ 35k-350k): modest speedups that peak and then decay;
+* coarse (N ~ 3.5M): parallelism pays off, super-linear speedup possible
+  once per-thread footprint drops back into cache (model 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One evaluation machine and its simulator cost model."""
+
+    name: str
+    cores: int
+    freq_ghz: float           # sustained all-core clock
+    ipc: float                # instructions per cycle on simulator code
+    sram_mib: float           # total cache capacity (Table 2)
+    release: str
+    # Synchronization model: a full barrier costs
+    # ``barrier_base_ns + barrier_per_thread_ns * P`` nanoseconds.
+    barrier_base_ns: float
+    barrier_per_thread_ns: float
+    # Per-macro-task scheduling overhead (atomic fetch-and-add + checks),
+    # in instructions (paper SS7.3: spin-locks synchronize macro-tasks).
+    task_overhead_instrs: float
+    # i-cache pressure model (model 2): per-thread instruction footprints
+    # beyond l1i_kb slow execution, saturating at penalty_max when the
+    # footprint exceeds l2_kb.
+    l1i_kb: float
+    l2_kb: float
+    penalty_l2: float
+    penalty_max: float
+
+    @property
+    def instr_rate(self) -> float:
+        """Sustained instructions/second of one core."""
+        return self.freq_ghz * 1e9 * self.ipc
+
+    def barrier_ns(self, threads: int) -> float:
+        if threads <= 1:
+            return 0.0
+        return self.barrier_base_ns + self.barrier_per_thread_ns * threads
+
+    def icache_penalty(self, footprint_bytes: float) -> float:
+        """Execution-time multiplier for a given instruction footprint."""
+        l1 = self.l1i_kb * 1024
+        l2 = self.l2_kb * 1024
+        if footprint_bytes <= l1:
+            return 1.0
+        if footprint_bytes <= l2:
+            # log-linear ramp between L1 and L2 capacity.
+            import math
+            frac = math.log(footprint_bytes / l1) / math.log(l2 / l1)
+            return 1.0 + (self.penalty_l2 - 1.0) * frac
+        import math
+        frac = min(1.0, math.log(footprint_bytes / l2) / math.log(16))
+        return self.penalty_l2 + (self.penalty_max - self.penalty_l2) * frac
+
+
+#: Desktop: Intel Core i7-9700K, 8 cores, 4.6-4.9 GHz (Table 2).
+I7_9700K = Platform(
+    name="i7-9700K", cores=8, freq_ghz=4.7, ipc=2.0, sram_mib=14.5,
+    release="Q4 2018",
+    barrier_base_ns=450.0, barrier_per_thread_ns=60.0,
+    task_overhead_instrs=60.0,
+    l1i_kb=32.0, l2_kb=256.0, penalty_l2=2.2, penalty_max=4.5,
+)
+
+#: Server: Intel Xeon 8272CL, 32 cores (of a 2-socket cloud machine).
+XEON_8272CL = Platform(
+    name="Xeon 8272CL", cores=32, freq_ghz=2.9, ipc=1.9, sram_mib=105.5,
+    release="Q4 2019",
+    barrier_base_ns=700.0, barrier_per_thread_ns=55.0,
+    task_overhead_instrs=70.0,
+    l1i_kb=32.0, l2_kb=1024.0, penalty_l2=2.0, penalty_max=4.0,
+)
+
+#: Server: AMD EPYC 7V73X (Milan-X), 120 vCPU, huge V-Cache.
+EPYC_7V73X = Platform(
+    name="EPYC 7V73X", cores=120, freq_ghz=2.8, ipc=2.0, sram_mib=259.6,
+    release="Q1 2022",
+    barrier_base_ns=900.0, barrier_per_thread_ns=40.0,
+    task_overhead_instrs=65.0,
+    l1i_kb=32.0, l2_kb=512.0, penalty_l2=1.8, penalty_max=3.2,
+)
+
+PLATFORMS = {p.name: p for p in (I7_9700K, XEON_8272CL, EPYC_7V73X)}
+
+#: Paper Table 2 rows for reference output.
+TABLE2 = [
+    ("i7-9700K", 8, "4.6-4.9", 14.5, "Q4 2018"),
+    ("Xeon 8272CL", 32, "2.5-3.4", 105.5, "Q4 2019"),
+    ("EPYC 7V73X", 120, "2.2-3.5", 259.6, "Q1 2022"),
+    ("Alveo U200 (Manticore)", 225, "0.475", 18.45, "-"),
+]

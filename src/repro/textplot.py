@@ -1,0 +1,76 @@
+"""Tiny ASCII plotting for figure regeneration.
+
+The benchmark suite regenerates the paper's *figures* as well as tables;
+without a plotting stack we render compact ASCII charts so a terminal run
+of ``pytest benchmarks/ -s`` shows the curve shapes (Fig. 5's three
+regions, Fig. 7's plateaus, Fig. 8's bars) directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def line_plot(series: Mapping[str, Sequence[tuple[float, float]]],
+              width: int = 64, height: int = 16, logy: bool = False,
+              title: str = "") -> str:
+    """Render one or more (x, y) series as an ASCII chart.
+
+    Each series gets a marker character; x positions are mapped linearly
+    (or by rank if x values are irregular), y linearly or in log10.
+    """
+    markers = "*o+x@#%&"
+    points: list[tuple[float, float, str]] = []
+    for (name, data), marker in zip(series.items(), markers):
+        for x, y in data:
+            points.append((float(x), float(y), marker))
+    if not points:
+        return "(empty plot)"
+
+    ys = [p[1] for p in points]
+    xs = [p[0] for p in points]
+    if logy:
+        floor = min(y for y in ys if y > 0)
+        ys = [math.log10(max(y, floor)) for y in ys]
+        points = [(x, math.log10(max(y, floor)), m)
+                  for x, y, m in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    legend = "  ".join(f"{marker}={name}" for (name, _), marker
+                       in zip(series.items(), markers))
+    scale = "log10(y)" if logy else "y"
+    lines.append(f"  x: {x_lo:g}..{x_hi:g}   {scale}: "
+                 f"{min(p[1] for p in points):.3g}.."
+                 f"{max(p[1] for p in points):.3g}   {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(bars: Mapping[str, float], width: int = 48,
+              title: str = "", unit: str = "") -> str:
+    """Horizontal ASCII bars, scaled to the longest."""
+    if not bars:
+        return "(empty chart)"
+    peak = max(bars.values()) or 1.0
+    label_w = max(len(str(k)) for k in bars)
+    lines = [title] if title else []
+    for name, value in bars.items():
+        n = int(round(value / peak * width))
+        lines.append(f"  {str(name):>{label_w}} |{'#' * n:<{width}}| "
+                     f"{value:g}{unit}")
+    return "\n".join(lines)

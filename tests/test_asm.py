@@ -1,0 +1,105 @@
+"""Tests for the assembly printer/assembler (paper Fig. 13 syntax)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import isa
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.isa.asm import (
+    AsmError,
+    format_instruction,
+    format_process,
+    format_program,
+    parse_instruction,
+    parse_process,
+)
+from repro.machine import TINY
+
+from util_circuits import counter_circuit
+
+ROUNDTRIP_CASES = [
+    isa.Nop(),
+    isa.Set("count", 20),
+    isa.Set(5, 0xBEEF),
+    isa.Alu("ADD", 7, 4, 1),
+    isa.Alu("SEQ", 2047, 0, 1),
+    isa.Mux("v8", "v3", "v1", "v0"),
+    isa.Slice("v3", "v4", 0, 1),
+    isa.AddCarry("lo", "a", "b"),
+    isa.SetCarry(1),
+    isa.Custom("x", 31, ("a", "b", "c", "d")),
+    isa.Send(0, 4, 4),
+    isa.Send(42, 17, 99),
+    isa.LocalLoad("d", "base", 512),
+    isa.LocalStore("s", "base", 0),
+    isa.Predicate("pflag"),
+    isa.GlobalLoad("v", ("hi", "mid", "lo")),
+    isa.GlobalStore("v", (1, 2, 3)),
+    isa.Expect(5, 0, 1),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("instr", ROUNDTRIP_CASES,
+                             ids=lambda i: format_instruction(i))
+    def test_instruction(self, instr):
+        text = format_instruction(instr)
+        assert parse_instruction(text) == instr
+
+    @given(st.integers(0, 2047), st.integers(0, 2047),
+           st.integers(0, 2047),
+           st.sampled_from(["ADD", "SUB", "XOR", "MULH", "SLTS"]))
+    @settings(max_examples=25, deadline=None)
+    def test_alu_property(self, rd, rs1, rs2, op):
+        instr = isa.Alu(op, rd, rs1, rs2)
+        assert parse_instruction(format_instruction(instr)) == instr
+
+    def test_comments_ignored(self):
+        assert parse_instruction("NOP // idle") == isa.Nop()
+        assert parse_instruction(
+            "SEND p0.$r4, $r4 // p0.$r4 = counter") == \
+            isa.Send(0, 4, 4)
+
+    def test_hex_immediates(self):
+        assert parse_instruction("SET $x, 0xFF") == isa.Set("x", 255)
+
+    def test_errors(self):
+        with pytest.raises(AsmError):
+            parse_instruction("FROB $a, $b")
+        with pytest.raises(AsmError):
+            parse_instruction("ADD a, b, c")  # missing $ sigils
+
+
+class TestProcessListing:
+    def test_process_roundtrip(self):
+        body = [
+            isa.Slice(3, 4, 0, 1),
+            isa.Alu("SEQ", 5, 4, 2),
+            isa.Send(0, 4, 4),
+            isa.Alu("ADD", 4, 4, 1),
+        ]
+        text = format_process(1, body, reg_init={1: 1, 2: 20})
+        pid, parsed = parse_process(text)
+        assert pid == 1
+        assert parsed == body
+
+    def test_compiled_program_dump(self):
+        result = compile_circuit(counter_circuit(),
+                                 CompilerOptions(config=TINY))
+        listing = format_program(result.program)
+        assert ".p0:" in listing
+        assert "privileged" in listing
+        assert "EXPECT" in listing       # the $display/$finish traps
+        assert "EPILOGUE_LENGTH" in listing
+        # every non-comment line parses back
+        for line in listing.splitlines():
+            stripped = line.split("//")[0].strip()
+            if not stripped or stripped.startswith("."):
+                continue
+            parse_instruction(stripped)
+
+    def test_image_dump(self):
+        result = compile_circuit(counter_circuit(),
+                                 CompilerOptions(config=TINY))
+        listing = format_program(result.image)
+        assert "SEND" in listing or "MOV" in listing

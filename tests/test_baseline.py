@@ -1,0 +1,166 @@
+"""Tests for the Verilator-like baseline: serial simulation, Sarkar
+macro-task coarsening, and the multithreaded cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baseline import (
+    SerialSimulator,
+    assign_static,
+    best_mt_rate_khz,
+    build_macrotask_graph,
+    coarsen,
+    instruction_estimate,
+    macrotasks_for,
+    modeled_serial_rate_khz,
+    scaling,
+    simulate_multithreaded,
+)
+from repro.designs import DESIGNS
+from repro.netlist import run_circuit
+from repro.perfmodel import EPYC_7V73X, I7_9700K
+
+from util_circuits import accumulator_circuit, counter_circuit, random_circuit
+
+
+class TestSerial:
+    def test_matches_golden(self):
+        sim = SerialSimulator(counter_circuit())
+        result = sim.run(100)
+        golden = run_circuit(counter_circuit(), 100)
+        assert result.displays == golden.displays
+
+    def test_measured_rate_positive(self):
+        sim = SerialSimulator(counter_circuit(limit=10_000, display=False))
+        rate = sim.measure(2000)
+        assert rate.rate_khz > 0
+
+    def test_instruction_estimate_scales_with_design(self):
+        small = instruction_estimate(counter_circuit())
+        big = instruction_estimate(DESIGNS["vta"].build())
+        assert big > 10 * small
+
+    def test_estimate_counts_width(self):
+        narrow = instruction_estimate(accumulator_circuit(width=16))
+        wide = instruction_estimate(accumulator_circuit(width=128))
+        assert wide > narrow
+
+    def test_modeled_rate_decreases_with_size(self):
+        small = modeled_serial_rate_khz(counter_circuit(), I7_9700K)
+        big = modeled_serial_rate_khz(DESIGNS["noc"].build(), I7_9700K)
+        assert small > big
+
+
+class TestSarkar:
+    def graph_for(self, circuit):
+        return build_macrotask_graph(circuit)
+
+    def test_initial_graph_one_task_per_op(self):
+        circuit = counter_circuit()
+        graph = self.graph_for(circuit)
+        assert graph.num_tasks == len(circuit.ops)
+
+    def test_coarsening_reduces_tasks(self):
+        graph = self.graph_for(random_circuit(1, n_ops=60))
+        before = graph.num_tasks
+        coarsen(graph, min_task_cost=100.0)
+        assert graph.num_tasks < before
+
+    def test_coarsening_preserves_total_cost(self):
+        graph = self.graph_for(random_circuit(2, n_ops=60))
+        total = graph.total_cost()
+        coarsen(graph, min_task_cost=100.0)
+        assert graph.total_cost() == pytest.approx(total)
+
+    def test_coarsened_graph_acyclic(self):
+        graph = self.graph_for(random_circuit(3, n_ops=80))
+        coarsen(graph, min_task_cost=150.0)
+        graph._topo()  # raises on cycles
+
+    def test_critical_path_monotone_under_merging(self):
+        graph = self.graph_for(random_circuit(4, n_ops=60))
+        before = graph.critical_path()
+        coarsen(graph, min_task_cost=120.0)
+        assert graph.critical_path() >= before
+
+    def test_max_tasks_respected(self):
+        graph = self.graph_for(random_circuit(5, n_ops=80))
+        coarsen(graph, min_task_cost=1.0, max_tasks=6)
+        assert graph.num_tasks <= 6
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_merge_invariants_random(self, seed):
+        graph = self.graph_for(random_circuit(seed + 500, n_ops=40))
+        total = graph.total_cost()
+        coarsen(graph, min_task_cost=80.0)
+        assert graph.total_cost() == pytest.approx(total)
+        ids = set(graph.task_ids())
+        for t in ids:
+            assert graph.preds[t] <= ids
+            assert graph.succs[t] <= ids
+
+
+class TestThreadModel:
+    def make_graph(self, seed=7, n_ops=120):
+        return macrotasks_for(random_circuit(seed, n_ops=n_ops),
+                              min_task_cost=60.0)
+
+    def test_assignment_covers_all_tasks(self):
+        graph = self.make_graph()
+        assignment = assign_static(graph, 4)
+        assert set(assignment) == set(graph.task_ids())
+        assert set(assignment.values()) <= set(range(4))
+
+    def test_single_thread_equals_serial_work(self):
+        graph = self.make_graph()
+        res = simulate_multithreaded(graph, I7_9700K, 1, icache=False)
+        expected = graph.total_cost() / I7_9700K.instr_rate
+        assert res.makespan_s == pytest.approx(expected, rel=1e-6)
+        assert res.barrier_s == 0.0
+
+    def test_barrier_added_for_multithread(self):
+        graph = self.make_graph()
+        res = simulate_multithreaded(graph, I7_9700K, 4, icache=False)
+        assert res.barrier_s > 0
+
+    def test_small_design_does_not_scale(self):
+        # Paper Fig. 6: small benchmarks slow down with threads.
+        graph = macrotasks_for(counter_circuit(display=False),
+                               min_task_cost=10.0)
+        rates = scaling(graph, I7_9700K, [1, 2, 4])
+        assert rates[1] > rates[2] > rates[4]
+
+    def test_large_design_scales_then_plateaus(self):
+        # A synthetic coarse-grained workload (64 independent 8k-instr
+        # chains, ~512k instr/cycle): the paper's bottom-of-Fig.-5
+        # regime where parallelism pays off.
+        from repro.baseline.sarkar import MacroTaskGraph
+        n = 64
+        graph = MacroTaskGraph(
+            costs=[8000.0] * n,
+            preds=[set() for _ in range(n)],
+            succs=[set() for _ in range(n)],
+            alive=[True] * n,
+        )
+        rates = scaling(graph, EPYC_7V73X, [1, 2, 4, 8, 16, 32])
+        assert rates[8] > 2 * rates[1]  # real speedup
+        # and scaling saturates: 32 threads no better than the best.
+        assert rates[32] <= max(rates.values()) + 1e-9
+
+    def test_best_mt_rate(self):
+        graph = self.make_graph()
+        threads, rate = best_mt_rate_khz(graph, I7_9700K)
+        assert threads in (2, 4, 8)
+        assert rate > 0
+
+    def test_efficiency_bounded(self):
+        graph = self.make_graph()
+        res = simulate_multithreaded(graph, I7_9700K, 4)
+        assert 0.0 < res.efficiency <= 1.0
+
+    def test_deterministic(self):
+        graph = self.make_graph()
+        a = simulate_multithreaded(graph, I7_9700K, 4)
+        b = simulate_multithreaded(graph, I7_9700K, 4)
+        assert a.cycle_time_s == b.cycle_time_s

@@ -1,0 +1,100 @@
+"""Property-based tests: the cache against a flat-memory reference model,
+and the i-cache penalty curve's invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import Cache, MachineConfig
+from repro.perfmodel import EPYC_7V73X, I7_9700K, XEON_8272CL
+
+
+def make_cache():
+    config = MachineConfig(cache_words=128, cache_line_words=8,
+                           cache_hit_stall=1, cache_miss_stall=10,
+                           cache_writeback_stall=5)
+    return Cache(config)
+
+
+ops = st.lists(
+    st.tuples(st.booleans(), st.integers(0, 1023),
+              st.integers(0, 0xFFFF)),
+    min_size=1, max_size=200,
+)
+
+
+class TestCacheCoherence:
+    @given(ops)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_flat_memory(self, trace):
+        cache = make_cache()
+        flat: dict[int, int] = {}
+        for is_write, addr, value in trace:
+            if is_write:
+                cache.write(addr, value)
+                flat[addr] = value
+            else:
+                got, _ = cache.read(addr)
+                assert got == flat.get(addr, 0)
+
+    @given(ops)
+    @settings(max_examples=30, deadline=None)
+    def test_flush_publishes_everything(self, trace):
+        cache = make_cache()
+        flat: dict[int, int] = {}
+        for is_write, addr, value in trace:
+            if is_write:
+                cache.write(addr, value)
+                flat[addr] = value
+            else:
+                cache.read(addr)
+        cache.flush()
+        for addr, value in flat.items():
+            assert cache.dram.get(addr, 0) == value
+
+    @given(ops)
+    @settings(max_examples=30, deadline=None)
+    def test_peek_always_coherent(self, trace):
+        cache = make_cache()
+        flat: dict[int, int] = {}
+        for is_write, addr, value in trace:
+            if is_write:
+                cache.write(addr, value)
+                flat[addr] = value
+            else:
+                cache.read(addr)
+            assert cache.peek(addr) == flat.get(addr, 0)
+
+    @given(ops)
+    @settings(max_examples=30, deadline=None)
+    def test_stats_consistent(self, trace):
+        cache = make_cache()
+        for is_write, addr, value in trace:
+            if is_write:
+                cache.write(addr, value)
+            else:
+                cache.read(addr)
+        s = cache.stats
+        assert s.hits + s.misses == s.accesses == len(trace)
+        assert s.writebacks <= s.misses
+
+
+class TestIcachePenalty:
+    @given(st.floats(1.0, 1e9))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, footprint):
+        for platform in (I7_9700K, XEON_8272CL, EPYC_7V73X):
+            p = platform.icache_penalty(footprint)
+            assert 1.0 <= p <= platform.penalty_max + 1e-9
+
+    @given(st.floats(1.0, 1e8), st.floats(1.0, 1e8))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        assert I7_9700K.icache_penalty(lo) <= \
+            I7_9700K.icache_penalty(hi) + 1e-9
+
+    def test_within_l1_free(self):
+        assert I7_9700K.icache_penalty(16 * 1024) == 1.0
+
+    def test_barrier_grows_with_threads(self):
+        assert EPYC_7V73X.barrier_ns(64) > EPYC_7V73X.barrier_ns(2)
+        assert EPYC_7V73X.barrier_ns(1) == 0.0

@@ -1,0 +1,91 @@
+"""Property-based tests on the netlist DAG utilities and cross-simulator
+invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import CircuitBuilder, CircuitDag, NetlistInterpreter, sink_cones
+from repro.netlist.ir import OpKind, topological_order
+
+from util_circuits import random_circuit
+
+
+class TestCircuitDag:
+    def make_dag(self, seed=0):
+        return CircuitDag.from_circuit(random_circuit(seed))
+
+    @given(st.integers(0, 25))
+    @settings(max_examples=12, deadline=None)
+    def test_levels_respect_edges(self, seed):
+        dag = self.make_dag(seed)
+        levels = dag.levels()
+        for name, consumers in dag.consumers.items():
+            for consumer in consumers:
+                assert levels[consumer] >= levels[name] + 1
+
+    @given(st.integers(0, 25))
+    @settings(max_examples=12, deadline=None)
+    def test_heights_respect_edges(self, seed):
+        dag = self.make_dag(seed)
+        heights = dag.height()
+        for name, consumers in dag.consumers.items():
+            for consumer in consumers:
+                assert heights[name] >= heights[consumer] + 1
+
+    @given(st.integers(0, 25))
+    @settings(max_examples=12, deadline=None)
+    def test_critical_path_equals_max_level(self, seed):
+        dag = self.make_dag(seed)
+        levels = dag.levels()
+        assert dag.critical_path_length() == max(levels.values()) + 1
+
+    def test_fanin_cone_contains_roots(self):
+        dag = self.make_dag(3)
+        for sink, cone in sink_cones(dag).items():
+            assert sink in cone
+            # cones are closed under data predecessors
+            for member in cone:
+                for arg in dag.producers[member].args:
+                    if arg.name in dag.producers:
+                        assert arg.name in cone
+
+    def test_topological_order_is_valid(self):
+        circuit = random_circuit(11)
+        seen = set()
+        for op in topological_order(circuit):
+            for arg in op.args:
+                producer_names = {o.result.name for o in circuit.ops}
+                if arg.name in producer_names:
+                    assert arg.name in seen
+            seen.add(op.result.name)
+
+
+class TestInterpreterInvariants:
+    @given(st.integers(0, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_values_stay_in_width(self, seed):
+        circuit = random_circuit(seed + 1300, n_ops=15)
+        interp = NetlistInterpreter(circuit)
+        widths = circuit.wire_widths()
+        for _ in range(5):
+            interp.step()
+            for name, value in interp.trace.items():
+                if name in widths:
+                    assert 0 <= value < (1 << widths[name]), name
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=10, deadline=None)
+    def test_determinism(self, seed):
+        a = NetlistInterpreter(random_circuit(seed + 1400)).run(10)
+        b = NetlistInterpreter(random_circuit(seed + 1400)).run(10)
+        assert a.displays == b.displays
+        assert a.cycles == b.cycles
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=10, deadline=None)
+    def test_step_equals_run(self, seed):
+        stepped = NetlistInterpreter(random_circuit(seed + 1500))
+        for _ in range(6):
+            stepped.step()
+        ran = NetlistInterpreter(random_circuit(seed + 1500)).run(6)
+        assert stepped.displays == ran.displays

@@ -1,0 +1,61 @@
+"""Tests for the execution tracer."""
+
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.machine import Machine, TINY
+from repro.machine.debug import TraceRecorder
+
+from util_circuits import counter_circuit
+
+
+def make_machine():
+    result = compile_circuit(counter_circuit(limit=4),
+                             CompilerOptions(config=TINY))
+    return Machine(result.program, TINY)
+
+
+class TestTraceRecorder:
+    def test_records_instructions(self):
+        machine = make_machine()
+        trace = TraceRecorder(machine)
+        machine.run(10)
+        assert trace.entries
+        text = trace.render(limit=20)
+        assert "core" in text
+        assert trace.count("EXPECT") > 0  # display/finish traps
+
+    def test_core_filter(self):
+        machine = make_machine()
+        trace = TraceRecorder(machine, cores={0})
+        machine.run(10)
+        assert all(e.core == 0 for e in trace.entries)
+
+    def test_mnemonic_filter(self):
+        machine = make_machine()
+        trace = TraceRecorder(machine, mnemonics={"SEND"})
+        machine.run(10)
+        assert trace.entries
+        assert all(e.text.startswith("SEND") for e in trace.entries)
+
+    def test_window(self):
+        machine = make_machine()
+        trace = TraceRecorder(machine, last_vcycles=1)
+        machine.run(10)
+        vcycles = {e.vcycle for e in trace.entries}
+        assert len(vcycles) <= 1
+
+    def test_tracing_preserves_behaviour(self):
+        plain = make_machine().run(10)
+        machine = make_machine()
+        TraceRecorder(machine)
+        traced = machine.run(10)
+        assert traced.displays == plain.displays
+        assert traced.vcycles == plain.vcycles
+
+    def test_detach(self):
+        machine = make_machine()
+        trace = TraceRecorder(machine)
+        machine.step_vcycle()
+        n = len(trace.entries)
+        trace.detach()
+        machine.step_vcycle()
+        assert len(trace.entries) == n

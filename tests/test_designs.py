@@ -1,0 +1,170 @@
+"""Tests for the nine benchmark designs and the Fig. 8 microbenchmarks.
+
+Every design carries its own assertion-based driver comparing against a
+Python reference model, so a clean golden-interpreter run *is* the
+functional check.  A subset is additionally compiled and executed on the
+cycle-accurate Manticore machine (full differential coverage of the big
+designs lives in the slower benchmark harness).
+"""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.designs import DESIGNS, bc, blur, cgra, jpeg, mc, micro, mm, nocsim, rv32r, vta
+from repro.machine import Machine, MachineConfig
+from repro.netlist import NetlistInterpreter, run_circuit
+
+
+@pytest.mark.parametrize("name", sorted(DESIGNS))
+def test_design_passes_reference_checks(name):
+    info = DESIGNS[name]
+    result = run_circuit(info.build(), info.cycles + 300)
+    assert result.finished, f"{name} did not finish"
+    assert result.displays, f"{name} produced no output"
+
+
+class TestDesignDetails:
+    def test_bc_reports_golden_nonces(self):
+        result = run_circuit(bc.build(rounds=12, difficulty_bits=7), 600)
+        nonces = [int(d.split()[2]) for d in result.displays]
+        for nonce in nonces:
+            assert bc.sha_rounds_reference(nonce, 12) & 0x7F == 0
+
+    def test_bc_difficulty_filters(self):
+        # Higher difficulty yields a subset of lower-difficulty hits.
+        lo = run_circuit(bc.build(rounds=12, difficulty_bits=4), 400)
+        hi = run_circuit(bc.build(rounds=12, difficulty_bits=7), 400)
+        lo_nonces = {d.split()[2] for d in lo.displays}
+        hi_nonces = {d.split()[2] for d in hi.displays}
+        assert hi_nonces <= lo_nonces
+
+    def test_mm_checksum_matches_reference(self):
+        a, b = mm.test_matrices(4)
+        product = mm.reference_product(a, b)
+        expected = sum(sum(row) for row in product) & 0xFFFFFFFF
+        result = run_circuit(mm.build(n=4), 200)
+        assert result.displays == [f"mm checksum {expected}"]
+
+    def test_mc_walker_independence(self):
+        # The sum over w walkers equals the sum of per-walker models.
+        assert mc.reference_sum(4, 16) == sum(
+            mc.reference_sum(w + 1, 16) - mc.reference_sum(w, 16)
+            for w in range(4)
+        ) & 0xFFFFFFFF
+
+    def test_jpeg_is_serial(self):
+        # The decoded symbol count grows with the bit budget.
+        c64, _ = jpeg.reference_decode(64)
+        c128, _ = jpeg.reference_decode(128)
+        assert 0 < c64 < c128
+
+    def test_blur_checksum_nonzero(self):
+        assert blur.reference_checksum(8, 8) > 0
+
+    def test_nocsim_delivery(self):
+        count, _sig = nocsim.reference_signature(3, 3, 2, 48)
+        assert count > 0
+
+    def test_rv32r_cores_diverge(self):
+        finals = rv32r.reference_final_r0(4, 8)
+        assert len(set(finals)) > 1  # cores compute different values
+
+    def test_vta_reference_scales(self):
+        small = vta.reference_checksum(1, 2, 2)
+        large = vta.reference_checksum(2, 4, 4)
+        assert small != large
+
+    def test_parameterization(self):
+        # Every design builds at a smaller-than-default scale too.
+        run_circuit(vta.build(batch=1, block_in=2, block_out=2), 64)
+        run_circuit(mm.build(n=2), 64)
+        run_circuit(mc.build(walkers=2, steps=8), 32)
+        run_circuit(cgra.build(rows=2, cols=2, steps=8), 32)
+        run_circuit(rv32r.build(num_cores=2, iterations=2), 128)
+        run_circuit(nocsim.build(nx=2, ny=2, vcs=1, steps=8), 32)
+        run_circuit(bc.build(rounds=2, difficulty_bits=2, max_cycles=32), 64)
+        run_circuit(blur.build(width=4, height=4), 32)
+        run_circuit(jpeg.build(num_bits=32), 64)
+
+
+class TestMicrobenchmarks:
+    def test_fifo_local(self):
+        result = run_circuit(micro.build_fifo(1024, cycles=256), 300)
+        assert result.finished
+
+    def test_ram_local(self):
+        result = run_circuit(micro.build_ram(1024, cycles=256), 300)
+        assert result.finished
+
+    def test_large_memories_marked_global(self):
+        from repro.compiler import lower_circuit, optimize
+        big = lower_circuit(optimize(
+            micro.build_ram(64 * 1024, cycles=16)))
+        assert any(layout.is_global
+                   for layout in big.memories.values())
+        small = lower_circuit(optimize(
+            micro.build_ram(1024, cycles=16)))
+        assert not any(layout.is_global
+                       for layout in small.memories.values())
+
+
+# Designs small enough to compile + machine-run quickly in unit tests.
+_COMPILED = {
+    "jpeg": {},
+    "blur": {},
+    "cgra": {"rows": 3, "cols": 3, "steps": 24},
+    "mm": {"n": 4},
+    "mc": {"walkers": 4, "steps": 24},
+    "rv32r": {"num_cores": 3, "iterations": 4},
+    "vta": {"batch": 2, "block_in": 4, "block_out": 4},
+    "bc": {"rounds": 4, "difficulty_bits": 4, "max_cycles": 128},
+    "noc": {"nx": 2, "ny": 2, "vcs": 2, "steps": 24},
+}
+
+_BUILDERS = {
+    "jpeg": jpeg.build, "blur": blur.build, "cgra": cgra.build,
+    "mm": mm.build, "mc": mc.build, "rv32r": rv32r.build,
+    "vta": vta.build, "bc": bc.build, "noc": nocsim.build,
+}
+
+
+@pytest.mark.parametrize("name", sorted(_COMPILED))
+def test_design_compiles_and_matches_machine(name):
+    params = _COMPILED[name]
+    config = MachineConfig(grid_x=4, grid_y=4)
+    golden = NetlistInterpreter(_BUILDERS[name](**params)).run(1500)
+    result = compile_circuit(_BUILDERS[name](**params),
+                             CompilerOptions(config=config))
+    machine = Machine(result.program, config)
+    mres = machine.run(1500)
+    assert mres.displays == golden.displays
+    assert mres.vcycles == golden.cycles
+    assert mres.finished == golden.finished
+
+
+class TestDesignScaling:
+    """Designs must build and pass their drivers at larger-than-default
+    parameterizations too (the knobs EXPERIMENTS.md's scale discussion
+    relies on)."""
+
+    def test_mm_larger(self):
+        result = run_circuit(mm.build(n=12), 100)
+        assert result.finished
+
+    def test_mc_more_walkers(self):
+        result = run_circuit(mc.build(walkers=48, steps=32), 100)
+        assert result.finished
+
+    def test_bc_more_rounds(self):
+        result = run_circuit(
+            bc.build(rounds=16, difficulty_bits=4, max_cycles=64), 100)
+        assert result.finished
+
+    def test_vta_larger_block(self):
+        result = run_circuit(vta.build(batch=4, block_in=8,
+                                       block_out=16), 1200)
+        assert result.finished
+
+    def test_cgra_wider(self):
+        result = run_circuit(cgra.build(rows=12, cols=12, steps=24), 64)
+        assert result.finished

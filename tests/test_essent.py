@@ -1,0 +1,94 @@
+"""Tests for the ESSENT-style conditional-evaluation simulator."""
+
+import pytest
+
+from repro.baseline import EssentSimulator
+from repro.designs import DESIGNS
+from repro.netlist import CircuitBuilder, run_circuit
+from repro.perfmodel import I7_9700K
+
+from util_circuits import counter_circuit, memory_circuit, random_circuit
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_golden_on_random_circuits(self, seed):
+        golden = run_circuit(random_circuit(seed + 2000), 20)
+        sim = EssentSimulator(random_circuit(seed + 2000))
+        sim.run(20)
+        assert sim.displays == golden.displays
+
+    def test_counter(self):
+        golden = run_circuit(counter_circuit(), 100)
+        sim = EssentSimulator(counter_circuit())
+        sim.run(100)
+        assert sim.displays == golden.displays
+        assert sim.finished
+
+    def test_memories(self):
+        golden = run_circuit(memory_circuit(), 100)
+        sim = EssentSimulator(memory_circuit())
+        sim.run(100)
+        assert sim.displays == golden.displays
+
+    @pytest.mark.parametrize("name", ["jpeg", "blur", "cgra"])
+    def test_benchmark_designs(self, name):
+        info = DESIGNS[name]
+        golden = run_circuit(info.build(), info.cycles + 300)
+        sim = EssentSimulator(info.build())
+        sim.run(info.cycles + 300)
+        assert sim.displays == golden.displays
+
+
+class TestActivityAccounting:
+    def make_gated(self, divisor):
+        """A cheap always-on divider gating an expensive datapath: the
+        datapath's inputs only change when the divider fires, so an
+        activity-aware simulator can skip it."""
+        m = CircuitBuilder("gated")
+        cyc = m.register("cyc", 16)
+        cyc.next = (cyc + 1).trunc(16)
+        div = m.register("div", 8)
+        wrap = div == (divisor - 1)
+        div.next = m.mux(wrap, (div + 1).trunc(8), m.const(0, 8))
+        heavy = m.register("heavy", 32, init=0x1234)
+        value = heavy
+        for stage in range(8):
+            value = (value.mul_wide(value).trunc(32)
+                     ^ (value + stage)).trunc(32)
+        heavy.update(wrap, value)
+        m.display(cyc == 64, "%d", heavy)
+        m.finish(cyc == 64)
+        return m.build()
+
+    def test_low_activity_skips_work(self):
+        active = EssentSimulator(self.make_gated(1), min_task_cost=5)
+        active.run(80)
+        gated = EssentSimulator(self.make_gated(16), min_task_cost=5)
+        gated.run(80)
+        assert gated.stats.work_factor < active.stats.work_factor
+        assert gated.stats.partition_skips > 0
+
+    def test_activity_factor_bounds(self):
+        sim = EssentSimulator(counter_circuit())
+        stats = sim.run(50)
+        assert 0.0 < stats.activity_factor <= 1.0
+        assert 0.0 < stats.work_factor <= 1.0
+
+    def test_rate_model_positive(self):
+        sim = EssentSimulator(counter_circuit(display=False))
+        sim.run(30)
+        assert sim.modeled_rate_khz(I7_9700K) > 0
+
+    def test_rate_model_requires_run(self):
+        sim = EssentSimulator(counter_circuit())
+        with pytest.raises(RuntimeError):
+            sim.modeled_rate_khz(I7_9700K)
+
+    def test_always_active_design_never_skips_compute(self):
+        # bc's pipeline changes every wire every cycle.
+        from repro.designs import bc
+        sim = EssentSimulator(bc.build(rounds=4, difficulty_bits=2,
+                                       max_cycles=40))
+        stats = sim.run(60)
+        assert stats.activity_factor > 0.9

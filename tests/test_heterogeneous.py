@@ -1,0 +1,86 @@
+"""Tests for heterogeneous grids (paper SSA.7, future work): some cores
+lack a scratchpad; the compiler places memory-using processes only on
+scratchpad-equipped cores."""
+
+import pytest
+
+from repro.compiler import CompilerError, CompilerOptions, compile_circuit
+from repro.fpga.resources import max_cores, max_cores_heterogeneous
+from repro.machine import Machine, MachineConfig
+from repro.netlist import NetlistInterpreter
+
+from util_circuits import counter_circuit, memory_circuit
+
+
+def hetero_config(scratchpad_cores, grid=3):
+    return MachineConfig(grid_x=grid, grid_y=grid,
+                         scratchpad_cores=scratchpad_cores)
+
+
+class TestResourceBound:
+    def test_all_scratchpads_matches_homogeneous(self):
+        assert max_cores_heterogeneous(1.0) == max_cores()
+
+    def test_no_scratchpads_doubles_cores(self):
+        assert max_cores_heterogeneous(0.0) == 2 * max_cores()
+
+    def test_paper_example_more_cores(self):
+        # Half the cores scratchpad-less: ~33% more cores fit.
+        assert max_cores_heterogeneous(0.5) > 1.3 * max_cores()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_cores_heterogeneous(1.5)
+
+
+class TestPlacement:
+    def test_memory_design_runs_on_hetero_grid(self):
+        # memory_circuit has an SRAM-able memory only if mem2reg is off;
+        # force it to stay a memory via a zero threshold.
+        config = hetero_config(scratchpad_cores=2)
+        golden = NetlistInterpreter(memory_circuit()).run(100)
+        result = compile_circuit(
+            memory_circuit(),
+            CompilerOptions(config=config, mem2reg_max_words=0))
+        # Scratchpad images only on equipped cores.
+        for cid, binary in result.program.cores.items():
+            if binary.scratch_init:
+                assert cid < 2
+        mres = Machine(result.program, config).run(100)
+        assert mres.displays == golden.displays
+
+    def test_pure_register_design_spreads_anywhere(self):
+        config = hetero_config(scratchpad_cores=1)
+        golden = NetlistInterpreter(counter_circuit()).run(100)
+        result = compile_circuit(counter_circuit(),
+                                 CompilerOptions(config=config))
+        mres = Machine(result.program, config).run(100)
+        assert mres.displays == golden.displays
+
+    def test_too_few_scratchpad_cores_rejected(self):
+        # Many independent memories cannot fit on one scratchpad core if
+        # each needs its own process... they can co-locate, but zero
+        # scratchpad cores must always fail (privileged core needs one).
+        config = hetero_config(scratchpad_cores=0)
+        with pytest.raises(CompilerError):
+            compile_circuit(
+                memory_circuit(),
+                CompilerOptions(config=config, mem2reg_max_words=0))
+
+    def test_machine_faults_on_misplaced_local_access(self):
+        from repro import isa
+        from repro.isa.program import CoreBinary, ExceptionTable, MachineProgram, SimulationFailure
+        config = hetero_config(scratchpad_cores=1, grid=2)
+        prog = MachineProgram(
+            name="bad", grid=(2, 2),
+            cores={
+                0: CoreBinary(body=[isa.Nop()], epilogue_length=0,
+                              sleep_length=10),
+                3: CoreBinary(body=[isa.LocalLoad(1, 0, 0)],
+                              epilogue_length=0, sleep_length=10,
+                              reg_init={0: 0}),
+            },
+            vcpl=11, exceptions=ExceptionTable())
+        machine = Machine(prog, config)
+        with pytest.raises(SimulationFailure):
+            machine.run(1)

@@ -1,0 +1,211 @@
+"""Unit and property tests for the Manticore ISA."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import isa
+from repro.isa import encoding
+from repro.isa.program import ExceptionTable, FinishAction, Process, ProgramImage
+from repro.isa.semantics import eval_alu, eval_custom, to_signed16
+
+
+class TestAluSemantics:
+    @pytest.mark.parametrize("op,a,b,expect", [
+        ("ADD", 0xFFFF, 1, 0),
+        ("SUB", 0, 1, 0xFFFF),
+        ("AND", 0xF0F0, 0xFF00, 0xF000),
+        ("OR", 0xF0F0, 0x0F0F, 0xFFFF),
+        ("XOR", 0xAAAA, 0xFFFF, 0x5555),
+        ("MUL", 0x100, 0x100, 0),
+        ("MULH", 0x100, 0x100, 1),
+        ("SLL", 1, 15, 0x8000),
+        ("SLL", 1, 16, 0),
+        ("SRL", 0x8000, 15, 1),
+        ("SRA", 0x8000, 15, 0xFFFF),
+        ("SEQ", 5, 5, 1),
+        ("SEQ", 5, 6, 0),
+        ("SLTU", 1, 0xFFFF, 1),
+        ("SLTS", 1, 0xFFFF, 0),   # 1 < -1 is false signed
+        ("SLTS", 0xFFFF, 1, 1),   # -1 < 1 signed
+    ])
+    def test_cases(self, op, a, b, expect):
+        assert eval_alu(op, a, b) == expect
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_add_matches_python(self, a, b):
+        assert eval_alu("ADD", a, b) == (a + b) & 0xFFFF
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_mul_pair_reconstructs_product(self, a, b):
+        lo = eval_alu("MUL", a, b)
+        hi = eval_alu("MULH", a, b)
+        assert (hi << 16) | lo == a * b
+
+    @given(st.integers(0, 0xFFFF))
+    def test_signed_roundtrip(self, a):
+        assert to_signed16(a) & 0xFFFF == a
+
+
+class TestCustomFunction:
+    def _config_for(self, fn):
+        """Build a CFU config from a per-bit boolean function."""
+        config = 0
+        for pos in range(16):
+            for row in range(16):
+                bits = [(row >> i) & 1 for i in range(4)]
+                if fn(pos, *bits):
+                    config |= 1 << (pos * 16 + row)
+        return config
+
+    def test_and_or(self):
+        config = self._config_for(lambda pos, a, b, c, d: (a & b) | c)
+        for a, b, c in [(0xFFFF, 0x00FF, 0xF000), (0x1234, 0x5678, 0x0001)]:
+            assert eval_custom(config, a, b, c, 0) == ((a & b) | c)
+
+    def test_per_position_constants(self):
+        # Absorb the constant 0xF00F: result = a & 0xF00F.
+        const = 0xF00F
+        config = self._config_for(
+            lambda pos, a, b, c, d: a & ((const >> pos) & 1))
+        assert eval_custom(config, 0xFFFF, 0, 0, 0) == const
+        assert eval_custom(config, 0x1234, 0, 0, 0) == 0x1234 & const
+
+
+class TestEncoding:
+    CASES = [
+        isa.Nop(),
+        isa.Set(5, 0xBEEF),
+        isa.Alu("ADD", 1, 2, 3),
+        isa.Alu("SLTS", 2047, 0, 2047),
+        isa.Mux(4, 5, 6, 7),
+        isa.Slice(1, 2, offset=3, length=5),
+        isa.Slice(1, 2, offset=15, length=16),
+        isa.AddCarry(9, 10, 11),
+        isa.SetCarry(1),
+        isa.Custom(3, 0, (1, 2, 3, 4)),
+        isa.Custom(3, 31, (1, 2, 3, 4)),
+        isa.Send(224, 7, 8),
+        isa.LocalLoad(1, 2, 16383),
+        isa.LocalStore(1, 2, 0),
+        isa.Predicate(42),
+        isa.GlobalLoad(1, (2, 3, 4)),
+        isa.GlobalStore(1, (2, 3, 4)),
+        isa.Expect(1, 2, 0xABCD),
+    ]
+
+    @pytest.mark.parametrize("instr", CASES, ids=lambda i: repr(i))
+    def test_roundtrip(self, instr):
+        word = encoding.encode(instr)
+        assert 0 <= word < (1 << 64)
+        assert encoding.decode(word) == instr
+
+    def test_virtual_register_rejected(self):
+        with pytest.raises(encoding.EncodingError):
+            encoding.encode(isa.Alu("ADD", "v1", "v2", "v3"))
+
+    def test_register_range_checked(self):
+        with pytest.raises(encoding.EncodingError):
+            encoding.encode(isa.Set(2048, 0))
+
+    @given(st.integers(0, 2047), st.integers(0, 2047), st.integers(0, 2047),
+           st.sampled_from(list(encoding._ALU_INDEX)))
+    def test_alu_roundtrip_property(self, rd, rs1, rs2, op):
+        instr = isa.Alu(op, rd, rs1, rs2)
+        assert encoding.decode(encoding.encode(instr)) == instr
+
+    def test_program_roundtrip(self):
+        words = encoding.encode_program(self.CASES)
+        assert encoding.decode_program(words) == self.CASES
+
+
+class TestInstructionProtocol:
+    def test_reads_writes(self):
+        i = isa.Alu("ADD", "d", "a", "b")
+        assert i.reads() == ("a", "b")
+        assert i.writes() == ("d",)
+        assert isa.Send(0, "rt", "rs").writes() == ()
+        assert isa.GlobalStore("v", ("h", "m", "l")).reads() == \
+            ("v", "h", "m", "l")
+
+    def test_rename_all_operand_kinds(self):
+        mapping = {"a": 1, "b": 2, "c": 3, "d": 4}
+        assert isa.Mux("d", "a", "b", "c").rename(mapping) == \
+            isa.Mux(4, 1, 2, 3)
+        assert isa.GlobalLoad("d", ("a", "b", "c")).rename(mapping) == \
+            isa.GlobalLoad(4, (1, 2, 3))
+
+    def test_privileged_classification(self):
+        assert isa.is_privileged(isa.Expect("a", "b", 1))
+        assert isa.is_privileged(isa.GlobalLoad("d", ("a", "b", "c")))
+        assert not isa.is_privileged(isa.Alu("ADD", "d", "a", "b"))
+        assert not isa.is_privileged(isa.LocalStore("a", "b", 0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            isa.Alu("BOGUS", "d", "a", "b")
+        with pytest.raises(ValueError):
+            isa.Slice("d", "a", offset=16, length=1)
+        with pytest.raises(ValueError):
+            isa.Custom("d", 32, ("a", "b", "c", "d"))
+        with pytest.raises(ValueError):
+            isa.SetCarry(2)
+
+
+class TestFunctionalInterpreter:
+    def make_image(self, processes, exceptions=None):
+        return ProgramImage("test", {p.pid: p for p in processes},
+                            exceptions or ExceptionTable())
+
+    def test_bsp_send_visible_next_vcycle(self):
+        # p0 increments a counter and sends it to p1; p1 copies what it saw.
+        p0 = Process(0, body=[
+            isa.Alu("ADD", "count", "count", "one"),
+            isa.Send(1, "remote_count", "count"),
+        ], reg_init={"count": 0, "one": 1})
+        p1 = Process(1, body=[
+            isa.Alu("ADD", "seen", "remote_count", "zero"),
+        ], reg_init={"remote_count": 0, "zero": 0})
+        interp = isa.FunctionalInterpreter(self.make_image([p0, p1]))
+        interp.step()
+        # After Vcycle 0: p0.count == 1, message committed, but p1 computed
+        # "seen" from the pre-commit value 0.
+        assert interp.peek_reg(0, "count") == 1
+        assert interp.peek_reg(1, "remote_count") == 1
+        assert interp.peek_reg(1, "seen") == 0
+        interp.step()
+        assert interp.peek_reg(1, "seen") == 1
+
+    def test_wide_add_carry_chain(self):
+        # 32-bit add: 0x0001FFFF + 1 = 0x00020000 over two 16-bit limbs.
+        p = Process(0, body=[
+            isa.SetCarry(0),
+            isa.AddCarry("lo", "alo", "blo"),
+            isa.AddCarry("hi", "ahi", "bhi"),
+        ], reg_init={"alo": 0xFFFF, "ahi": 0x0001, "blo": 1, "bhi": 0})
+        interp = isa.FunctionalInterpreter(self.make_image([p]))
+        interp.step()
+        assert interp.peek_reg(0, "lo") == 0
+        assert interp.peek_reg(0, "hi") == 2
+
+    def test_scratchpad_and_predicate(self):
+        p = Process(0, body=[
+            isa.Predicate("yes"),
+            isa.LocalStore("val", "base", 5),
+            isa.Predicate("no"),
+            isa.LocalStore("other", "base", 5),   # suppressed
+            isa.LocalLoad("out", "base", 5),
+        ], reg_init={"yes": 1, "no": 0, "val": 77, "other": 99, "base": 10})
+        interp = isa.FunctionalInterpreter(self.make_image([p]))
+        interp.step()
+        assert interp.peek_scratch(0, 15) == 77
+        assert interp.peek_reg(0, "out") == 77
+
+    def test_finish_exception(self):
+        table = ExceptionTable()
+        eid = table.register(FinishAction())
+        p = Process(0, body=[isa.Expect("a", "b", eid)],
+                    reg_init={"a": 1, "b": 0})
+        interp = isa.FunctionalInterpreter(self.make_image([p], table))
+        result = interp.run(10)
+        assert result.finished
+        assert result.vcycles == 1

@@ -1,0 +1,159 @@
+"""Tests for the SS7.1 parallel-simulation models, the FPGA physical
+model, and the Azure cost analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cost import D2_V4, D16_V4, HB120, NP10S, cost_table, estimate, workday_flags
+from repro.fpga import (
+    CORE,
+    U200,
+    core_utilization_percent,
+    frequency_mhz,
+    grid_resources,
+    max_cores,
+    needs_guided_floorplan,
+    sram_capacity_mib,
+    table1_rows,
+)
+from repro.perfmodel import (
+    EPYC_7V73X,
+    FIG5_SIZES,
+    I7_9700K,
+    XEON_8272CL,
+    scaling_curve,
+    simulation_rate_khz,
+    speedup_table,
+)
+
+
+class TestBspModel:
+    def test_serial_rates_by_size(self):
+        # Paper Fig. 5 regimes: 3.5k instr -> MHz-class serial rates;
+        # 3.5M instr -> kHz-class.
+        fine = simulation_rate_khz(3_500, 1, I7_9700K)
+        coarse = simulation_rate_khz(3_500_000, 1, I7_9700K)
+        assert fine > 1_000          # > 1 MHz
+        assert coarse < 10           # < 10 kHz
+
+    def test_fine_grain_collapses_at_two_threads(self):
+        one = simulation_rate_khz(3_500, 1, I7_9700K)
+        two = simulation_rate_khz(3_500, 2, I7_9700K)
+        assert two < 0.6 * one       # the steep drop of Fig. 5 (top)
+
+    def test_coarse_grain_benefits(self):
+        curve = scaling_curve(I7_9700K, 3_500_000, model=1)
+        assert curve.max_speedup > 4.0
+        assert curve.best_threads == I7_9700K.cores
+
+    def test_model2_slower_serial_but_higher_speedup(self):
+        m1 = scaling_curve(I7_9700K, 350_000, model=1)
+        m2 = scaling_curve(I7_9700K, 350_000, model=2)
+        assert m2.rates_khz[0] < m1.rates_khz[0]   # i-cache pressure
+        assert m2.max_speedup >= m1.max_speedup    # paper: "better since
+        # its numerator (serial execution) suffers more from i-cache
+        # misses"
+
+    def test_superlinear_possible_with_icache(self):
+        # Paper: "(i7, 3.5M) shows that cache effects can produce
+        # super-linear improvement."
+        curve = scaling_curve(I7_9700K, 3_500_000, model=2)
+        assert curve.max_speedup > I7_9700K.cores
+
+    def test_speedup_table_shape(self):
+        rows = speedup_table([I7_9700K, EPYC_7V73X])
+        assert len(rows) == 2 * len(FIG5_SIZES)
+        for row in rows:
+            assert row["model1_speedup"] >= 0.99
+        # Larger designs offer more speedup (both platforms, model 1).
+        for platform in ("i7-9700K", "EPYC 7V73X"):
+            mine = [r["model1_speedup"] for r in rows
+                    if r["platform"] == platform]
+            assert mine == sorted(mine)
+
+    def test_epyc_serial_lags_desktop(self):
+        # Paper: "the EPYC processor lags behind the desktop processor".
+        assert simulation_rate_khz(35_000, 1, EPYC_7V73X) < \
+            simulation_rate_khz(35_000, 1, I7_9700K)
+
+    @given(st.integers(1_000, 5_000_000), st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_rate_positive_and_bounded(self, n, p):
+        rate = simulation_rate_khz(n, p, XEON_8272CL, icache=True)
+        ideal = XEON_8272CL.instr_rate / (n / p) / 1e3
+        assert 0 < rate <= ideal + 1e-9
+
+
+class TestFpga:
+    def test_max_cores_is_398(self):
+        assert max_cores() == 398  # paper SS7.2
+
+    def test_core_utilization_under_a_quarter_percent(self):
+        util = core_utilization_percent()
+        # Paper: "Each core requires less than 0.021% of the U200's
+        # resources" for the binding resource classes scaled by count;
+        # every class stays well under 1%.
+        assert all(v < 1.0 for v in util.values())
+        assert util["uram"] == pytest.approx(0.208, abs=0.01)
+
+    def test_grid_fits_u200(self):
+        assert grid_resources(225).fits_in(U200)
+        assert not grid_resources(500).fits_in(U200)
+
+    def test_table1_frequencies(self):
+        t15 = frequency_mhz(15, 15)
+        assert t15.auto_mhz == pytest.approx(395.0)
+        assert t15.guided_mhz == pytest.approx(475.0)
+        t8 = frequency_mhz(8, 8)
+        assert t8.auto_mhz == pytest.approx(500.0)
+
+    def test_frequency_cliff_without_guidance(self):
+        # Paper Table 1: auto floorplan collapses at 16x16.
+        assert frequency_mhz(16, 16).auto_mhz == pytest.approx(180.0)
+        assert frequency_mhz(16, 16).guided_mhz == pytest.approx(450.0)
+
+    def test_guided_needed_beyond_single_region(self):
+        assert not needs_guided_floorplan(10, 10)
+        assert needs_guided_floorplan(15, 15)
+
+    def test_sram_capacity_order(self):
+        # Paper: ~14.4 MiB of URAM for 225 cores; ~18.45 MiB total SRAM.
+        mib = sram_capacity_mib(225)
+        assert 14.0 < mib < 19.0
+
+    def test_table1_rows_complete(self):
+        rows = table1_rows()
+        assert [r["grid"] for r in rows] == \
+            ["8x8", "10x10", "12x12", "15x15", "16x16"]
+
+
+class TestCost:
+    def test_vta_np10s_matches_paper(self):
+        # Paper Table 6: vta at 278.1 kHz, 10B cycles -> 9.99 h, $21.45.
+        est = estimate(NP10S, 278.1, 1e10)
+        assert est.hours == pytest.approx(9.99, abs=0.01)
+        assert est.dollars == pytest.approx(21.45)
+
+    def test_serial_takes_most_of_a_week(self):
+        # Paper: vta serial (32.4 kHz on D2) ~ 86 hours for 10B cycles.
+        est = estimate(D2_V4, 32.4, 1e10)
+        assert est.hours > 80
+        assert workday_flags(est.hours)
+
+    def test_billing_rounds_up(self):
+        est = estimate(D16_V4, 1000.0, 3.6e9 + 1)  # just over 1 hour
+        assert est.billed_hours == 2
+
+    def test_minimum_one_hour(self):
+        est = estimate(HB120, 1e6, 1e6)
+        assert est.billed_hours == 1
+
+    def test_cost_table_rows(self):
+        rates = {"vta": {"D2 v4": 32.4, "NP10s": 278.1}}
+        rows = cost_table(rates, 1e10)
+        assert rows[0]["benchmark"] == "vta"
+        assert rows[0]["NP10s $"] == pytest.approx(21.45)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            estimate(D2_V4, 0.0, 1e9)

@@ -1,0 +1,227 @@
+"""Unit tests for the netlist builder and reference interpreter."""
+
+import pytest
+
+from repro.netlist import (
+    CircuitBuilder,
+    CircuitError,
+    NetlistInterpreter,
+    SimulationAssertionError,
+    run_circuit,
+)
+
+
+def make_counter(limit=20, width=8):
+    m = CircuitBuilder("counter")
+    count = m.register("count", width)
+    count.next = (count + 1).trunc(width)
+    done = count == limit
+    m.display(done, "done %d", count)
+    m.finish(done)
+    return m.build()
+
+
+class TestCounter:
+    def test_runs_to_finish(self):
+        result = run_circuit(make_counter(), max_cycles=1000)
+        assert result.finished
+        assert result.cycles == 21  # finish observed when count == 20
+        assert result.displays == ["done 20"]
+
+    def test_max_cycles_cap(self):
+        result = run_circuit(make_counter(limit=100), max_cycles=5)
+        assert not result.finished
+        assert result.cycles == 5
+
+
+class TestOperators:
+    def run_expr(self, build_fn, cycles=1):
+        m = CircuitBuilder("expr")
+        out = build_fn(m)
+        m.output("out", out)
+        interp = NetlistInterpreter(m.build())
+        for _ in range(cycles):
+            interp.step()
+        return interp.peek_output("out")
+
+    def test_add_masks_to_width(self):
+        assert self.run_expr(
+            lambda m: m.const(250, 8) + m.const(10, 8)) == 4
+
+    def test_add_wide_keeps_carry(self):
+        assert self.run_expr(
+            lambda m: m.const(250, 8).add_wide(m.const(10, 8))) == 260
+
+    def test_sub_wraps(self):
+        assert self.run_expr(
+            lambda m: m.const(3, 8) - m.const(5, 8)) == 254
+
+    def test_mul_wide(self):
+        assert self.run_expr(
+            lambda m: m.const(200, 8).mul_wide(m.const(200, 8))) == 40000
+
+    def test_bitwise(self):
+        assert self.run_expr(
+            lambda m: (m.const(0b1100, 4) & m.const(0b1010, 4))) == 0b1000
+        assert self.run_expr(
+            lambda m: (m.const(0b1100, 4) | m.const(0b1010, 4))) == 0b1110
+        assert self.run_expr(
+            lambda m: (m.const(0b1100, 4) ^ m.const(0b1010, 4))) == 0b0110
+        assert self.run_expr(lambda m: ~m.const(0b1100, 4)) == 0b0011
+
+    def test_comparisons(self):
+        assert self.run_expr(lambda m: m.const(3, 8).ltu(5)) == 1
+        assert self.run_expr(lambda m: m.const(5, 8).ltu(3)) == 0
+        # signed: 0xFF as 8-bit signed is -1 < 1
+        assert self.run_expr(lambda m: m.const(0xFF, 8).lts(1)) == 1
+        assert self.run_expr(lambda m: m.const(1, 8).lts(m.const(0xFF, 8))) == 0
+        assert self.run_expr(lambda m: m.const(7, 4) == m.const(7, 4)) == 1
+        assert self.run_expr(lambda m: m.const(7, 4) != m.const(7, 4)) == 0
+
+    def test_static_shifts(self):
+        assert self.run_expr(lambda m: m.const(0b0011, 4) << 2) == 0b1100
+        assert self.run_expr(lambda m: m.const(0b1100, 4) >> 2) == 0b0011
+        assert self.run_expr(lambda m: m.const(0b1000, 4).ashr(2)) == 0b1110
+
+    def test_dynamic_shifts(self):
+        assert self.run_expr(
+            lambda m: m.const(1, 8) << m.const(4, 3)) == 16
+        assert self.run_expr(
+            lambda m: m.const(128, 8) >> m.const(3, 3)) == 16
+
+    def test_slice_and_cat(self):
+        assert self.run_expr(lambda m: m.const(0xAB, 8).bits(4, 4)) == 0xA
+        assert self.run_expr(
+            lambda m: m.cat(m.const(0xB, 4), m.const(0xA, 4))) == 0xAB
+        assert self.run_expr(lambda m: m.const(0b100, 3)[2]) == 1
+
+    def test_zext_sext(self):
+        assert self.run_expr(lambda m: m.const(0x8, 4).zext(8)) == 0x08
+        assert self.run_expr(lambda m: m.const(0x8, 4).sext(8)) == 0xF8
+        assert self.run_expr(lambda m: m.const(0x7, 4).sext(8)) == 0x07
+
+    def test_mux(self):
+        assert self.run_expr(
+            lambda m: m.mux(m.const(1, 1), m.const(5, 8), m.const(9, 8))) == 9
+        assert self.run_expr(
+            lambda m: m.mux(m.const(0, 1), m.const(5, 8), m.const(9, 8))) == 5
+
+    def test_select(self):
+        for idx, expect in [(0, 11), (1, 22), (2, 33), (3, 44)]:
+            got = self.run_expr(
+                lambda m: m.select(m.const(idx, 2),
+                                   [m.const(v, 8) for v in (11, 22, 33, 44)]))
+            assert got == expect
+
+    def test_reductions(self):
+        assert self.run_expr(lambda m: m.const(0, 4).any()) == 0
+        assert self.run_expr(lambda m: m.const(2, 4).any()) == 1
+        assert self.run_expr(lambda m: m.const(0xF, 4).all()) == 1
+        assert self.run_expr(lambda m: m.const(0x7, 4).all()) == 0
+        assert self.run_expr(lambda m: m.const(0b0111, 4).parity()) == 1
+
+    def test_signal_has_no_truth_value(self):
+        m = CircuitBuilder("t")
+        with pytest.raises(CircuitError):
+            bool(m.const(1, 1))
+
+
+class TestMemory:
+    def test_write_then_read_next_cycle(self):
+        m = CircuitBuilder("mem")
+        mem = m.memory("ram", width=8, depth=16)
+        cyc = m.register("cyc", 4)
+        cyc.next = (cyc + 1).trunc(4)
+        mem.write(cyc, (cyc + 1).zext(8), enable=m.const(1, 1))
+        rd = mem.read(cyc)
+        m.output("rd", rd)
+        interp = NetlistInterpreter(m.build())
+        interp.step()  # cycle 0: read addr 0 (still 0), write 1 to addr 0
+        assert interp.peek_output("rd") == 0
+        assert interp.peek_memory("ram", 0) == 1
+
+    def test_read_sees_old_value_same_cycle(self):
+        # RTL semantics: a read in the same cycle as a write observes the
+        # pre-write contents.
+        m = CircuitBuilder("mem")
+        mem = m.memory("ram", width=8, depth=4, init=[7, 0, 0, 0])
+        zero = m.const(0, 2)
+        mem.write(zero, m.const(99, 8))
+        m.output("rd", mem.read(zero))
+        interp = NetlistInterpreter(m.build())
+        interp.step()
+        assert interp.peek_output("rd") == 7
+        assert interp.peek_memory("ram", 0) == 99
+
+    def test_memory_init(self):
+        m = CircuitBuilder("mem")
+        mem = m.memory("rom", width=8, depth=4, init=[1, 2, 3, 4])
+        idx = m.register("idx", 2)
+        idx.next = (idx + 1).trunc(2)
+        m.output("rd", mem.read(idx))
+        interp = NetlistInterpreter(m.build())
+        got = []
+        for _ in range(4):
+            interp.step()
+            got.append(interp.peek_output("rd"))
+        assert got == [1, 2, 3, 4]
+
+
+class TestEffects:
+    def test_assertion_failure(self):
+        m = CircuitBuilder("a")
+        one = m.const(1, 1)
+        m.check(one, m.const(0, 1), "always fails")
+        with pytest.raises(SimulationAssertionError):
+            run_circuit(m.build(), 2)
+
+    def test_assertion_pass(self):
+        m = CircuitBuilder("a")
+        one = m.const(1, 1)
+        m.check(one, one, "never fails")
+        result = run_circuit(m.build(), 3)
+        assert result.cycles == 3
+
+    def test_display_formats(self):
+        m = CircuitBuilder("d")
+        one = m.const(1, 1)
+        m.display(one, "v=%d x=%x b=%b pct=%%", m.const(255, 8),
+                  m.const(255, 8), m.const(5, 3))
+        m.finish(one)
+        result = run_circuit(m.build(), 10)
+        assert result.displays == ["v=255 x=ff b=101 pct=%"]
+
+
+class TestInputs:
+    def test_input_provider(self):
+        m = CircuitBuilder("i")
+        x = m.input("x", 8)
+        acc = m.register("acc", 16)
+        acc.next = (acc + x).trunc(16)
+        circuit = m.build()
+        interp = NetlistInterpreter(
+            circuit, inputs=lambda cycle: {"x": cycle + 1})
+        for _ in range(4):
+            interp.step()
+        assert interp.peek_register("acc") == 1 + 2 + 3 + 4
+
+
+class TestValidation:
+    def test_register_width_mismatch(self):
+        m = CircuitBuilder("v")
+        r = m.register("r", 8)
+        with pytest.raises(CircuitError):
+            r.next = m.const(0, 4)
+
+    def test_duplicate_register(self):
+        m = CircuitBuilder("v")
+        m.register("r", 8)
+        with pytest.raises(CircuitError):
+            m.register("r", 8)
+
+    def test_registers_hold_by_default(self):
+        m = CircuitBuilder("v")
+        m.register("r", 8, init=42)
+        interp = NetlistInterpreter(m.build())
+        interp.step()
+        assert interp.peek_register("r") == 42

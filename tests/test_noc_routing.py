@@ -1,0 +1,78 @@
+"""Property tests on the torus routing model (paper SS5.2)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import MachineConfig
+
+grids = st.tuples(st.integers(1, 16), st.integers(1, 16))
+coords = st.integers(0, 255)
+
+
+def config_for(grid):
+    return MachineConfig(grid_x=grid[0], grid_y=grid[1])
+
+
+class TestDimensionOrderedRouting:
+    @given(grids, coords, coords)
+    @settings(max_examples=80, deadline=None)
+    def test_route_reaches_destination(self, grid, a, b):
+        config = config_for(grid)
+        src = a % config.num_cores
+        dst = b % config.num_cores
+        x, y = config.coord(src)
+        for kind, lx, ly in config.route(src, dst):
+            if kind == "E":
+                assert (lx, ly) == (x, y)
+                x = (x + 1) % config.grid_x
+            else:
+                assert (lx, ly) == (x, y)
+                y = (y + 1) % config.grid_y
+        assert (x, y) == config.coord(dst)
+
+    @given(grids, coords, coords)
+    @settings(max_examples=80, deadline=None)
+    def test_x_then_y(self, grid, a, b):
+        config = config_for(grid)
+        kinds = [k for k, _x, _y in config.route(a % config.num_cores,
+                                                 b % config.num_cores)]
+        # Dimension order: all eastward hops strictly precede southward.
+        if "S" in kinds and "E" in kinds:
+            first_south = kinds.index("S")
+            last_east = max(i for i, k in enumerate(kinds) if k == "E")
+            assert last_east < first_south
+
+    @given(grids, coords, coords)
+    @settings(max_examples=80, deadline=None)
+    def test_no_repeated_links(self, grid, a, b):
+        config = config_for(grid)
+        route = config.route(a % config.num_cores, b % config.num_cores)
+        assert len(route) == len(set(route))
+
+    @given(grids, coords, coords)
+    @settings(max_examples=80, deadline=None)
+    def test_hop_count_is_wrapped_manhattan(self, grid, a, b):
+        config = config_for(grid)
+        src = a % config.num_cores
+        dst = b % config.num_cores
+        sx, sy = config.coord(src)
+        dx, dy = config.coord(dst)
+        expected = ((dx - sx) % config.grid_x) + \
+            ((dy - sy) % config.grid_y)
+        assert len(config.route(src, dst)) == expected
+
+    @given(grids, coords)
+    @settings(max_examples=40, deadline=None)
+    def test_latency_floor(self, grid, a):
+        config = config_for(grid)
+        src = a % config.num_cores
+        assert config.route_latency(src, src) == \
+            config.noc_inject_latency + config.noc_eject_latency
+
+    @given(grids, coords, coords)
+    @settings(max_examples=40, deadline=None)
+    def test_coord_roundtrip(self, grid, a, b):
+        config = config_for(grid)
+        core = a % config.num_cores
+        x, y = config.coord(core)
+        assert config.core_id(x, y) == core
+        assert 0 <= x < config.grid_x and 0 <= y < config.grid_y

@@ -1,0 +1,91 @@
+"""Tests for the host runtime entry point and the example scripts."""
+
+import runpy
+import sys
+
+import pytest
+
+from repro import CompilerOptions, simulate_on_manticore
+from repro.machine import TINY
+
+from util_circuits import counter_circuit
+
+
+class TestSimulateOnManticore:
+    def test_end_to_end_with_bootloader(self):
+        run = simulate_on_manticore(
+            counter_circuit(), options=CompilerOptions(config=TINY))
+        assert run.displays[-1] == "9 is an odd number"
+        assert run.binary_bytes > 0
+        assert run.vcycles == 10
+
+    def test_without_bootloader_roundtrip(self):
+        run = simulate_on_manticore(
+            counter_circuit(), options=CompilerOptions(config=TINY),
+            through_bootloader=False)
+        assert run.binary_bytes == 0
+        assert run.vcycles == 10
+
+    def test_rate_projection(self):
+        run = simulate_on_manticore(
+            counter_circuit(display=False),
+            options=CompilerOptions(config=TINY))
+        assert run.rate_khz(500.0) > 0
+        assert run.rate_khz() > 0  # frequency-model default
+
+    def test_max_vcycles_cap(self):
+        run = simulate_on_manticore(
+            counter_circuit(limit=10_000, display=False),
+            max_vcycles=7, options=CompilerOptions(config=TINY))
+        assert run.vcycles == 7
+        assert not run.machine.finished
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart", "verilog_flow", "global_memory",
+])
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [f"{script}.py"])
+    runpy.run_path(f"examples/{script}.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+def test_scaling_study_example(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["scaling_study.py", "jpeg", "1",
+                                      "4"])
+    runpy.run_path("examples/scaling_study.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "jpeg" in out and "VCPL" in out
+
+
+def test_compare_simulators_example(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["compare_simulators.py", "jpeg"])
+    runpy.run_path("examples/compare_simulators.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Manticore" in out
+
+
+class TestUartExample:
+    def test_loopback_verilog(self):
+        from repro import parse_verilog
+        from repro.netlist import run_circuit
+        with open("examples/uart_loopback.v") as f:
+            circuit = parse_verilog(f.read())
+        result = run_circuit(circuit, 3000)
+        assert result.finished
+        letters = [d.split()[1] for d in result.displays[:-1]]
+        assert letters == list("ABCDEFGH")
+
+    def test_loopback_compiles_and_matches(self):
+        from repro import (CompilerOptions, Machine, MachineConfig,
+                           parse_verilog)
+        from repro.compiler import compile_circuit
+        from repro.netlist import NetlistInterpreter
+        source = open("examples/uart_loopback.v").read()
+        config = MachineConfig(grid_x=4, grid_y=4)
+        golden = NetlistInterpreter(parse_verilog(source)).run(3000)
+        result = compile_circuit(parse_verilog(source),
+                                 CompilerOptions(config=config))
+        mres = Machine(result.program, config).run(3000)
+        assert mres.displays == golden.displays

@@ -1,0 +1,162 @@
+"""Unit tests for the scheduler: hazards, NoC reservations, epilogue
+placement, and current/next coalescing."""
+
+import pytest
+
+from repro import isa
+from repro.compiler.lir import Mov, PLocalStore
+from repro.compiler.lower import CompilerError
+from repro.compiler.schedule import schedule
+from repro.isa.program import ExceptionTable, Process, ProgramImage
+from repro.machine import MachineConfig
+
+CONFIG = MachineConfig(grid_x=2, grid_y=2, result_latency=6)
+
+
+def make_image(processes, receives=None):
+    return ProgramImage("t", {p.pid: p for p in processes},
+                        ExceptionTable(),
+                        receive_regs=receives or {})
+
+
+class TestHazardSpacing:
+    def test_dependent_instructions_spaced_by_latency(self):
+        body = [
+            isa.Alu("ADD", "t1", "a", "b"),
+            isa.Alu("ADD", "t2", "t1", "b"),
+        ]
+        proc = Process(0, body=body, reg_init={"a": 1, "b": 2})
+        sch = schedule(make_image([proc]), CONFIG)
+        times = {type(i).__name__ + str(n): t
+                 for n, (t, i) in enumerate(sch.cores[0].items)}
+        issue = sorted(t for t, _ in sch.cores[0].items)
+        assert issue[1] - issue[0] >= CONFIG.result_latency
+
+    def test_independent_instructions_pack(self):
+        body = [
+            isa.Alu("ADD", f"t{k}", "a", "b") for k in range(6)
+        ]
+        proc = Process(0, body=body, reg_init={"a": 1, "b": 2})
+        sch = schedule(make_image([proc]), CONFIG)
+        issues = sorted(t for t, _ in sch.cores[0].items)
+        assert issues == list(range(6))  # back-to-back
+
+    def test_carry_chain_fast_forwarding(self):
+        body = [
+            isa.SetCarry(0),
+            isa.AddCarry("lo", "a", "b"),
+            isa.AddCarry("hi", "c", "d"),
+        ]
+        proc = Process(0, body=body,
+                       reg_init={"a": 1, "b": 2, "c": 3, "d": 4})
+        sch = schedule(make_image([proc]), CONFIG)
+        issues = sorted(t for t, _ in sch.cores[0].items)
+        # Carry forwards at carry_latency (1), not result_latency.
+        assert issues[2] - issues[1] == CONFIG.carry_latency
+
+    def test_predicated_store_occupies_two_slots(self):
+        body = [
+            PLocalStore("v", "base", 0, "p"),
+            isa.Alu("ADD", "t", "v", "v"),
+        ]
+        proc = Process(0, body=body,
+                       reg_init={"v": 1, "base": 0, "p": 1})
+        sch = schedule(make_image([proc]), CONFIG)
+        items = sorted(sch.cores[0].items)
+        assert items[1][0] - items[0][0] >= 2
+
+
+class TestCoalescing:
+    def test_commit_mov_dissolved(self):
+        body = [
+            isa.Alu("ADD", "nxt", "cur", "one"),
+            Mov("cur", "nxt"),
+        ]
+        proc = Process(0, body=body, reg_init={"cur": 0, "one": 1})
+        sch = schedule(make_image([proc]), CONFIG)
+        instrs = [i for _, i in sch.cores[0].items]
+        assert len(instrs) == 1            # Mov coalesced away
+        assert sch.cores[0].rename == {"nxt": "cur"}
+
+    def test_war_reader_ordered_before_writer(self):
+        # reader consumes the OLD cur; the renamed writer must come later.
+        body = [
+            isa.Alu("ADD", "nxt", "cur", "one"),
+            isa.Alu("XOR", "obs", "cur", "one"),  # old-value reader
+            Mov("cur", "nxt"),
+        ]
+        proc = Process(0, body=body, reg_init={"cur": 5, "one": 1})
+        sch = schedule(make_image([proc]), CONFIG)
+        rename = sch.cores[0].rename
+        by_kind = {}
+        for t, i in sch.cores[0].items:
+            rd = getattr(i, "rd", None)
+            by_kind[rename.get(rd, rd)] = t
+        # writer (renamed to cur) issues after the XOR reader
+        assert by_kind["cur"] > by_kind["obs"]
+
+    def test_mov_from_constant_survives(self):
+        body = [Mov("cur", "$c0001")]
+        proc = Process(0, body=body,
+                       reg_init={"cur": 0, "$c0001": 1})
+        sch = schedule(make_image([proc]), CONFIG)
+        instrs = [i for _, i in sch.cores[0].items]
+        assert isinstance(instrs[0], Mov)  # cannot rename a constant
+
+    def test_swap_cycle_falls_back_to_movs(self):
+        # An instruction reading both old cur and new nxt would deadlock
+        # under renaming; the core must fall back to explicit Movs.
+        body = [
+            isa.Alu("ADD", "nxt", "cur", "one"),
+            isa.Alu("XOR", "obs", "cur", "nxt"),  # reads old AND new
+            Mov("cur", "nxt"),
+        ]
+        proc = Process(0, body=body, reg_init={"cur": 3, "one": 1})
+        sch = schedule(make_image([proc]), CONFIG)  # must not raise
+        assert sch.cores[0].rename == {}
+
+
+class TestNoC:
+    def test_send_creates_epilogue_slot(self):
+        p0 = Process(0, body=[isa.Send(1, "r", "v")], reg_init={"v": 7})
+        p1 = Process(1, body=[isa.Nop()], reg_init={"r": 0})
+        sch = schedule(make_image([p0, p1], {1: {"r"}}), CONFIG)
+        target = sch.cores[sch.placement[1]]
+        assert target.epilogue_length == 1
+        assert sch.vcpl >= CONFIG.route_latency(0, 1)
+
+    def test_ejection_port_serializes_arrivals(self):
+        # Two cores send to the same target at the same time: the
+        # single ejection port forces distinct arrival cycles.
+        p0 = Process(0, body=[isa.Send(2, "r0", "v")], reg_init={"v": 1})
+        p1 = Process(1, body=[isa.Send(2, "r1", "v")], reg_init={"v": 2})
+        p2 = Process(2, body=[isa.Nop()], reg_init={"r0": 0, "r1": 0})
+        sch = schedule(make_image([p0, p1, p2], {2: {"r0", "r1"}}),
+                       CONFIG)
+        assert sch.send_count == 2
+        assert sch.cores[sch.placement[2]].epilogue_length == 2
+
+    def test_many_sends_from_one_core_serialize(self):
+        body = [isa.Send(1, f"r{k}", "v") for k in range(5)]
+        p0 = Process(0, body=body, reg_init={"v": 9})
+        p1 = Process(1, body=[isa.Nop()],
+                     reg_init={f"r{k}": 0 for k in range(5)})
+        sch = schedule(make_image([p0, p1],
+                                  {1: {f"r{k}" for k in range(5)}}),
+                       CONFIG)
+        issues = sorted(t for t, i in sch.cores[sch.placement[0]].items
+                        if isinstance(i, isa.Send))
+        assert len(set(issues)) == 5  # one per cycle at most
+
+
+class TestLimits:
+    def test_too_many_processes(self):
+        procs = [Process(i, body=[isa.Nop()]) for i in range(5)]
+        with pytest.raises(CompilerError):
+            schedule(make_image(procs), CONFIG)
+
+    def test_vcpl_covers_drain(self):
+        body = [isa.Alu("ADD", "t", "a", "a")]
+        proc = Process(0, body=body, reg_init={"a": 1})
+        sch = schedule(make_image([proc]), CONFIG)
+        assert sch.vcpl >= CONFIG.result_latency

@@ -1,0 +1,37 @@
+"""Tests for the ASCII figure renderer."""
+
+from repro.textplot import bar_chart, line_plot
+
+
+class TestLinePlot:
+    def test_renders_all_series(self):
+        out = line_plot({"a": [(1, 1), (2, 4)], "b": [(1, 2), (2, 1)]})
+        assert "*" in out and "o" in out
+        assert "a" in out and "b" in out
+
+    def test_log_scale(self):
+        out = line_plot({"a": [(1, 1), (2, 1000)]}, logy=True)
+        assert "log10(y)" in out
+
+    def test_title(self):
+        out = line_plot({"a": [(0, 0), (1, 1)]}, title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_empty(self):
+        assert "empty" in line_plot({})
+
+    def test_constant_series_no_crash(self):
+        line_plot({"flat": [(0, 5), (1, 5), (2, 5)]})
+
+
+class TestBarChart:
+    def test_scaling(self):
+        out = bar_chart({"x": 1.0, "y": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 2 * lines[0].count("#")
+
+    def test_unit(self):
+        assert "ms" in bar_chart({"x": 3.0}, unit="ms")
+
+    def test_empty(self):
+        assert "empty" in bar_chart({})

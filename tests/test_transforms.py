@@ -1,0 +1,182 @@
+"""Tests for netlist-level transforms: constant folding, CSE, DCE, and
+memory-to-register conversion - all validated semantically against the
+golden interpreter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.mem2reg import memory_to_registers
+from repro.compiler.transforms import (
+    common_subexpression_elimination,
+    constant_fold,
+    dead_code_elimination,
+    optimize,
+)
+from repro.netlist import CircuitBuilder, NetlistInterpreter, run_circuit
+
+from util_circuits import counter_circuit, memory_circuit, random_circuit
+
+
+def displays_of(circuit, cycles=20):
+    return run_circuit(circuit, cycles).displays
+
+
+class TestConstantFold:
+    def test_folds_constant_tree(self):
+        m = CircuitBuilder("cf")
+        x = (m.const(3, 8) + m.const(4, 8)) * m.const(2, 8)
+        r = m.register("r", 8)
+        r.next = x
+        m.display(m.const(1, 1), "%d", r)
+        m.finish(r == 14)
+        circuit = constant_fold(m.build())
+        from repro.netlist.ir import OpKind
+        kinds = {op.kind for op in circuit.ops}
+        assert kinds == {OpKind.CONST, OpKind.EQ}  # arithmetic gone
+        assert run_circuit(circuit, 10).finished
+
+    def test_preserves_semantics(self):
+        for seed in range(5):
+            original = random_circuit(seed + 900)
+            folded = constant_fold(original)
+            assert displays_of(random_circuit(seed + 900)) == \
+                displays_of(folded)
+
+
+class TestCSE:
+    def test_merges_duplicates(self):
+        m = CircuitBuilder("cse")
+        r = m.register("r", 8)
+        a = r + 1
+        b = r + 1  # structurally identical
+        r.next = (a ^ b).trunc(8)
+        m.finish(m.const(0, 1))
+        before = len(m.build(validate=False).ops)
+        after = len(common_subexpression_elimination(
+            m.build(validate=False)).ops)
+        assert after < before
+
+    def test_commutative_matching(self):
+        m = CircuitBuilder("cse")
+        r = m.register("r", 8)
+        s = m.register("s", 8)
+        a = r + s
+        b = s + r
+        r.next = (a & b).trunc(8)
+        m.finish(m.const(0, 1))
+        circuit = common_subexpression_elimination(m.build())
+        from repro.netlist.ir import OpKind
+        adds = [op for op in circuit.ops if op.kind is OpKind.ADD]
+        assert len(adds) == 1
+
+
+class TestDCE:
+    def test_removes_dead_ops(self):
+        m = CircuitBuilder("dce")
+        r = m.register("r", 8)
+        r.next = (r + 1).trunc(8)
+        _dead = (r * 17) ^ 0x55  # unused
+        m.finish(r == 3)
+        circuit = dead_code_elimination(m.build())
+        from repro.netlist.ir import OpKind
+        assert not any(op.kind is OpKind.MUL for op in circuit.ops)
+
+    def test_removes_dead_registers(self):
+        m = CircuitBuilder("dce")
+        live = m.register("live", 8)
+        dead = m.register("dead", 8)
+        live.next = (live + 1).trunc(8)
+        dead.next = (dead + live).trunc(8)  # never observed
+        m.finish(live == 3)
+        circuit = dead_code_elimination(m.build())
+        assert "dead" not in circuit.registers
+        assert "live" in circuit.registers
+
+    def test_keeps_transitively_live_registers(self):
+        m = CircuitBuilder("dce")
+        a = m.register("a", 8)
+        b = m.register("b", 8)
+        a.next = b
+        b.next = (b + 1).trunc(8)
+        m.finish(a == 3)   # a observed; b feeds a
+        circuit = dead_code_elimination(m.build())
+        assert set(circuit.registers) == {"a", "b"}
+
+
+class TestOptimizePipeline:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_semantics_preserved(self, seed):
+        golden = displays_of(random_circuit(seed + 300))
+        assert displays_of(optimize(random_circuit(seed + 300))) == golden
+
+    def test_optimize_shrinks(self):
+        circuit = random_circuit(5, n_ops=50)
+        assert len(optimize(circuit).ops) <= len(circuit.ops)
+
+
+class TestMem2Reg:
+    def test_small_memory_converted(self):
+        circuit = memory_to_registers(memory_circuit(depth=16), 512)
+        assert not circuit.memories           # flattened
+        assert any(name.startswith("buf%") for name in circuit.registers)
+
+    def test_large_memory_kept(self):
+        m = CircuitBuilder("big")
+        mem = m.memory("big", 16, 4096)
+        cyc = m.register("cyc", 16)
+        cyc.next = (cyc + 1).trunc(16)
+        mem.write(cyc.trunc(12), cyc, m.const(1, 1))
+        m.finish(cyc == 4)
+        circuit = memory_to_registers(m.build(), 512)
+        assert "big" in circuit.memories
+
+    def test_sram_hint_respected(self):
+        m = CircuitBuilder("pinned")
+        mem = m.memory("pinned", 16, 8, sram_hint=True)
+        cyc = m.register("cyc", 16)
+        cyc.next = (cyc + 1).trunc(16)
+        mem.write(cyc.trunc(3), cyc, m.const(1, 1))
+        m.finish(cyc == 4)
+        circuit = memory_to_registers(m.build(), 512)
+        assert "pinned" in circuit.memories
+
+    def test_rom_becomes_constants(self):
+        m = CircuitBuilder("rom")
+        rom = m.memory("rom", 8, 4, init=[5, 6, 7, 8])
+        idx = m.register("idx", 2)
+        idx.next = (idx + 1).trunc(2)
+        m.display(m.const(1, 1), "%d", rom.read(idx))
+        m.finish(idx == 3)
+        circuit = memory_to_registers(m.build(), 512)
+        assert not circuit.memories
+        assert not any(n.startswith("rom%") for n in circuit.registers)
+        assert displays_of(circuit, 10) == ["5", "6", "7", "8"]
+
+    def test_semantics_preserved_with_writes(self):
+        golden = displays_of(memory_circuit(), 60)
+        converted = memory_to_registers(memory_circuit(), 512)
+        assert displays_of(converted, 60) == golden
+
+    def test_multiple_write_ports_last_wins(self):
+        def build():
+            m = CircuitBuilder("mw")
+            mem = m.memory("mem", 8, 4)
+            cyc = m.register("cyc", 8)
+            cyc.next = (cyc + 1).trunc(8)
+            addr = cyc.trunc(2)
+            mem.write(addr, m.const(11, 8), m.const(1, 1))
+            mem.write(addr, m.const(22, 8), cyc[0])  # sometimes overrides
+            m.display(cyc == 4, "%d %d", mem.read(m.const(0, 2)),
+                      mem.read(m.const(1, 2)))
+            m.finish(cyc == 4)
+            return m.build()
+        golden = displays_of(build(), 10)
+        assert displays_of(memory_to_registers(build(), 512), 10) == golden
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=8, deadline=None)
+    def test_random_property(self, seed):
+        # mem2reg is an identity on circuits without memories.
+        circuit = random_circuit(seed + 700, n_ops=15)
+        converted = memory_to_registers(circuit, 512)
+        assert converted is circuit

@@ -1,0 +1,102 @@
+"""Tests for the static binary verifier."""
+
+import dataclasses
+
+import pytest
+
+from repro import isa
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.compiler.verify import VerificationError, verify_program
+from repro.isa.program import CoreBinary, ExceptionTable, MachineProgram
+from repro.machine import MachineConfig, TINY
+
+from util_circuits import accumulator_circuit, counter_circuit
+
+
+def compiled(circuit=None):
+    return compile_circuit(circuit or counter_circuit(),
+                           CompilerOptions(config=TINY)).program
+
+
+class TestCleanBinaries:
+    def test_compiled_programs_verify(self):
+        verify_program(compiled(), TINY)
+        verify_program(compiled(accumulator_circuit()), TINY)
+
+
+def make_program(cores, vcpl=20, privileged=0, exceptions=None):
+    return MachineProgram(
+        name="t", grid=(2, 2), cores=cores, vcpl=vcpl,
+        exceptions=exceptions or ExceptionTable(),
+        privileged_core=privileged)
+
+
+def binary(body, epilogue=0, sleep=None, vcpl=20, **kw):
+    sleep = vcpl - len(body) - epilogue if sleep is None else sleep
+    return CoreBinary(body=body, epilogue_length=epilogue,
+                      sleep_length=sleep, **kw)
+
+
+class TestViolations:
+    def test_layout_mismatch(self):
+        prog = make_program({0: binary([isa.Nop()], sleep=5)})
+        with pytest.raises(VerificationError, match="layout"):
+            verify_program(prog, MachineConfig(grid_x=2, grid_y=2))
+
+    def test_virtual_register_rejected(self):
+        prog = make_program({0: binary([isa.Alu("ADD", "v", 0, 0)])})
+        with pytest.raises(VerificationError, match="virtual"):
+            verify_program(prog, MachineConfig(grid_x=2, grid_y=2))
+
+    def test_register_out_of_range(self):
+        prog = make_program({0: binary([isa.Set(4000, 1)])})
+        with pytest.raises(VerificationError, match="out of range"):
+            verify_program(prog, MachineConfig(grid_x=2, grid_y=2))
+
+    def test_send_to_missing_core(self):
+        prog = make_program({0: binary([isa.Send(3, 1, 0)])})
+        with pytest.raises(VerificationError, match="missing core"):
+            verify_program(prog, MachineConfig(grid_x=2, grid_y=2))
+
+    def test_receive_budget_mismatch(self):
+        prog = make_program({
+            0: binary([isa.Send(1, 1, 0)]),
+            1: binary([isa.Nop()], epilogue=2),
+        })
+        with pytest.raises(VerificationError, match="receive slots"):
+            verify_program(prog, MachineConfig(grid_x=2, grid_y=2))
+
+    def test_unknown_exception(self):
+        prog = make_program({0: binary([isa.Expect(0, 0, 9)])})
+        with pytest.raises(VerificationError, match="exception id"):
+            verify_program(prog, MachineConfig(grid_x=2, grid_y=2))
+
+    def test_unconfigured_custom_function(self):
+        prog = make_program(
+            {0: binary([isa.Custom(1, 3, (0, 0, 0, 0))])})
+        with pytest.raises(VerificationError, match="custom function"):
+            verify_program(prog, MachineConfig(grid_x=2, grid_y=2))
+
+    def test_privileged_on_wrong_core(self):
+        prog = make_program({
+            0: binary([isa.Nop()]),
+            1: binary([isa.GlobalLoad(1, (0, 0, 0))]),
+        })
+        with pytest.raises(VerificationError, match="privileged"):
+            verify_program(prog, MachineConfig(grid_x=2, grid_y=2))
+
+    def test_imem_overflow(self):
+        config = MachineConfig(grid_x=2, grid_y=2, imem_words=8)
+        prog = make_program(
+            {0: binary([isa.Nop()] * 16, vcpl=20, sleep=4)})
+        with pytest.raises(VerificationError, match="imem"):
+            verify_program(prog, config)
+
+    def test_scratch_image_on_scratchpadless_core(self):
+        config = MachineConfig(grid_x=2, grid_y=2, scratchpad_cores=1)
+        prog = make_program({
+            0: binary([isa.Nop()]),
+            1: binary([isa.Nop()], scratch_init={0: 5}),
+        })
+        with pytest.raises(VerificationError, match="scratchpad-less"):
+            verify_program(prog, config)

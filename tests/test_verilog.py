@@ -1,0 +1,664 @@
+"""Verilog frontend tests, including the paper's Fig. 13 counter."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.machine import Machine, TINY
+from repro.netlist import NetlistInterpreter, run_circuit
+from repro.netlist.verilog import VerilogError, parse_literal, parse_verilog, tokenize
+
+FIG13_COUNTER = """
+// The paper's Fig. 13 example: a counter that reports parity and stops.
+module counter();
+  reg [31:0] counter = 0;
+  always @(posedge clock) begin
+    counter <= counter + 1;
+    if (counter[0] == 1'b0)
+      $display("%d is an even number", counter);
+    else
+      $display("%d is an odd number", counter);
+    if (counter == 20)
+      $finish;
+  end
+endmodule
+"""
+
+
+class TestLexer:
+    def test_literals(self):
+        assert parse_literal("8'hFF") == (255, 8)
+        assert parse_literal("4'b1010") == (10, 4)
+        assert parse_literal("16'd42") == (42, 16)
+        assert parse_literal("123") == (123, None)
+        assert parse_literal("8'hx_F") == (15, 8)  # x -> 0
+
+    def test_comments_stripped(self):
+        toks = tokenize("a // comment\n b /* block\n comment */ c")
+        assert [t.text for t in toks[:-1]] == ["a", "b", "c"]
+
+
+class TestFig13Counter:
+    def test_simulation(self):
+        circuit = parse_verilog(FIG13_COUNTER)
+        result = run_circuit(circuit, 1000)
+        assert result.finished
+        assert result.cycles == 21
+        assert result.displays[0] == "0 is an even number"
+        assert result.displays[1] == "1 is an odd number"
+        assert result.displays[-1] == "20 is an even number"
+
+    def test_compiles_to_manticore(self):
+        circuit = parse_verilog(FIG13_COUNTER)
+        golden = NetlistInterpreter(circuit).run(1000)
+        res = compile_circuit(circuit, CompilerOptions(config=TINY))
+        mres = Machine(res.program, TINY).run(1000)
+        assert mres.displays == golden.displays
+        assert mres.vcycles == golden.cycles
+
+
+def run_verilog(source, cycles=100):
+    return run_circuit(parse_verilog(source), cycles)
+
+
+class TestLanguageFeatures:
+    def test_assign_wires(self):
+        result = run_verilog("""
+        module t();
+          reg [7:0] x = 3;
+          wire [7:0] y;
+          wire [7:0] z;
+          assign y = x * 2;
+          assign z = y + 1;
+          always @(posedge clk) begin
+            $display("%d", z);
+            $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["7"]
+
+    def test_parameters(self):
+        result = run_verilog("""
+        module t();
+          parameter WIDTH = 8;
+          parameter LIMIT = 5;
+          reg [WIDTH-1:0] c = 0;
+          always @(posedge clk) begin
+            c <= c + 1;
+            if (c == LIMIT) $finish;
+          end
+        endmodule
+        """)
+        assert result.cycles == 6
+
+    def test_if_else_priority(self):
+        result = run_verilog("""
+        module t();
+          reg [3:0] c = 0;
+          reg [7:0] out = 0;
+          always @(posedge clk) begin
+            c <= c + 1;
+            out <= 1;
+            if (c == 2) out <= 2;
+            if (c == 2) begin end else out <= out;
+            if (c == 3) $display("%d", out);
+            if (c == 3) $finish;
+          end
+        endmodule
+        """)
+        # At cycle with c==2, out <= 2 wins (last assignment in branch).
+        assert result.displays == ["2"]
+
+    def test_memory(self):
+        result = run_verilog("""
+        module t();
+          reg [3:0] c = 0;
+          reg [15:0] mem [0:15];
+          always @(posedge clk) begin
+            c <= c + 1;
+            mem[c] <= c * 3;
+            if (c == 10) $display("%d %d", mem[0], mem[5]);
+            if (c == 10) $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["0 15"]
+
+    def test_operators(self):
+        result = run_verilog("""
+        module t();
+          reg [7:0] a = 12;
+          reg [7:0] b = 10;
+          wire [7:0] sum;
+          wire [7:0] sh;
+          wire cmp;
+          wire [15:0] cc;
+          assign sum = a + b;
+          assign sh = a << 2;
+          assign cmp = a > b;
+          assign cc = {a, b};
+          always @(posedge clk) begin
+            $display("%d %d %d %d", sum, sh, cmp, cc);
+            $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == [f"{22} {48} {1} {12 * 256 + 10}"]
+
+    def test_ternary_and_reduction(self):
+        result = run_verilog("""
+        module t();
+          reg [3:0] x = 4'b1011;
+          wire [7:0] y;
+          assign y = (|x) ? 8'd5 : 8'd9;
+          always @(posedge clk) begin
+            $display("%d %d %d", y, &x, ^x);
+            $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["5 0 1"]
+
+    def test_replication_and_part_select(self):
+        result = run_verilog("""
+        module t();
+          reg [3:0] x = 4'b1010;
+          wire [7:0] r;
+          wire [1:0] p;
+          assign r = {2{x}};
+          assign p = x[3:2];
+          always @(posedge clk) begin
+            $display("%b %b", r, p);
+            $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["10101010 10"]
+
+    def test_dynamic_bit_select(self):
+        result = run_verilog("""
+        module t();
+          reg [2:0] i = 0;
+          reg [7:0] x = 8'b10110010;
+          always @(posedge clk) begin
+            i <= i + 1;
+            $display("%d", x[i]);
+            if (i == 7) $finish;
+          end
+        endmodule
+        """)
+        assert "".join(result.displays) == "01001101"  # LSB first
+
+
+class TestErrors:
+    def test_ports_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("module t(input clk); endmodule")
+
+    def test_two_always_blocks_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+            module t();
+              reg a = 0;
+              reg b = 0;
+              always @(posedge clk) a <= 1;
+              always @(posedge clk) b <= 1;
+            endmodule
+            """)
+
+    def test_unknown_identifier(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+            module t();
+              wire [7:0] y;
+              assign y = nonexistent + 1;
+              always @(posedge clk) $finish;
+            endmodule
+            """)
+
+    def test_combinational_cycle(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+            module t();
+              wire [7:0] a;
+              wire [7:0] b;
+              assign a = b + 1;
+              assign b = a + 1;
+              always @(posedge clk) $finish;
+            endmodule
+            """)
+
+    def test_initial_block_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+            module t();
+              reg a = 0;
+              initial a = 1;
+            endmodule
+            """)
+
+
+HIER_SRC = """
+module adder(input [7:0] a, input [7:0] b, output [8:0] sum);
+  assign sum = a + b;
+endmodule
+
+module accum(input clk, input [7:0] inc, output [15:0] total);
+  reg [15:0] acc = 0;
+  always @(posedge clk) acc <= acc + inc;
+  assign total = acc;
+endmodule
+
+module top();
+  reg [7:0] x = 3;
+  wire [8:0] s;
+  wire [15:0] t;
+  adder u_add (.a(x), .b(8'd10), .sum(s));
+  accum u_acc (.clk(clk), .inc(s[7:0]), .total(t));
+  always @(posedge clk) begin
+    x <= x + 1;
+    if (x == 6) $display("s=%d t=%d", s, t);
+    if (x == 6) $finish;
+  end
+endmodule
+"""
+
+
+class TestHierarchy:
+    def test_flattened_semantics(self):
+        result = run_circuit(parse_verilog(HIER_SRC), 100)
+        # x = 6 -> s = 16; acc accumulated 13 + 14 + 15 = 42.
+        assert result.displays == ["s=16 t=42"]
+
+    def test_top_inference(self):
+        circuit = parse_verilog(HIER_SRC)
+        assert circuit.name == "top"
+
+    def test_explicit_top(self):
+        # adder has ports, so electing it as top must fail cleanly.
+        with pytest.raises(VerilogError):
+            parse_verilog(HIER_SRC, top="adder")
+
+    def test_nested_hierarchy(self):
+        src = """
+        module leaf(input [3:0] v, output [3:0] w);
+          assign w = v + 1;
+        endmodule
+        module mid(input [3:0] v, output [3:0] w);
+          wire [3:0] inner;
+          leaf l1 (.v(v), .w(inner));
+          leaf l2 (.v(inner), .w(w));
+        endmodule
+        module t();
+          reg [3:0] c = 0;
+          wire [3:0] out;
+          mid m1 (.v(c), .w(out));
+          always @(posedge clk) begin
+            c <= c + 1;
+            if (c == 5) $display("%d", out);
+            if (c == 5) $finish;
+          end
+        endmodule
+        """
+        result = run_circuit(parse_verilog(src), 100)
+        assert result.displays == ["7"]  # 5 + 1 + 1
+
+    def test_two_instances_isolated_state(self):
+        src = """
+        module counter_m(input clk, input [7:0] step, output [7:0] q);
+          reg [7:0] c = 0;
+          always @(posedge clk) c <= c + step;
+          assign q = c;
+        endmodule
+        module t();
+          reg [7:0] cyc = 0;
+          wire [7:0] q1;
+          wire [7:0] q2;
+          counter_m a (.clk(clk), .step(8'd1), .q(q1));
+          counter_m b (.clk(clk), .step(8'd3), .q(q2));
+          always @(posedge clk) begin
+            cyc <= cyc + 1;
+            if (cyc == 4) $display("%d %d", q1, q2);
+            if (cyc == 4) $finish;
+          end
+        endmodule
+        """
+        result = run_circuit(parse_verilog(src), 100)
+        assert result.displays == ["4 12"]
+
+    def test_unconnected_input_defaults_to_zero(self):
+        src = """
+        module inc(input [7:0] v, output [7:0] w);
+          assign w = v + 5;
+        endmodule
+        module t();
+          wire [7:0] w;
+          inc u (.w(w));
+          always @(posedge clk) begin
+            $display("%d", w);
+            $finish;
+          end
+        endmodule
+        """
+        result = run_circuit(parse_verilog(src), 10)
+        assert result.displays == ["5"]
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+            module t();
+              ghost g (.a(1'b0));
+              always @(posedge clk) $finish;
+            endmodule
+            """)
+
+    def test_ambiguous_top_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+            module a(); always @(posedge clk) $finish; endmodule
+            module b(); always @(posedge clk) $finish; endmodule
+            """)
+
+    def test_hierarchy_compiles_to_manticore(self):
+        golden = NetlistInterpreter(parse_verilog(HIER_SRC)).run(100)
+        res = compile_circuit(parse_verilog(HIER_SRC),
+                              CompilerOptions(config=TINY))
+        mres = Machine(res.program, TINY).run(100)
+        assert mres.displays == golden.displays
+
+
+class TestCaseStatement:
+    def test_priority_and_multi_labels(self):
+        result = run_verilog("""
+        module t();
+          reg [2:0] st = 0;
+          reg [7:0] out = 0;
+          always @(posedge clk) begin
+            case (st)
+              3'd0: out <= 10;
+              3'd1, 3'd2: out <= 20;
+              3'd3: begin out <= 30; st <= 6; end
+              default: out <= 99;
+            endcase
+            if (st != 3) st <= st + 1;
+            if (st == 6) $display("out=%d", out);
+            if (st == 6) $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["out=30"]
+
+    def test_default_only(self):
+        result = run_verilog("""
+        module t();
+          reg [3:0] c = 0;
+          always @(posedge clk) begin
+            case (c)
+              default: c <= c + 2;
+            endcase
+            if (c == 8) $finish;
+          end
+        endmodule
+        """)
+        assert result.cycles == 5
+
+    def test_case_state_machine_compiles(self):
+        src = """
+        module t();
+          reg [1:0] st = 0;
+          reg [7:0] acc = 0;
+          always @(posedge clk) begin
+            case (st)
+              2'd0: begin acc <= acc + 1; st <= 1; end
+              2'd1: begin acc <= acc * 2; st <= 2; end
+              2'd2: begin acc <= acc + 3; st <= 0; end
+            endcase
+            if (acc > 60) $display("acc=%d", acc);
+            if (acc > 60) $finish;
+          end
+        endmodule
+        """
+        golden = NetlistInterpreter(parse_verilog(src)).run(200)
+        res = compile_circuit(parse_verilog(src),
+                              CompilerOptions(config=TINY))
+        mres = Machine(res.program, TINY).run(200)
+        assert mres.displays == golden.displays
+
+    def test_empty_case_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+            module t();
+              reg [1:0] st = 0;
+              always @(posedge clk) begin
+                case (st)
+                endcase
+              end
+            endmodule
+            """)
+
+
+class TestCombinationalAlways:
+    def test_case_decoder(self):
+        result = run_verilog("""
+        module t();
+          reg [1:0] st = 0;
+          reg [7:0] nextval;
+          always @(*) begin
+            case (st)
+              2'd0: nextval = 8'd5;
+              2'd1: nextval = 8'd9;
+              default: nextval = 8'd1;
+            endcase
+          end
+          reg [7:0] acc = 0;
+          always @(posedge clk) begin
+            acc <= acc + nextval;
+            st <= st + 1;
+            if (st == 3) $display("acc=%d", acc);
+            if (st == 3) $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["acc=15"]  # 5 + 9 + 1
+
+    def test_if_with_default_before(self):
+        result = run_verilog("""
+        module t();
+          reg [3:0] c = 0;
+          reg [7:0] v;
+          always @(*) begin
+            v = 8'd1;
+            if (c > 2) v = 8'd7;
+          end
+          always @(posedge clk) begin
+            c <= c + 1;
+            if (c == 4) $display("%d", v);
+            if (c == 4) $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["7"]
+
+    def test_latch_rejected(self):
+        with pytest.raises(VerilogError, match="latch"):
+            parse_verilog("""
+            module t();
+              reg [3:0] c = 0;
+              reg [7:0] v;
+              always @(*) begin
+                if (c > 2) v = 8'd7;   // no else, no default
+              end
+              always @(posedge clk) begin
+                c <= c + 1;
+                if (v == 7) $finish;
+              end
+            endmodule
+            """)
+
+    def test_last_wins_priority(self):
+        result = run_verilog("""
+        module t();
+          reg [7:0] v;
+          always @(*) begin
+            v = 8'd1;
+            v = 8'd2;
+          end
+          always @(posedge clk) begin
+            $display("%d", v);
+            $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["2"]
+
+    def test_comb_chain_through_blocks(self):
+        result = run_verilog("""
+        module t();
+          reg [7:0] a;
+          reg [7:0] b;
+          reg [3:0] c = 3;
+          always @(*) a = c + 1;
+          always @(*) b = a * 2;
+          always @(posedge clk) begin
+            $display("%d", b);
+            $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["8"]
+
+    def test_comb_compiles_to_manticore(self):
+        src = """
+        module t();
+          reg [3:0] st = 0;
+          reg [7:0] onehot;
+          always @(*) begin
+            case (st[1:0])
+              2'd0: onehot = 8'b0001;
+              2'd1: onehot = 8'b0010;
+              2'd2: onehot = 8'b0100;
+              default: onehot = 8'b1000;
+            endcase
+          end
+          reg [15:0] acc = 0;
+          always @(posedge clk) begin
+            st <= st + 1;
+            acc <= acc + onehot;
+            if (st == 9) $display("%d", acc);
+            if (st == 9) $finish;
+          end
+        endmodule
+        """
+        golden = NetlistInterpreter(parse_verilog(src)).run(200)
+        res = compile_circuit(parse_verilog(src),
+                              CompilerOptions(config=TINY))
+        mres = Machine(res.program, TINY).run(200)
+        assert mres.displays == golden.displays
+
+    def test_multiple_drivers_rejected(self):
+        with pytest.raises(VerilogError, match="multiple drivers"):
+            parse_verilog("""
+            module t();
+              reg [7:0] v;
+              always @(*) v = 8'd1;
+              always @(*) v = 8'd2;
+              always @(posedge clk) $finish;
+            endmodule
+            """)
+
+
+class TestForLoops:
+    def test_unrolled_accumulate(self):
+        result = run_verilog("""
+        module t();
+          integer i;
+          reg [3:0] c = 0;
+          reg [15:0] mem [0:7];
+          reg [15:0] total;
+          always @(*) begin
+            total = 0;
+            for (i = 0; i < 8; i = i + 1)
+              total = total + mem[i];
+          end
+          always @(posedge clk) begin
+            c <= c + 1;
+            for (i = 0; i < 8; i = i + 1)
+              if (c == i) mem[i] <= i * 10;
+            if (c == 9) $display("total=%d", total);
+            if (c == 9) $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["total=280"]
+
+    def test_loop_var_in_expressions(self):
+        result = run_verilog("""
+        module t();
+          integer k;
+          reg [15:0] v;
+          always @(*) begin
+            v = 0;
+            for (k = 1; k < 5; k = k + 1)
+              v = v + k * k;
+          end
+          always @(posedge clk) begin
+            $display("%d", v);
+            $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["30"]  # 1 + 4 + 9 + 16
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+            module t();
+              integer i;
+              reg [7:0] v;
+              always @(*) begin
+                v = 0;
+                for (i = 0; i < 4; i = i + 2) v = v + 1;
+              end
+              always @(posedge clk) $finish;
+            endmodule
+            """)
+
+    def test_huge_loop_rejected(self):
+        with pytest.raises(VerilogError, match="unrolls"):
+            parse_verilog("""
+            module t();
+              integer i;
+              reg [7:0] v;
+              always @(*) begin
+                v = 0;
+                for (i = 0; i < 100000; i = i + 1) v = v + 1;
+              end
+              always @(posedge clk) $finish;
+            endmodule
+            """)
+
+    def test_for_compiles_to_manticore(self):
+        src = """
+        module t();
+          integer i;
+          reg [3:0] c = 0;
+          reg [15:0] squares;
+          always @(*) begin
+            squares = 0;
+            for (i = 0; i < 4; i = i + 1)
+              squares = squares + i * i;
+          end
+          reg [15:0] acc = 0;
+          always @(posedge clk) begin
+            c <= c + 1;
+            acc <= acc + squares;
+            if (c == 5) $display("%d", acc);
+            if (c == 5) $finish;
+          end
+        endmodule
+        """
+        golden = NetlistInterpreter(parse_verilog(src)).run(100)
+        res = compile_circuit(parse_verilog(src),
+                              CompilerOptions(config=TINY))
+        mres = Machine(res.program, TINY).run(100)
+        assert mres.displays == golden.displays

@@ -1,0 +1,90 @@
+"""Tests for out-of-band waveform collection (the paper's SS8 future-work
+item, implemented on the machine model)."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.machine import Machine, TINY
+from repro.machine.waveform import Probe, WaveformCollector, trace_map_for
+from repro.netlist import NetlistInterpreter
+
+from util_circuits import counter_circuit
+
+
+@pytest.fixture()
+def compiled_counter():
+    return compile_circuit(counter_circuit(limit=6),
+                           CompilerOptions(config=TINY))
+
+
+class TestTraceMap:
+    def test_finds_rtl_registers(self, compiled_counter):
+        probes = trace_map_for(compiled_counter)
+        labels = {p.label for p in probes}
+        assert "count_0" in labels
+
+    def test_name_filter(self, compiled_counter):
+        probes = trace_map_for(compiled_counter, names=["count"])
+        assert probes
+        assert all(p.label.startswith("count") for p in probes)
+        assert not trace_map_for(compiled_counter, names=["nonexistent"])
+
+
+class TestCollector:
+    def collect(self, compiled):
+        machine = Machine(compiled.program, TINY)
+        probes = trace_map_for(compiled, names=["count"])
+        collector = WaveformCollector(machine, probes)
+        collector.run(100)
+        return collector
+
+    def test_samples_follow_golden_trace(self, compiled_counter):
+        collector = self.collect(compiled_counter)
+        # Reconstruct count over time from the delta samples.
+        values = []
+        current = None
+        for _t, changes in collector.samples:
+            if "count_0" in changes:
+                current = changes["count_0"]
+            values.append(current)
+        golden = NetlistInterpreter(counter_circuit(limit=6))
+        expected = [golden.peek_register("count")]
+        while not golden.finished and golden.cycle < 20:
+            golden.step()
+            expected.append(golden.peek_register("count"))
+        assert values == expected[:len(values)]
+        assert values[-1] == 7  # ran one past the display cycle
+
+    def test_sampling_does_not_perturb_timing(self, compiled_counter):
+        plain = Machine(compiled_counter.program, TINY).run(100)
+        collector = self.collect(compiled_counter)
+        assert collector.machine.counters.vcycles == plain.vcycles
+        assert collector.machine.displays == plain.displays
+
+    def test_vcd_output_well_formed(self, compiled_counter):
+        collector = self.collect(compiled_counter)
+        vcd = collector.vcd_text()
+        assert "$timescale" in vcd
+        assert "$var wire 16" in vcd
+        assert "$enddefinitions" in vcd
+        assert vcd.count("#") >= len(collector.samples)
+        # every value change line is binary + id
+        for line in vcd.splitlines():
+            if line.startswith("b"):
+                bits, _ident = line[1:].split(" ")
+                assert set(bits) <= {"0", "1"}
+
+    def test_delta_encoding(self, compiled_counter):
+        collector = self.collect(compiled_counter)
+        # count changes every cycle, so every sample reports it.
+        changed = [c for _t, c in collector.samples if "count_0" in c]
+        assert len(changed) == len(collector.samples)
+
+
+class TestManualProbe:
+    def test_probe_machine_register(self, compiled_counter):
+        machine = Machine(compiled_counter.program, TINY)
+        probe = Probe("raw", core=0, reg=0)
+        collector = WaveformCollector(machine, [probe])
+        collector.run(3)
+        assert collector.samples
