@@ -1,0 +1,102 @@
+"""Strict vs fast execution-engine benchmark (the tentpole deliverable).
+
+Times the cycle-accurate machine model under both engines on three
+representative designs (compute-heavy ``mm``, message-heavy ``mc``,
+pipeline-style ``blur``) on an 8x8 grid and writes ``BENCH_engine.json``
+with Vcycles/second per engine and the speedup.  Not a pytest file on
+purpose: wall-clock numbers belong in a standalone run, not in the
+correctness suite.
+
+Methodology: each (design, engine) measurement uses a *fresh* machine,
+steps two warmup Vcycles first (for the fast engine that is the strict
+verification Vcycle plus the first trusted one, so compile cost and
+trust hand-off are excluded), then times the run to ``$finish`` or the
+design budget.  Best of ``REPEATS`` runs is reported.  Both engines
+execute the exact same Vcycle count - they are bit-identical, which
+``tests/test_engine_equivalence.py`` enforces separately.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from harness import machine_for  # noqa: E402
+
+from repro.designs import DESIGNS  # noqa: E402
+
+BENCH_DESIGNS = ("mc", "mm", "blur")
+GRID_SIDE = 8
+WARMUP_VCYCLES = 2
+REPEATS = 3
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _measure(name: str, engine: str) -> tuple[float, int]:
+    """Best Vcycles/second over REPEATS fresh runs, and the Vcycle count."""
+    budget = DESIGNS[name].cycles + 300
+    best = 0.0
+    vcycles = 0
+    for _ in range(REPEATS):
+        machine = machine_for(name, engine=engine, grid_side=GRID_SIDE)
+        for _w in range(WARMUP_VCYCLES):
+            machine.step_vcycle()
+        start = time.perf_counter()
+        machine.run(budget)
+        elapsed = time.perf_counter() - start
+        timed = machine.counters.vcycles - WARMUP_VCYCLES
+        vcycles = machine.counters.vcycles
+        if elapsed > 0:
+            best = max(best, timed / elapsed)
+    return best, vcycles
+
+
+def main() -> int:
+    results: dict[str, dict] = {}
+    for name in BENCH_DESIGNS:
+        strict_vps, vcycles = _measure(name, "strict")
+        fast_vps, fast_vcycles = _measure(name, "fast")
+        assert vcycles == fast_vcycles, (
+            f"{name}: engines ran different Vcycle counts "
+            f"({vcycles} vs {fast_vcycles})")
+        speedup = fast_vps / strict_vps if strict_vps else 0.0
+        results[name] = {
+            "vcycles": vcycles,
+            "strict_vcycles_per_sec": round(strict_vps, 2),
+            "fast_vcycles_per_sec": round(fast_vps, 2),
+            "speedup": round(speedup, 2),
+        }
+        print(f"{name:>6}: strict {strict_vps:9.1f} Vc/s   "
+              f"fast {fast_vps:9.1f} Vc/s   {speedup:5.2f}x")
+
+    speedups = [r["speedup"] for r in results.values()]
+    payload = {
+        "grid": f"{GRID_SIDE}x{GRID_SIDE}",
+        "warmup_vcycles": WARMUP_VCYCLES,
+        "repeats": REPEATS,
+        "designs": results,
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+
+    at_least_3x = sum(1 for s in speedups if s >= 3.0)
+    if at_least_3x < 2:
+        print(f"FAIL: only {at_least_3x}/3 designs reached 3x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

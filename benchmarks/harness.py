@@ -53,6 +53,25 @@ def circuit_of(name: str):
 
 
 @functools.lru_cache(maxsize=None)
+def _grid_compile(name: str, grid_side: int):
+    """Compile one design for a small square grid (cached)."""
+    from repro.machine import MachineConfig
+    options = CompilerOptions(
+        config=MachineConfig(grid_x=grid_side, grid_y=grid_side))
+    return compile_circuit(circuit_of(name), options)
+
+
+def machine_for(name: str, engine: str = "strict", grid_side: int = 8):
+    """Fresh :class:`~repro.machine.Machine` over a cached small-grid
+    compile - the engine-comparison workhorse (each caller gets its own
+    machine so strict/fast runs never share mutable state)."""
+    from repro.machine import Machine, MachineConfig
+    result = _grid_compile(name, grid_side)
+    config = MachineConfig(grid_x=grid_side, grid_y=grid_side)
+    return Machine(result.program, config, engine=engine)
+
+
+@functools.lru_cache(maxsize=None)
 def macrotask_graph(name: str):
     return macrotasks_for(circuit_of(name))
 

@@ -27,7 +27,7 @@ from .program import (
     Process,
     ProgramImage,
 )
-from .semantics import execute
+from .semantics import compile_body
 
 
 class HazardError(RuntimeError):
@@ -53,6 +53,9 @@ class _Unit:
                  parent: "FunctionalInterpreter") -> None:
         self.uid = uid
         self.body = list(body)
+        #: Per-instruction closures (dispatch/operands resolved once;
+        #: pseudo-instructions fall back to ``semantics.execute``).
+        self.compiled = compile_body(self.body)
         self.regs: dict = dict(reg_init)
         self.cfu = list(cfu)
         self.scratch: dict[int, int] = dict(scratch_init)
@@ -125,8 +128,8 @@ class FunctionalInterpreter:
         if self.finished:
             return
         for unit in self.units.values():
-            for instr in unit.body:
-                execute(instr, unit)
+            for fn in unit.compiled:
+                fn(unit)
                 self.instructions_executed += 1
         for target, rd, value in self.pending_sends:
             if target not in self.units:

@@ -1,11 +1,22 @@
 """Single-instruction execution semantics, shared by the functional lower
 interpreter (:mod:`repro.isa.interp`) and the cycle-accurate machine model
-(:mod:`repro.machine.core`) so behaviour can never diverge between them.
+(:mod:`repro.machine.grid`) so behaviour can never diverge between them.
+
+Two execution styles are offered over the same semantics:
+
+* :func:`execute` - the reference path: dispatch on the instruction type
+  every time it runs.  Simple, obviously correct, used by the strict
+  machine engine and as the fallback for compiler pseudo-instructions.
+* :func:`compile_body` - the specialized path: resolve the dispatch,
+  operands, and ALU operator *once* per instruction, returning closures
+  that only touch the :class:`ExecContext`.  Both interpreters use it on
+  their hot loops; :mod:`repro.machine.fastpath` goes one step further
+  and binds register *storage* directly.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Callable, Protocol
 
 from . import instructions as isa
 from .instructions import WORD_MASK, WORD_WIDTH
@@ -44,37 +55,33 @@ def to_signed16(value: int) -> int:
     return value - 0x10000 if value & 0x8000 else value
 
 
+#: ALU operator table shared by every engine (reference, compiled, and
+#: machine fast path).  Functions take *already masked* 16-bit operands
+#: and return a masked 16-bit result.
+ALU_OPS: dict[str, Callable[[int, int], int]] = {
+    "ADD": lambda a, b: (a + b) & WORD_MASK,
+    "SUB": lambda a, b: (a - b) & WORD_MASK,
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "XOR": lambda a, b: a ^ b,
+    "MUL": lambda a, b: (a * b) & WORD_MASK,
+    "MULH": lambda a, b: ((a * b) >> WORD_WIDTH) & WORD_MASK,
+    "SLL": lambda a, b: (a << b) & WORD_MASK if b < WORD_WIDTH else 0,
+    "SRL": lambda a, b: (a >> b) if b < WORD_WIDTH else 0,
+    "SRA": lambda a, b:
+        (to_signed16(a) >> min(b, WORD_WIDTH - 1)) & WORD_MASK,
+    "SEQ": lambda a, b: 1 if a == b else 0,
+    "SLTU": lambda a, b: 1 if a < b else 0,
+    "SLTS": lambda a, b: 1 if to_signed16(a) < to_signed16(b) else 0,
+}
+
+
 def eval_alu(op: str, a: int, b: int) -> int:
     """Pure 16-bit ALU evaluation."""
-    a &= WORD_MASK
-    b &= WORD_MASK
-    if op == "ADD":
-        return (a + b) & WORD_MASK
-    if op == "SUB":
-        return (a - b) & WORD_MASK
-    if op == "AND":
-        return a & b
-    if op == "OR":
-        return a | b
-    if op == "XOR":
-        return a ^ b
-    if op == "MUL":
-        return (a * b) & WORD_MASK
-    if op == "MULH":
-        return ((a * b) >> WORD_WIDTH) & WORD_MASK
-    if op == "SLL":
-        return (a << b) & WORD_MASK if b < WORD_WIDTH else 0
-    if op == "SRL":
-        return (a >> b) if b < WORD_WIDTH else 0
-    if op == "SRA":
-        return (to_signed16(a) >> min(b, WORD_WIDTH - 1)) & WORD_MASK
-    if op == "SEQ":
-        return 1 if a == b else 0
-    if op == "SLTU":
-        return 1 if a < b else 0
-    if op == "SLTS":
-        return 1 if to_signed16(a) < to_signed16(b) else 0
-    raise ValueError(f"unknown ALU op {op!r}")
+    fn = ALU_OPS.get(op)
+    if fn is None:
+        raise ValueError(f"unknown ALU op {op!r}")
+    return fn(a & WORD_MASK, b & WORD_MASK)
 
 
 def eval_custom(config: int, a: int, b: int, c: int, d: int) -> int:
@@ -171,3 +178,116 @@ def execute(instr: isa.Instruction, ctx: ExecContext) -> None:
             ctx.raise_exception(instr.eid)
         return
     raise TypeError(f"cannot execute {type(instr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Closure specialization: resolve dispatch/operands once per instruction.
+# ---------------------------------------------------------------------------
+ExecFn = Callable[[ExecContext], None]
+
+
+def _nop_fn(_ctx: ExecContext) -> None:
+    return None
+
+
+def compile_instruction(instr: isa.Instruction) -> ExecFn:
+    """Specialize one instruction into an ``fn(ctx)`` closure.
+
+    The returned closure has the instruction type, register operands, ALU
+    operator, and immediates pre-resolved; it performs exactly the same
+    :class:`ExecContext` calls as :func:`execute`.  Compiler
+    pseudo-instructions (``execute_on`` hook) and unknown types fall back
+    to :func:`execute` so mid-pipeline programs stay interpretable.
+    """
+    if getattr(instr, "execute_on", None) is not None:
+        return instr.execute_on
+    t = type(instr)
+    if t is isa.Nop:
+        return _nop_fn
+    if t is isa.Set:
+        rd, imm = instr.rd, instr.imm & WORD_MASK
+        return lambda ctx: ctx.write_reg(rd, imm)
+    if t is isa.Alu:
+        fn = ALU_OPS[instr.op]
+        rd, a, b = instr.rd, instr.rs1, instr.rs2
+        return lambda ctx: ctx.write_reg(
+            rd, fn(ctx.read_reg(a) & WORD_MASK, ctx.read_reg(b) & WORD_MASK))
+    if t is isa.Mux:
+        rd, sel, rf, rt = instr.rd, instr.sel, instr.rfalse, instr.rtrue
+        return lambda ctx: ctx.write_reg(
+            rd, ctx.read_reg(rt if ctx.read_reg(sel) & 1 else rf))
+    if t is isa.Slice:
+        rd, rs = instr.rd, instr.rs
+        off, m = instr.offset, (1 << instr.length) - 1
+        return lambda ctx: ctx.write_reg(rd, (ctx.read_reg(rs) >> off) & m)
+    if t is isa.AddCarry:
+        rd, a, b = instr.rd, instr.rs1, instr.rs2
+
+        def _addc(ctx: ExecContext) -> None:
+            total = ctx.read_reg(a) + ctx.read_reg(b) + ctx.carry
+            ctx.write_reg(rd, total & WORD_MASK)
+            ctx.carry = total >> WORD_WIDTH
+
+        return _addc
+    if t is isa.SetCarry:
+        imm = instr.imm
+
+        def _setc(ctx: ExecContext) -> None:
+            ctx.carry = imm
+
+        return _setc
+    if t is isa.Custom:
+        rd, index = instr.rd, instr.index
+        r0, r1, r2, r3 = instr.rs
+        return lambda ctx: ctx.write_reg(rd, eval_custom(
+            ctx.custom_function(index), ctx.read_reg(r0), ctx.read_reg(r1),
+            ctx.read_reg(r2), ctx.read_reg(r3)))
+    if t is isa.Send:
+        rs = instr.rs
+        return lambda ctx, _i=instr: ctx.send(_i, ctx.read_reg(rs))
+    if t is isa.LocalLoad:
+        rd, rb, off = instr.rd, instr.rbase, instr.offset
+        return lambda ctx: ctx.write_reg(
+            rd, ctx.read_local((ctx.read_reg(rb) + off) & WORD_MASK))
+    if t is isa.LocalStore:
+        rs, rb, off = instr.rs, instr.rbase, instr.offset
+
+        def _lst(ctx: ExecContext) -> None:
+            if ctx.predicate:
+                ctx.write_local((ctx.read_reg(rb) + off) & WORD_MASK,
+                                ctx.read_reg(rs))
+
+        return _lst
+    if t is isa.Predicate:
+        rs = instr.rs
+
+        def _pred(ctx: ExecContext) -> None:
+            ctx.predicate = ctx.read_reg(rs) & 1
+
+        return _pred
+    if t is isa.GlobalLoad:
+        rd, addr = instr.rd, instr.addr
+        return lambda ctx: ctx.write_reg(
+            rd, ctx.read_global(global_address(ctx, addr)))
+    if t is isa.GlobalStore:
+        rs, addr = instr.rs, instr.addr
+
+        def _gst(ctx: ExecContext) -> None:
+            if ctx.predicate:
+                ctx.write_global(global_address(ctx, addr), ctx.read_reg(rs))
+
+        return _gst
+    if t is isa.Expect:
+        a, b, eid = instr.rs1, instr.rs2, instr.eid
+
+        def _expect(ctx: ExecContext) -> None:
+            if ctx.read_reg(a) != ctx.read_reg(b):
+                ctx.raise_exception(eid)
+
+        return _expect
+    return lambda ctx, _i=instr: execute(_i, ctx)
+
+
+def compile_body(body) -> list[ExecFn]:
+    """Specialize a whole instruction sequence (one closure each)."""
+    return [compile_instruction(instr) for instr in body]

@@ -6,13 +6,14 @@ from .boot import deserialize, serialize
 from .debug import TraceRecorder
 from .cache import Cache, CacheStats
 from .config import PROTOTYPE, TINY, MachineConfig
-from .grid import Machine, MachineResult, PerfCounters
+from .fastpath import FastpathUnsupported
+from .grid import ENGINES, Machine, MachineResult, PerfCounters
 from .runtime import SimulationRun, simulate_on_manticore
 from .waveform import Probe, WaveformCollector, trace_map_for
 
 __all__ = [
-    "Cache", "CacheStats", "Machine", "MachineConfig", "MachineResult",
-    "PerfCounters", "PROTOTYPE", "Probe", "SimulationRun", "TINY",
-    "TraceRecorder", "WaveformCollector", "deserialize", "serialize",
-    "simulate_on_manticore", "trace_map_for",
+    "Cache", "CacheStats", "ENGINES", "FastpathUnsupported", "Machine",
+    "MachineConfig", "MachineResult", "PerfCounters", "PROTOTYPE", "Probe",
+    "SimulationRun", "TINY", "TraceRecorder", "WaveformCollector",
+    "deserialize", "serialize", "simulate_on_manticore", "trace_map_for",
 ]

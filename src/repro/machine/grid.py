@@ -16,10 +16,17 @@ with the same timing contract the compiler scheduled against:
 * privileged global accesses and exceptions freeze the compute clock
   (global stall, SS5.3) and charge stall cycles measured by Fig. 8's
   counters.
+
+Three engines execute this contract (see :mod:`repro.machine.fastpath`
+and docs/ARCHITECTURE.md "Execution engines"): ``strict`` (all checks,
+the reference), ``permissive`` (no hazard faults - stale reads, like the
+real hardware), and ``fast`` (verify-once-then-trust compiled kernels,
+bit-identical results).
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 from ..isa import instructions as isa
@@ -88,8 +95,9 @@ class _Core:
         self.predicate = 0
         #: delayed writebacks: list of (commit_cycle, reg, value)
         self.pending: list[tuple[int, int, int]] = []
-        #: arrived messages: list of (arrival_cycle, rd, value)
-        self.queue: list[tuple[int, int, int]] = []
+        #: arrived messages: heapq of (arrival_cycle, seq, rd, value);
+        #: seq keeps equal arrivals in send order (stable).
+        self.queue: list[tuple[int, int, int, int]] = []
         self.machine = machine
         # Precompute non-NOP issue events for fast Vcycle execution.
         self.events: list[tuple[int, isa.Instruction]] = [
@@ -158,19 +166,34 @@ class _Core:
         return self.binary.cfu[index]
 
 
+#: Recognized execution engines (see ``repro.machine.fastpath``):
+#: ``"strict"`` checks hazards, NoC reservations, and receive matching on
+#: every event; ``"permissive"`` is the strict event loop without hazard
+#: faults (reads see stale values, the real hardware's behavior);
+#: ``"fast"`` verifies strictly once, then runs compiled per-core kernels.
+ENGINES = ("strict", "permissive", "fast")
+
+
 class Machine:
     """The whole grid in lockstep."""
 
     def __init__(self, program: MachineProgram,
                  config: MachineConfig | None = None,
                  strict: bool = True,
-                 exception_stall: int = 500) -> None:
+                 exception_stall: int = 500,
+                 engine: str | None = None) -> None:
         self.program = program
         self.config = config or MachineConfig(
             grid_x=program.grid[0], grid_y=program.grid[1])
         if (self.config.grid_x, self.config.grid_y) != program.grid:
             raise ValueError("program was compiled for a different grid")
-        self.strict = strict
+        if engine is None:
+            engine = "strict" if strict else "permissive"
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; pick one of "
+                             f"{ENGINES}")
+        self.engine = engine
+        self.strict = engine != "permissive"
         self.exception_stall = exception_stall
         self.counters = PerfCounters()
         self.cache = Cache(self.config, dram=dict(program.global_init))
@@ -182,7 +205,17 @@ class Machine:
         self.finished = False
         self.now = 0               # compute-domain cycle within the Vcycle
         self._link_busy: set[tuple] = set()
+        self._msg_seq = 0
         self._vcycle_events = self._merge_events()
+        # Verify-once-then-trust state (engine="fast"): the compiled
+        # engine, whether it is currently trusted, and how many strict
+        # verification Vcycles remain before (re-)trusting it.
+        self._fastpath = None
+        self._fastpath_error: str | None = None
+        self._trusted = False
+        self._verify_left = max(0, self.config.fastpath_verify_vcycles)
+        if engine == "fast" and self._verify_left == 0:
+            self._trusted = self._ensure_fastpath()
 
     # ------------------------------------------------------------------
     def _merge_events(self) -> list[tuple[int, int, object]]:
@@ -231,7 +264,9 @@ class Machine:
                     f"(message {src}->{dst})"
                 )
         self._link_busy.update(slots)
-        self.cores[dst].queue.append((arrival, rd, value))
+        self._msg_seq += 1
+        heapq.heappush(self.cores[dst].queue,
+                       (arrival, self._msg_seq, rd, value))
         self.counters.messages += 1
 
     def service_exception(self, core_id: int, eid: int) -> None:
@@ -248,10 +283,44 @@ class Machine:
             self.displays.append(text)
 
     # -- execution -----------------------------------------------------------
+    def _ensure_fastpath(self) -> bool:
+        """Compile the fast engine on first demand; on failure remember
+        why and stay on the strict engine forever."""
+        if self._fastpath is None and self._fastpath_error is None:
+            from .fastpath import FastpathUnsupported, compile_fastpath
+            try:
+                self._fastpath = compile_fastpath(self)
+            except FastpathUnsupported as exc:
+                self._fastpath_error = str(exc)
+        return self._fastpath is not None
+
     def step_vcycle(self) -> None:
-        """Execute one full Vcycle across the grid."""
+        """Execute one full Vcycle across the grid.
+
+        With ``engine="fast"`` this applies the verify-once-then-trust
+        protocol: strict Vcycles until ``config.fastpath_verify_vcycles``
+        clean ones have run, then the compiled trace; any Vcycle with an
+        exception drops trust for one strict (re-verifying) Vcycle.
+        """
         if self.finished:
             return
+        exceptions_before = self.counters.exceptions
+        if self._trusted:
+            self._fastpath.run_vcycle()
+        else:
+            self._step_vcycle_strict()
+            if self.engine == "fast":
+                self._verify_left -= 1
+                if self._verify_left <= 0 and self._ensure_fastpath():
+                    self._trusted = True
+        if self.counters.exceptions != exceptions_before \
+                and self.engine == "fast":
+            self._trusted = False
+            self._verify_left = max(self._verify_left, 1)
+
+    def _step_vcycle_strict(self) -> None:
+        """The checking engine: dynamic dispatch, hazard faults, NoC
+        reservation checks, receive-slot matching."""
         from ..isa.semantics import execute
 
         self._link_busy.clear()
@@ -266,8 +335,7 @@ class Machine:
                         f"core {cid}: receive slot at cycle {cycle} has "
                         "no queued message"
                     )
-                core.queue.sort(key=lambda m: m[0])
-                arrival, rd, value = core.queue.pop(0)
+                arrival, _seq, rd, value = heapq.heappop(core.queue)
                 if arrival > cycle:
                     raise NoCDropError(
                         f"core {cid}: message arrives at {arrival} after "

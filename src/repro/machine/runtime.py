@@ -53,9 +53,16 @@ class SimulationRun:
 def simulate_on_manticore(circuit: Circuit, max_vcycles: int = 1_000_000,
                           options: "CompilerOptions | None" = None,
                           through_bootloader: bool = True,
-                          strict: bool = True) -> SimulationRun:
+                          strict: bool = True,
+                          engine: str | None = None) -> SimulationRun:
     """Compile a circuit, (optionally) round-trip it through the
-    bootloader binary format, and execute it on the machine model."""
+    bootloader binary format, and execute it on the machine model.
+
+    ``engine`` selects the execution engine (``"strict"``,
+    ``"permissive"``, or ``"fast"`` - the verify-once-then-trust
+    compiled engine, bit-identical to strict but several times faster
+    on long runs); when ``None`` the legacy ``strict`` flag decides.
+    """
     from ..compiler.driver import compile_circuit
 
     result = compile_circuit(circuit, options)
@@ -67,6 +74,6 @@ def simulate_on_manticore(circuit: Circuit, max_vcycles: int = 1_000_000,
         program = deserialize(stream)
     config = (options.config if options else None) or MachineConfig(
         grid_x=program.grid[0], grid_y=program.grid[1])
-    machine = Machine(program, config, strict=strict)
+    machine = Machine(program, config, strict=strict, engine=engine)
     mres = machine.run(max_vcycles)
     return SimulationRun(result.report, mres, binary_bytes)

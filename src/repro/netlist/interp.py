@@ -9,6 +9,15 @@ against it.  Evaluation follows full-cycle semantics (paper SS2.1):
 2. fire effects (``$display`` text is collected, assertions checked,
    ``$finish`` latches termination),
 3. commit register next values and memory writes simultaneously.
+
+Two engines share these semantics (mirroring the machine model's
+strict/fast split): ``engine="strict"`` dispatches through
+:func:`~repro.netlist.ir.evaluate_op` on every op, every cycle - the
+reference; ``engine="fast"`` precompiles the topological order into
+per-op closures (kind dispatch, argument names, masks, and memory
+backings resolved once), used by the Verilator-like baseline for honest
+wall-clock numbers.  Results are identical by construction and enforced
+by ``tests/test_engine_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -23,8 +32,10 @@ from .ir import (
     Display,
     Finish,
     Op,
+    OpKind,
     evaluate_op,
     mask,
+    to_signed,
     topological_order,
 )
 
@@ -82,18 +93,116 @@ class SimulationResult:
 InputProvider = Callable[[int], Mapping[str, int]]
 
 
+def compile_op(op: Op, values: dict, memories: Mapping[str, list[int]]):
+    """Specialize one op into a zero-argument thunk over ``values``.
+
+    The returned closure has the kind dispatch, argument wire names,
+    result mask, and (for ``MEMRD``) the backing memory list resolved
+    once; running it is exactly ``values[op.result.name] =
+    evaluate_op(op, values, memories)``.
+    """
+    kind = op.kind
+    out = op.result.name
+    m = mask(op.result.width)
+    if kind is OpKind.CONST:
+        v = op.value & m
+        return lambda: values.__setitem__(out, v)
+    a = op.args[0].name if op.args else None
+    if kind is OpKind.NOT:
+        return lambda: values.__setitem__(out, ~values[a] & m)
+    if kind is OpKind.SLICE:
+        off = op.offset
+        return lambda: values.__setitem__(out, (values[a] >> off) & m)
+    if kind is OpKind.MEMRD:
+        contents = memories[op.memory]
+        n = len(contents)
+        return lambda: values.__setitem__(out, contents[values[a] % n])
+    if kind is OpKind.REDOR:
+        return lambda: values.__setitem__(out, 1 if values[a] != 0 else 0)
+    if kind is OpKind.REDAND:
+        am = mask(op.args[0].width)
+        return lambda: values.__setitem__(out, 1 if values[a] == am else 0)
+    if kind is OpKind.REDXOR:
+        return lambda: values.__setitem__(out, bin(values[a]).count("1") & 1)
+    if kind is OpKind.CONCAT:
+        parts = []
+        shift = 0
+        for arg in op.args:  # args listed LSB-first
+            parts.append((arg.name, mask(arg.width), shift))
+            shift += arg.width
+
+        def _concat():
+            acc = 0
+            for name, pm, sh in parts:
+                acc |= (values[name] & pm) << sh
+            values[out] = acc & m
+
+        return _concat
+    b = op.args[1].name
+    if kind is OpKind.AND:
+        return lambda: values.__setitem__(out, (values[a] & values[b]) & m)
+    if kind is OpKind.OR:
+        return lambda: values.__setitem__(out, (values[a] | values[b]) & m)
+    if kind is OpKind.XOR:
+        return lambda: values.__setitem__(out, (values[a] ^ values[b]) & m)
+    if kind is OpKind.ADD:
+        return lambda: values.__setitem__(out, (values[a] + values[b]) & m)
+    if kind is OpKind.SUB:
+        return lambda: values.__setitem__(out, (values[a] - values[b]) & m)
+    if kind is OpKind.MUL:
+        return lambda: values.__setitem__(out, (values[a] * values[b]) & m)
+    if kind is OpKind.EQ:
+        return lambda: values.__setitem__(
+            out, 1 if values[a] == values[b] else 0)
+    if kind is OpKind.NE:
+        return lambda: values.__setitem__(
+            out, 1 if values[a] != values[b] else 0)
+    if kind is OpKind.LTU:
+        return lambda: values.__setitem__(
+            out, 1 if values[a] < values[b] else 0)
+    if kind is OpKind.LTS:
+        wa, wb = op.args[0].width, op.args[1].width
+        return lambda: values.__setitem__(
+            out, 1 if to_signed(values[a], wa) < to_signed(values[b], wb)
+            else 0)
+    if kind is OpKind.SHL:
+        w = op.result.width
+        return lambda: values.__setitem__(
+            out, (values[a] << min(values[b], w)) & m)
+    if kind is OpKind.LSHR:
+        wa = op.args[0].width
+        return lambda: values.__setitem__(
+            out, values[a] >> min(values[b], wa))
+    if kind is OpKind.ASHR:
+        wa = op.args[0].width
+        return lambda: values.__setitem__(
+            out, (to_signed(values[a], wa) >> min(values[b], wa)) & m)
+    if kind is OpKind.MUX:
+        c = op.args[2].name
+        return lambda: values.__setitem__(
+            out, (values[c] if values[a] else values[b]) & m)
+    # Unknown kinds keep reference semantics (and reference errors).
+    return lambda: values.__setitem__(out, evaluate_op(op, values, memories))
+
+
 class NetlistInterpreter:
     """Executes a :class:`Circuit` cycle by cycle.
 
     ``inputs`` maps cycle number -> {input name: value}; a callable can be
     supplied for stimulus generators.  Missing inputs default to 0.
+    ``engine="fast"`` swaps the per-op ``evaluate_op`` dispatch for
+    precompiled thunks (identical results, several times faster).
     """
 
     def __init__(self, circuit: Circuit,
-                 inputs: InputProvider | None = None) -> None:
+                 inputs: InputProvider | None = None,
+                 engine: str = "strict") -> None:
         circuit.validate()
+        if engine not in ("strict", "fast"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.circuit = circuit
         self.inputs = inputs or (lambda _cycle: {})
+        self.engine = engine
         self.order: list[Op] = topological_order(circuit)
         self.registers: dict[str, int] = {
             name: reg.init for name, reg in circuit.registers.items()
@@ -109,6 +218,16 @@ class NetlistInterpreter:
         self.displays: list[str] = []
         #: Wire values from the most recent cycle (for probing in tests).
         self.trace: dict[str, int] = {}
+        if engine == "fast":
+            # Persistent value dict shared by every thunk; fully
+            # overwritten each cycle (registers + inputs + every op).
+            self._values: dict[str, int] = {}
+            self._thunks = [
+                compile_op(op, self._values, self.memories)
+                for op in self.order
+            ]
+        else:
+            self._thunks = None
 
     # ------------------------------------------------------------------
     def step(self) -> None:
@@ -116,13 +235,21 @@ class NetlistInterpreter:
         if self.finished:
             return
         circuit = self.circuit
-        values: dict[str, int] = dict(self.registers)
         provided = self.inputs(self.cycle)
-        for name, wire in circuit.inputs.items():
-            values[name] = provided.get(name, 0) & mask(wire.width)
-
-        for op in self.order:
-            values[op.result.name] = evaluate_op(op, values, self.memories)
+        if self._thunks is None:
+            values: dict[str, int] = dict(self.registers)
+            for name, wire in circuit.inputs.items():
+                values[name] = provided.get(name, 0) & mask(wire.width)
+            for op in self.order:
+                values[op.result.name] = evaluate_op(op, values,
+                                                     self.memories)
+        else:
+            values = self._values
+            values.update(self.registers)
+            for name, wire in circuit.inputs.items():
+                values[name] = provided.get(name, 0) & mask(wire.width)
+            for fn in self._thunks:
+                fn()
 
         # Effects observe pre-commit (current-cycle) values.
         for eff in circuit.effects:
