@@ -32,19 +32,33 @@ BENCH_ORDER = ["vta", "mc", "noc", "mm", "rv32r", "cgra", "bc", "blur",
 PLATFORMS = {"i7": I7_9700K, "xeon": XEON_8272CL, "epyc": EPYC_7V73X}
 
 
-@functools.lru_cache(maxsize=None)
-def compile_design(name: str, max_cores: int | None = None,
-                   merge_strategy: str = "balanced",
-                   enable_custom_functions: bool = True):
-    """Compile one registry design for the prototype grid (cached)."""
-    info = DESIGNS[name]
-    options = CompilerOptions(
+#: In-session compile memos, keyed like the old ``lru_cache`` calls but
+#: seedable by :func:`precompile` (batch ``compile_many`` fan-out).
+_COMPILED: dict[tuple, object] = {}
+_GRID_COMPILED: dict[tuple[str, int], object] = {}
+
+
+def _prototype_options(max_cores=None, merge_strategy="balanced",
+                       enable_custom_functions=True) -> CompilerOptions:
+    return CompilerOptions(
         config=PROTOTYPE,
         max_cores=max_cores,
         merge_strategy=merge_strategy,
         enable_custom_functions=enable_custom_functions,
     )
-    return compile_circuit(info.build(), options)
+
+
+def compile_design(name: str, max_cores: int | None = None,
+                   merge_strategy: str = "balanced",
+                   enable_custom_functions: bool = True):
+    """Compile one registry design for the prototype grid (cached)."""
+    key = (name, max_cores, merge_strategy, enable_custom_functions)
+    if key not in _COMPILED:
+        _COMPILED[key] = compile_circuit(
+            circuit_of(name),
+            _prototype_options(max_cores, merge_strategy,
+                               enable_custom_functions))
+    return _COMPILED[key]
 
 
 @functools.lru_cache(maxsize=None)
@@ -52,13 +66,47 @@ def circuit_of(name: str):
     return DESIGNS[name].build()
 
 
-@functools.lru_cache(maxsize=None)
+def _grid_options(grid_side: int) -> CompilerOptions:
+    from repro.machine import MachineConfig
+    return CompilerOptions(
+        config=MachineConfig(grid_x=grid_side, grid_y=grid_side))
+
+
 def _grid_compile(name: str, grid_side: int):
     """Compile one design for a small square grid (cached)."""
-    from repro.machine import MachineConfig
-    options = CompilerOptions(
-        config=MachineConfig(grid_x=grid_side, grid_y=grid_side))
-    return compile_circuit(circuit_of(name), options)
+    key = (name, grid_side)
+    if key not in _GRID_COMPILED:
+        _GRID_COMPILED[key] = compile_circuit(circuit_of(name),
+                                              _grid_options(grid_side))
+    return _GRID_COMPILED[key]
+
+
+def precompile(names=None, jobs: int | None = None,
+               grid_side: int | None = None) -> None:
+    """Batch-compile a design set concurrently (``compile_many``) and
+    seed the session memos, so figure sweeps and the engine benchmark pay
+    one parallel fan-out instead of nine serial compiles.
+
+    ``grid_side=None`` targets the prototype grid used by the table and
+    figure experiments; an explicit side seeds the small-grid cache that
+    :func:`machine_for` uses.  ``jobs=None`` means one worker per CPU.
+    """
+    from repro.compiler import compile_many
+
+    names = list(BENCH_ORDER if names is None else names)
+    if grid_side is None:
+        memo, options = _COMPILED, _prototype_options()
+        key_of = (lambda n: (n, None, "balanced", True))
+    else:
+        memo, options = _GRID_COMPILED, _grid_options(grid_side)
+        key_of = (lambda n: (n, grid_side))
+    missing = [n for n in names if key_of(n) not in memo]
+    if not missing:
+        return
+    results = compile_many([circuit_of(n) for n in missing], options,
+                           jobs=(-1 if jobs is None else jobs))
+    for name, result in zip(missing, results):
+        memo[key_of(name)] = result
 
 
 def machine_for(name: str, engine: str = "strict", grid_side: int = 8):

@@ -29,6 +29,22 @@ def _grid_config(args):
     return MachineConfig(grid_x=args.grid[0], grid_y=args.grid[1])
 
 
+def _compiler_options(args):
+    """CompilerOptions from the shared compile flags (grid, cache, jobs).
+
+    The CLI opts into the compile cache by default (``~/.cache/
+    repro-compile`` or ``$REPRO_COMPILE_CACHE``); ``--no-cache`` turns it
+    off, ``--cache-dir`` points it elsewhere.
+    """
+    from .compiler.cache import default_cache_dir
+    from .compiler.driver import CompilerOptions
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or str(default_cache_dir())
+    return CompilerOptions(config=_grid_config(args), jobs=args.jobs,
+                           cache_dir=cache_dir)
+
+
 def cmd_simulate(args) -> int:
     """Golden-interpreter simulation of a Verilog file."""
     from .netlist.interp import run_circuit
@@ -44,14 +60,18 @@ def cmd_simulate(args) -> int:
 
 def cmd_compile(args) -> int:
     """Compile for Manticore and print the compile report."""
-    from .compiler.driver import CompilerOptions, compile_circuit
+    import json
+
+    from .compiler.driver import compile_circuit
     from .isa.asm import format_program
     from .machine.boot import serialize
 
     circuit = _load_circuit(args.file)
-    options = CompilerOptions(config=_grid_config(args))
-    result = compile_circuit(circuit, options)
+    result = compile_circuit(circuit, _compiler_options(args))
     r = result.report
+    if args.json:
+        print(json.dumps(r.as_dict(), indent=2))
+        return 0
     print(f"design             : {r.name}")
     print(f"netlist ops        : {r.netlist_ops}")
     print(f"lower instructions : {r.lowered_instructions}")
@@ -63,6 +83,9 @@ def cmd_compile(args) -> int:
     print(f"max imem footprint : {r.max_imem}")
     print(f"compile time       : {r.times.total:.2f}s "
           f"({', '.join(f'{k}={v:.2f}' for k, v in r.times.as_dict().items() if k != 'total')})")
+    if r.cache is not None:
+        print(f"compile cache      : {r.cache['status']} "
+              f"({r.cache['key'][:12]}... in {r.cache['dir']})")
     print(f"rate @ 475 MHz     : {r.simulated_rate_khz(475.0):.1f} kHz")
     if args.asm:
         with open(args.asm, "w") as f:
@@ -78,13 +101,13 @@ def cmd_compile(args) -> int:
 
 def cmd_run(args) -> int:
     """Compile and execute on the cycle-accurate machine model."""
-    from .compiler.driver import CompilerOptions, compile_circuit
+    from .compiler.driver import compile_circuit
     from .machine.grid import Machine
     from .machine.waveform import WaveformCollector, trace_map_for
 
     circuit = _load_circuit(args.file)
     config = _grid_config(args)
-    result = compile_circuit(circuit, CompilerOptions(config=config))
+    result = compile_circuit(circuit, _compiler_options(args))
     machine = Machine(result.program, config)
 
     if args.vcd:
@@ -152,6 +175,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--grid", nargs=2, type=int, default=[4, 4],
                        metavar=("X", "Y"), help="Manticore grid size")
 
+    def add_compile_flags(p):
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the parallel compiler "
+                            "phases (1 = serial, -1 = one per CPU; the "
+                            "output is bit-identical either way)")
+        p.add_argument("--cache-dir", metavar="DIR",
+                       help="compile-cache directory (default: "
+                            "$REPRO_COMPILE_CACHE or ~/.cache/"
+                            "repro-compile)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the content-addressed compile cache")
+
     p = sub.add_parser("simulate", help="golden-interpreter simulation")
     p.add_argument("file")
     p.add_argument("--cycles", type=int, default=1_000_000)
@@ -160,13 +195,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compile", help="compile for Manticore")
     p.add_argument("file")
     add_grid(p)
+    add_compile_flags(p)
     p.add_argument("--asm", help="write assembly listing")
     p.add_argument("--binary", help="write bootloader binary")
+    p.add_argument("--json", action="store_true",
+                   help="print the compile report as JSON")
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("run", help="compile and run on the machine model")
     p.add_argument("file")
     add_grid(p)
+    add_compile_flags(p)
     p.add_argument("--cycles", type=int, default=1_000_000)
     p.add_argument("--vcd", help="write a VCD waveform")
     p.add_argument("--trace", help="comma-separated register prefixes")

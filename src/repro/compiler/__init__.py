@@ -2,6 +2,13 @@
 split/merge partitioning, custom-function synthesis, scheduling, and
 register allocation (paper SS6)."""
 
+from .cache import (
+    CacheStats,
+    CompileCache,
+    compile_cache_key,
+    default_cache_dir,
+    options_fingerprint,
+)
 from .custom import CustomSynthesisResult, synthesize_custom_functions
 from .driver import (
     CompileReport,
@@ -10,6 +17,7 @@ from .driver import (
     PhaseTimes,
     compile_circuit,
 )
+from .parallel import compile_many, parallel_map, resolve_jobs
 from .lower import CompilerError, LowerOptions, lower_circuit
 from .merge import build_processes, merge_balanced, merge_lpt
 from .schedule import ScheduledProgram, schedule
@@ -23,11 +31,14 @@ from .transforms import (
 )
 
 __all__ = [
-    "CompileReport", "CompileResult", "CompilerError", "CompilerOptions",
-    "CustomSynthesisResult", "LowerOptions", "PartitionedProgram",
-    "PhaseTimes", "ScheduledProgram", "build_processes", "compile_circuit",
+    "CacheStats", "CompileCache", "CompileReport", "CompileResult",
+    "CompilerError", "CompilerOptions", "CustomSynthesisResult",
+    "LowerOptions", "PartitionedProgram", "PhaseTimes",
+    "ScheduledProgram", "build_processes", "compile_cache_key",
+    "compile_circuit", "compile_many",
     "common_subexpression_elimination", "constant_fold",
-    "dead_code_elimination", "lower_circuit", "merge_balanced", "merge_lpt",
-    "optimize", "schedule", "split", "synthesize_custom_functions",
-    "VerificationError", "verify_program",
+    "dead_code_elimination", "default_cache_dir", "lower_circuit",
+    "merge_balanced", "merge_lpt", "optimize", "options_fingerprint",
+    "parallel_map", "resolve_jobs", "schedule", "split",
+    "synthesize_custom_functions", "VerificationError", "verify_program",
 ]

@@ -296,57 +296,89 @@ def _select_milp(candidates: list[Candidate],
     return [candidates[i] for i in range(n_x) if res.x[i] > 0.5]
 
 
+#: Padding operand for CFU slots beyond a cone's real inputs.
+ZERO_REG = "$c0000"
+
+
+def _synthesize_process(payload: tuple[int, Process, int, bool],
+                        ) -> tuple[int, list[isa.Instruction], list[int],
+                                   bool, ProcessSynthesisStats]:
+    """Synthesis for one process as a pure function.
+
+    Returns ``(pid, new_body, cfu, needs_zero, stats)`` without mutating
+    the input, so it can run in a pool worker (module-level + picklable)
+    and the parent can apply results in pid order - the ``jobs=N`` path
+    of :func:`synthesize_custom_functions`.
+    """
+    pid, proc, max_functions, use_milp = payload
+    before = len(proc.body)
+    candidates = _enumerate_candidates(proc)
+    chosen: list[Candidate] | None = None
+    if use_milp and 0 < len(candidates) <= MILP_CANDIDATE_LIMIT:
+        chosen = _select_milp(candidates, max_functions)
+    if chosen is None:
+        chosen = _select_greedy(candidates, max_functions)
+
+    # Assign function indices (dedup by config).
+    cfu: list[int] = []
+    func_of: dict[int, int] = {}
+    for cand in chosen:
+        if cand.config not in func_of:
+            func_of[cand.config] = len(cfu)
+            cfu.append(cand.config)
+
+    # Rewrite the body.
+    replace: dict[int, isa.Instruction] = {}
+    delete: set[int] = set()
+    needs_zero = False
+    for cand in chosen:
+        rd = proc.body[cand.root].writes()[0]
+        rs = list(cand.inputs)
+        while len(rs) < 4:
+            rs.append(ZERO_REG)
+            needs_zero = True
+        replace[cand.root] = isa.Custom(rd, func_of[cand.config],
+                                        tuple(rs))
+        delete |= cand.cone - {cand.root}
+    new_body = [
+        replace.get(i, instr) for i, instr in enumerate(proc.body)
+        if i not in delete
+    ]
+    stats = ProcessSynthesisStats(
+        pid=pid,
+        instructions_before=before,
+        instructions_after=len(new_body),
+        fused_cones=len(chosen),
+        functions_used=len(cfu),
+    )
+    return pid, new_body, cfu, needs_zero, stats
+
+
 def synthesize_custom_functions(image: ProgramImage,
                                 max_functions: int =
                                 isa.NUM_CUSTOM_FUNCTIONS,
                                 use_milp: bool = True,
+                                jobs: int | None = None,
                                 ) -> CustomSynthesisResult:
-    """Fuse logic chains in every process; mutates ``image`` in place."""
+    """Fuse logic chains in every process; mutates ``image`` in place.
+
+    ``jobs > 1`` fans the per-process synthesis (the compile-time
+    hotspot: cut enumeration + truth tables + MILP) over a process pool.
+    Results are applied in pid order, so the rewritten image is identical
+    to the serial one.
+    """
+    from .parallel import parallel_map
+
     result = CustomSynthesisResult()
-    for pid in sorted(image.processes):
+    pids = sorted(image.processes)
+    payloads = [(pid, image.processes[pid], max_functions, use_milp)
+                for pid in pids]
+    for pid, new_body, cfu, needs_zero, stats in parallel_map(
+            _synthesize_process, payloads, jobs):
         proc = image.processes[pid]
-        before = len(proc.body)
-        candidates = _enumerate_candidates(proc)
-        chosen: list[Candidate] | None = None
-        if use_milp and 0 < len(candidates) <= MILP_CANDIDATE_LIMIT:
-            chosen = _select_milp(candidates, max_functions)
-        if chosen is None:
-            chosen = _select_greedy(candidates, max_functions)
-
-        # Assign function indices (dedup by config).
-        cfu: list[int] = []
-        func_of: dict[int, int] = {}
-        for cand in chosen:
-            if cand.config not in func_of:
-                func_of[cand.config] = len(cfu)
-                cfu.append(cand.config)
-
-        # Rewrite the body.
-        replace: dict[int, isa.Instruction] = {}
-        delete: set[int] = set()
-        zero = "$c0000"
-        needs_zero = False
-        for cand in chosen:
-            rd = proc.body[cand.root].writes()[0]
-            rs = list(cand.inputs)
-            while len(rs) < 4:
-                rs.append(zero)
-                needs_zero = True
-            replace[cand.root] = isa.Custom(rd, func_of[cand.config],
-                                            tuple(rs))
-            delete |= cand.cone - {cand.root}
         if needs_zero:
-            proc.reg_init.setdefault(zero, 0)
-        proc.body = [
-            replace.get(i, instr) for i, instr in enumerate(proc.body)
-            if i not in delete
-        ]
+            proc.reg_init.setdefault(ZERO_REG, 0)
+        proc.body = new_body
         proc.cfu = cfu
-        result.per_process.append(ProcessSynthesisStats(
-            pid=pid,
-            instructions_before=before,
-            instructions_after=len(proc.body),
-            fused_cones=len(chosen),
-            functions_used=len(cfu),
-        ))
+        result.per_process.append(stats)
     return result

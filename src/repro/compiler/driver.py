@@ -49,6 +49,21 @@ class CompilerOptions:
     custom_selector: str = "milp"
     lower_options: LowerOptions = field(default_factory=LowerOptions)
 
+    # ------------------------------------------------------------------
+    # Non-semantic knobs (never change the produced binary; excluded
+    # from the compile-cache key, see cache.NON_SEMANTIC_OPTIONS).
+    # ------------------------------------------------------------------
+    #: worker processes for the parallel phases (custom synthesis and
+    #: per-core schedule construction) and for ``compile_many``.
+    #: 1 = serial, -1 = one per CPU.  Any value is bit-identical to 1.
+    jobs: int = 1
+    #: directory of the content-addressed compile cache; ``None``
+    #: disables caching (the library default - the CLI and benchmark
+    #: harness opt in).
+    cache_dir: str | None = None
+    #: LRU size cap of the cache directory, in bytes.
+    cache_max_bytes: int = 256 * 1024 * 1024
+
 
 @dataclass
 class PhaseTimes:
@@ -60,18 +75,20 @@ class PhaseTimes:
     custom: float = 0.0
     schedule: float = 0.0
     regalloc: float = 0.0
+    #: compile-cache overhead: key derivation + lookup (+ store on miss)
+    cache: float = 0.0
 
     @property
     def total(self) -> float:
         return (self.opt + self.lower + self.parallelize + self.custom
-                + self.schedule + self.regalloc)
+                + self.schedule + self.regalloc + self.cache)
 
     def as_dict(self) -> dict[str, float]:
         return {
             "opt": self.opt, "lower": self.lower,
             "parallelize": self.parallelize, "custom": self.custom,
             "schedule": self.schedule, "regalloc": self.regalloc,
-            "total": self.total,
+            "cache": self.cache, "total": self.total,
         }
 
 
@@ -91,10 +108,39 @@ class CompileReport:
     custom: CustomSynthesisResult | None
     times: PhaseTimes
     max_imem: int
+    #: compile-cache outcome for this compilation: status ("hit"/"miss"),
+    #: key, and the cache instance's hit/miss/store/eviction counters.
+    #: ``None`` when caching was disabled.
+    cache: dict | None = None
 
     def simulated_rate_khz(self, frequency_mhz: float) -> float:
         """RTL cycles per second at the given machine frequency."""
         return frequency_mhz * 1e3 / self.vcpl
+
+    def as_dict(self) -> dict:
+        """JSON-serializable view (benchmarks, CLI ``--json``)."""
+        custom = None
+        if self.custom is not None:
+            custom = {
+                "instructions_before": self.custom.instructions_before,
+                "instructions_after": self.custom.instructions_after,
+                "reduction_percent": self.custom.reduction_percent,
+            }
+        return {
+            "name": self.name,
+            "vcpl": self.vcpl,
+            "cores_used": self.cores_used,
+            "send_count": self.send_count,
+            "split_processes": self.split_processes,
+            "split_edges": self.split_edges,
+            "netlist_ops": self.netlist_ops,
+            "lowered_instructions": self.lowered_instructions,
+            "breakdown": dict(self.breakdown),
+            "custom": custom,
+            "times": self.times.as_dict(),
+            "max_imem": self.max_imem,
+            "cache": self.cache,
+        }
 
 
 @dataclass
@@ -107,8 +153,44 @@ class CompileResult:
 
 def compile_circuit(circuit: Circuit,
                     options: CompilerOptions | None = None) -> CompileResult:
-    """Compile a netlist circuit into a Manticore binary."""
+    """Compile a netlist circuit into a Manticore binary.
+
+    When ``options.cache_dir`` is set, the content-addressed compile
+    cache (:mod:`repro.compiler.cache`) is consulted first: a hit
+    returns the stored artifact (bit-identical ``MachineProgram``)
+    without running any phase; a miss compiles and stores.  When
+    ``options.jobs > 1``, custom-function synthesis and per-core
+    schedule construction fan out over a process pool - the output is
+    bit-identical to ``jobs=1`` either way.
+    """
+    from .cache import cache_from_options
+
     options = options or CompilerOptions()
+    cache = cache_from_options(options)
+    if cache is None:
+        return _compile_uncached(circuit, options)
+
+    t0 = time.perf_counter()
+    key = cache.key(circuit, options)
+    cached = cache.get(key)
+    if cached is not None:
+        cached.report.times.cache = time.perf_counter() - t0
+        cached.report.cache = cache.describe("hit", key)
+        return cached
+    lookup = time.perf_counter() - t0
+
+    result = _compile_uncached(circuit, options)
+
+    t0 = time.perf_counter()
+    cache.put(key, result)
+    result.report.times.cache = lookup + (time.perf_counter() - t0)
+    result.report.cache = cache.describe("miss", key)
+    return result
+
+
+def _compile_uncached(circuit: Circuit,
+                      options: CompilerOptions) -> CompileResult:
+    """The full pipeline, no cache consultation."""
     config = options.config
     max_cores = options.max_cores or config.num_cores
     if max_cores > config.num_cores:
@@ -148,12 +230,14 @@ def compile_circuit(circuit: Circuit,
     custom_result = None
     if options.enable_custom_functions:
         custom_result = synthesize_custom_functions(
-            image, use_milp=(options.custom_selector == "milp"))
+            image, use_milp=(options.custom_selector == "milp"),
+            jobs=options.jobs)
     times.custom = time.perf_counter() - t0
 
     t0 = time.perf_counter()
     scheduled = schedule(image, config,
-                         coalesce_state=options.coalesce_state)
+                         coalesce_state=options.coalesce_state,
+                         jobs=options.jobs)
     times.schedule = time.perf_counter() - t0
 
     t0 = time.perf_counter()

@@ -1,0 +1,121 @@
+"""Deterministic parallel fan-out for the compiler pipeline.
+
+Two compiler phases are embarrassingly parallel across partitions:
+per-process custom-function synthesis (:mod:`repro.compiler.custom`) and
+per-core dependence/priority construction inside the list scheduler
+(:mod:`repro.compiler.schedule`).  Both fan out over a
+``concurrent.futures`` process pool through :func:`parallel_map`, which
+preserves input order so a ``jobs=N`` compile produces a **bit-identical**
+``MachineProgram`` to ``jobs=1`` (enforced by
+``tests/test_parallel_compile.py`` and the CI determinism check).
+
+:func:`compile_many` is the batch entry point the benchmark harness uses
+so figure sweeps compile their whole design set concurrently, with the
+content-addressed cache (:mod:`repro.compiler.cache`) consulted in the
+parent before any worker is spawned.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..netlist.ir import Circuit
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Below this many items a pool is never worth its spawn cost.
+MIN_ITEMS_FOR_POOL = 2
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs`` knob: ``None``/``0`` mean serial, negative
+    values mean one worker per CPU."""
+    if jobs is None or jobs == 0:
+        return 1
+    if jobs < 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T],
+                 jobs: int | None, chunksize: int = 1) -> list[R]:
+    """``[fn(x) for x in items]``, fanned over a process pool.
+
+    Results come back in input order regardless of completion order, so
+    callers that apply them index-aligned stay deterministic.  Worker
+    exceptions propagate to the caller; pool-infrastructure failures
+    (unpicklable payloads, a broken pool) silently fall back to the
+    serial path, which either succeeds or reproduces the real error.
+    """
+    items = list(items)
+    workers = min(resolve_jobs(jobs), len(items))
+    if workers <= 1 or len(items) < MIN_ITEMS_FOR_POOL:
+        return [fn(x) for x in items]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+    except (pickle.PicklingError, BrokenProcessPool, OSError):
+        return [fn(x) for x in items]
+
+
+# ----------------------------------------------------------------------
+# Batch compilation.
+# ----------------------------------------------------------------------
+
+def _compile_worker(payload):
+    """Module-level so it pickles into pool workers."""
+    circuit, options = payload
+    from .driver import compile_circuit
+    return compile_circuit(circuit, options)
+
+
+def compile_many(circuits: Sequence[Circuit], options=None,
+                 jobs: int | None = None):
+    """Compile a batch of circuits concurrently; results in input order.
+
+    The cache (when ``options.cache_dir`` is set) is probed in the parent
+    so hits never cost a worker; misses compile in a process pool (one
+    whole pipeline per worker, ``jobs=1`` inside to avoid nested pools)
+    and are stored by the parent.  ``jobs=None`` defaults to
+    ``options.jobs``.
+    """
+    from .cache import cache_from_options
+    from .driver import CompilerOptions
+
+    options = options or CompilerOptions()
+    jobs = resolve_jobs(options.jobs if jobs is None else jobs)
+    cache = cache_from_options(options)
+
+    results: list = [None] * len(circuits)
+    keys: dict[int, str] = {}
+    miss_idx: list[int] = []
+    for i, circuit in enumerate(circuits):
+        if cache is not None:
+            key = cache.key(circuit, options)
+            keys[i] = key
+            hit = cache.get(key)
+            if hit is not None:
+                hit.report.cache = cache.describe("hit", key)
+                results[i] = hit
+                continue
+        miss_idx.append(i)
+
+    # Workers run the plain pipeline: no nested pools, no cache I/O.
+    worker_options = replace(options, jobs=1, cache_dir=None)
+    compiled = parallel_map(
+        _compile_worker,
+        [(circuits[i], worker_options) for i in miss_idx],
+        jobs,
+    )
+    for i, result in zip(miss_idx, compiled):
+        if cache is not None:
+            cache.put(keys[i], result)
+            result.report.cache = cache.describe("miss", keys[i])
+        results[i] = result
+    return results

@@ -54,7 +54,9 @@ def simulate_on_manticore(circuit: Circuit, max_vcycles: int = 1_000_000,
                           options: "CompilerOptions | None" = None,
                           through_bootloader: bool = True,
                           strict: bool = True,
-                          engine: str | None = None) -> SimulationRun:
+                          engine: str | None = None,
+                          cache_dir: str | None = None,
+                          jobs: int | None = None) -> SimulationRun:
     """Compile a circuit, (optionally) round-trip it through the
     bootloader binary format, and execute it on the machine model.
 
@@ -62,8 +64,26 @@ def simulate_on_manticore(circuit: Circuit, max_vcycles: int = 1_000_000,
     ``"permissive"``, or ``"fast"`` - the verify-once-then-trust
     compiled engine, bit-identical to strict but several times faster
     on long runs); when ``None`` the legacy ``strict`` flag decides.
+
+    ``cache_dir`` and ``jobs`` override the corresponding
+    :class:`~repro.compiler.driver.CompilerOptions` knobs: with a cache
+    directory set, repeated simulations of the same circuit skip
+    compilation entirely (content-addressed compile cache); ``jobs > 1``
+    fans the parallel compiler phases over worker processes.  Both are
+    output-invariant.
     """
-    from ..compiler.driver import compile_circuit
+    import dataclasses
+
+    from ..compiler.driver import CompilerOptions, compile_circuit
+
+    if cache_dir is not None or jobs is not None:
+        options = options or CompilerOptions()
+        overrides: dict = {}
+        if cache_dir is not None:
+            overrides["cache_dir"] = cache_dir
+        if jobs is not None:
+            overrides["jobs"] = jobs
+        options = dataclasses.replace(options, **overrides)
 
     result = compile_circuit(circuit, options)
     program = result.program

@@ -17,6 +17,7 @@ after type elaboration.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Mapping, Sequence
@@ -345,6 +346,59 @@ class Circuit:
                         f"memory {memory.name!r} write enable must be 1 bit"
                     )
 
+    def fingerprint(self) -> str:
+        """Deterministic structural digest of the circuit (hex sha256).
+
+        Two circuits with the same name, state elements, effects, and op
+        *set* fingerprint identically regardless of the order ops were
+        inserted (ops are an unordered SSA set); the digest is stable
+        across process restarts (no reliance on Python ``hash``).  It is
+        the circuit half of the compile-cache key
+        (:mod:`repro.compiler.cache`).
+
+        The fingerprint is sensitive to wire names: alpha-renamed but
+        structurally identical circuits hash differently.  Effect order
+        is significant (it fixes ``$display`` interleaving), as is memory
+        write-port order (later ports win write conflicts).
+        """
+        h = hashlib.sha256()
+        h.update(b"circuit/v1\0")
+        h.update(self.name.encode())
+        h.update(b"\0ops\0")
+        for digest in sorted(_op_digest(op) for op in self.ops):
+            h.update(digest)
+        h.update(b"\0regs\0")
+        for name in sorted(self.registers):
+            reg = self.registers[name]
+            nxt = ("" if reg.next_value is None
+                   else f"{reg.next_value.name}:{reg.next_value.width}")
+            h.update(f"{name}|{reg.width}|{reg.init}|{nxt}\0".encode())
+        h.update(b"\0mems\0")
+        for name in sorted(self.memories):
+            mem = self.memories[name]
+            h.update(f"{name}|{mem.width}|{mem.depth}|"
+                     f"{mem.global_hint:d}{mem.sram_hint:d}\0".encode())
+            h.update(repr(tuple(mem.init)).encode())
+            for wr in mem.writes:  # port order is semantic
+                h.update(f"|{wr.addr!r},{wr.data!r},{wr.enable!r}".encode())
+            h.update(b"\0")
+        h.update(b"\0io\0")
+        for name in sorted(self.inputs):
+            h.update(f"i{name}:{self.inputs[name].width}\0".encode())
+        for name in sorted(self.outputs):
+            h.update(f"o{name}:{self.outputs[name].width}\0".encode())
+        h.update(b"\0effects\0")
+        for eff in self.effects:  # order fixes host-service interleaving
+            if isinstance(eff, Display):
+                h.update(f"D|{eff.enable!r}|{eff.fmt}|"
+                         f"{','.join(map(repr, eff.args))}\0".encode())
+            elif isinstance(eff, Finish):
+                h.update(f"F|{eff.enable!r}\0".encode())
+            else:
+                h.update(f"A|{eff.enable!r}|{eff.cond!r}|"
+                         f"{eff.message}\0".encode())
+        return h.hexdigest()
+
     def stats(self) -> dict[str, int]:
         """Cheap size statistics used by reports and benchmarks."""
         return {
@@ -355,6 +409,15 @@ class Circuit:
             "memory_bits": sum(m.bits for m in self.memories.values()),
             "effects": len(self.effects),
         }
+
+
+def _op_digest(op: Op) -> bytes:
+    """Canonical byte string of one op for :meth:`Circuit.fingerprint`."""
+    attrs = ",".join(f"{k}={op.attrs[k]!r}" for k in sorted(op.attrs))
+    args = ",".join(f"{a.name}:{a.width}" for a in op.args)
+    text = (f"{op.result.name}:{op.result.width}={op.kind.value}"
+            f"({args})[{attrs}]")
+    return hashlib.sha256(text.encode()).digest()
 
 
 def topological_order(circuit: Circuit) -> list[Op]:

@@ -588,17 +588,23 @@ class Parser:
         raise VerilogError(f"line {tok.line}: unexpected {tok.text!r}")
 
 
-def _assigned_names(stmts) -> set[str]:
-    """All assignment targets in a statement tree."""
-    out: set[str] = set()
+def _assigned_names(stmts) -> dict[str, None]:
+    """All assignment targets in a statement tree.
+
+    Returned as insertion-ordered dict keys (first-assignment order)
+    rather than a set: callers iterate the result while elaborating ops,
+    and elaboration order must not depend on PYTHONHASHSEED or
+    ``Circuit.fingerprint`` would differ across processes.
+    """
+    out: dict[str, None] = {}
     for stmt in stmts:
         if isinstance(stmt, NonBlocking):
-            out.add(stmt.target)
+            out[stmt.target] = None
         elif isinstance(stmt, If):
-            out |= _assigned_names(stmt.then)
-            out |= _assigned_names(stmt.other)
+            out.update(_assigned_names(stmt.then))
+            out.update(_assigned_names(stmt.other))
         elif isinstance(stmt, For):
-            out |= _assigned_names(stmt.body)
+            out.update(_assigned_names(stmt.body))
     return out
 
 
@@ -760,7 +766,9 @@ class Elaborator:
                 else_env = dict(pending)
                 self._walk_comb(stmt.other, enable & ~cond, else_env)
                 self._comb_scope = pending
-                for name in set(then_env) | set(else_env):
+                # dict.fromkeys, not set union: mux/gensym creation
+                # order must be hash-seed independent.
+                for name in dict.fromkeys([*then_env, *else_env]):
                     if name in then_env and name in else_env:
                         t, f = then_env[name], else_env[name]
                         decl = self.module.decls.get(name)
@@ -919,7 +927,7 @@ class Elaborator:
                 self._walk(stmt.then, enable & cond, then_env)
                 else_env = dict(pending)
                 self._walk(stmt.other, enable & ~cond, else_env)
-                names = set(then_env) | set(else_env)
+                names = dict.fromkeys([*then_env, *else_env])
                 for name in names:
                     reg = self.regs[name]
                     base = pending.get(name, reg)

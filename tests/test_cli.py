@@ -16,6 +16,12 @@ endmodule
 """
 
 
+@pytest.fixture(autouse=True)
+def hermetic_cache(tmp_path, monkeypatch):
+    """The CLI caches compiles by default; keep tests off the real one."""
+    monkeypatch.setenv("REPRO_COMPILE_CACHE", str(tmp_path / "ccache"))
+
+
 @pytest.fixture()
 def counter_file(tmp_path):
     path = tmp_path / "counter.v"

@@ -1,0 +1,132 @@
+"""Parallel compiler phases: jobs=N must be bit-identical to jobs=1,
+parallel_map must preserve order, and compile_many must behave like a
+loop of compile_circuit."""
+
+import pytest
+
+from repro.compiler import (
+    CompilerOptions,
+    compile_circuit,
+    compile_many,
+    parallel_map,
+    resolve_jobs,
+)
+from repro.machine.boot import serialize
+from repro.machine.config import MachineConfig, TINY
+from util_circuits import (
+    accumulator_circuit,
+    counter_circuit,
+    logic_heavy_circuit,
+)
+
+
+def _square(x: int) -> int:   # module-level: picklable into pool workers
+    return x * x
+
+
+def _boom(x: int) -> int:
+    raise ValueError(f"boom {x}")
+
+
+class TestParallelMap:
+    def test_serial_and_parallel_agree(self):
+        items = list(range(20))
+        assert (parallel_map(_square, items, jobs=1)
+                == parallel_map(_square, items, jobs=3)
+                == [x * x for x in items])
+
+    def test_order_is_input_order(self):
+        items = [5, 3, 1, 4, 2]
+        assert parallel_map(_square, items, jobs=2) == [25, 9, 1, 16, 4]
+
+    def test_worker_exceptions_propagate(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_boom, [1, 2, 3], jobs=2)
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_boom, [1, 2, 3], jobs=1)
+
+    def test_empty_and_singleton(self):
+        assert parallel_map(_square, [], jobs=4) == []
+        assert parallel_map(_square, [7], jobs=4) == [49]
+
+    def test_resolve_jobs(self):
+        import os
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+
+class TestJobsDeterminism:
+    """compile_circuit(jobs=N) == compile_circuit(jobs=1), bitwise.
+
+    The full nine-design sweep runs in the CI determinism check and in
+    ``benchmarks/bench_compile.py``; here small circuits keep tier-1
+    fast while still covering custom synthesis (logic_heavy) and carry
+    chains (accumulator) across multiple partitions.
+    """
+
+    GRID = MachineConfig(grid_x=4, grid_y=4)
+
+    @pytest.mark.parametrize("build", [counter_circuit,
+                                       accumulator_circuit,
+                                       logic_heavy_circuit])
+    def test_bit_identical_program(self, build):
+        serial = compile_circuit(
+            build(), CompilerOptions(config=self.GRID, jobs=1))
+        parallel = compile_circuit(
+            build(), CompilerOptions(config=self.GRID, jobs=2))
+        assert serialize(parallel.program) == serialize(serial.program)
+        assert parallel.report.vcpl == serial.report.vcpl
+        assert parallel.report.breakdown == serial.report.breakdown
+
+    def test_negative_jobs_means_cpu_count(self):
+        result = compile_circuit(
+            counter_circuit(), CompilerOptions(config=TINY, jobs=-1))
+        reference = compile_circuit(
+            counter_circuit(), CompilerOptions(config=TINY))
+        assert serialize(result.program) == serialize(reference.program)
+
+
+class TestCompileMany:
+    def test_results_in_input_order(self):
+        circuits = [counter_circuit(), accumulator_circuit(),
+                    logic_heavy_circuit()]
+        opts = CompilerOptions(config=MachineConfig(grid_x=4, grid_y=4))
+        batch = compile_many(circuits, opts, jobs=2)
+        singles = [compile_circuit(c, opts) for c in circuits]
+        assert [r.report.name for r in batch] == [
+            "counter", "accumulator", "logic_heavy"]
+        for got, want in zip(batch, singles):
+            assert serialize(got.program) == serialize(want.program)
+
+    def test_cache_hits_skip_workers(self, tmp_path):
+        opts = CompilerOptions(config=TINY, cache_dir=str(tmp_path))
+        first = compile_many([counter_circuit()], opts, jobs=2)
+        again = compile_many(
+            [counter_circuit(), counter_circuit(limit=5)], opts, jobs=2)
+        assert first[0].report.cache["status"] == "miss"
+        assert again[0].report.cache["status"] == "hit"
+        assert again[1].report.cache["status"] == "miss"
+        assert (serialize(again[0].program)
+                == serialize(first[0].program))
+
+    def test_defaults_to_options_jobs(self):
+        opts = CompilerOptions(config=TINY, jobs=2)
+        batch = compile_many([counter_circuit(), counter_circuit(limit=5)],
+                             opts)
+        assert len(batch) == 2
+        assert batch[0].report.name == "counter"
+
+
+class TestRuntimeIntegration:
+    def test_simulate_with_cache_and_jobs(self, tmp_path):
+        from repro.machine.runtime import simulate_on_manticore
+        kw = dict(options=CompilerOptions(config=TINY),
+                  cache_dir=str(tmp_path), jobs=2)
+        cold = simulate_on_manticore(counter_circuit(), **kw)
+        warm = simulate_on_manticore(counter_circuit(), **kw)
+        assert cold.report.cache["status"] == "miss"
+        assert warm.report.cache["status"] == "hit"
+        assert warm.displays == cold.displays
+        assert warm.vcycles == cold.vcycles
