@@ -10,6 +10,9 @@ Commands
 ``designs``                  list the built-in benchmark designs
 ``design NAME``              golden-run one benchmark design
 ``disasm FILE.bin``          disassemble a bootloader binary
+``fuzz``                     differential fuzzing: hunt a seed range through
+                             an oracle matrix, shrink + record divergences
+                             into a replayable corpus (``--replay FILE``)
 """
 
 from __future__ import annotations
@@ -164,6 +167,137 @@ def cmd_disasm(args) -> int:
     return 0
 
 
+def _parse_seed_range(spec: str) -> range:
+    """``"A:B"`` -> ``range(A, B)``; a bare ``"N"`` -> ``range(N, N+1)``."""
+    if ":" in spec:
+        lo, hi = spec.split(":", 1)
+        return range(int(lo), int(hi))
+    n = int(spec)
+    return range(n, n + 1)
+
+
+def _fuzz_params(args):
+    from .fuzz.generator import GeneratorParams
+    overrides = {}
+    if args.n_ops is not None:
+        overrides["n_ops"] = args.n_ops
+    if args.n_regs is not None:
+        overrides["n_regs"] = args.n_regs
+    if args.max_width is not None:
+        overrides["max_width"] = args.max_width
+    return GeneratorParams().scaled(**overrides)
+
+
+def _fuzz_report_divergence(args, report, params) -> str:
+    """Shrink + record one failing seed; returns the corpus file path."""
+    from .fuzz.corpus import CorpusEntry, save_entry
+    from .fuzz.generator import generate
+    from .fuzz.shrink import oracle_predicate, shrink
+
+    budget = args.cycles if args.cycles is not None else params.cycles + 8
+    first = report.divergences[0]
+    circuit = generate(report.seed, params)
+    divergence = first
+    if not args.no_shrink:
+        predicate = oracle_predicate(first.oracle, budget)
+        result = shrink(circuit, predicate)
+        print(f"  {result.summary()}", file=sys.stderr)
+        circuit, divergence = result.circuit, result.divergence
+    entry = CorpusEntry(
+        circuit=circuit, cycles=budget, seed=report.seed, params=params,
+        matrix=args.matrix or "quick", oracle=divergence.oracle,
+        divergence=divergence,
+        note=f"found by repro fuzz, seed {report.seed}")
+    path = save_entry(entry, args.corpus_dir)
+    print(f"  repro: {entry.replay_command(path)}", file=sys.stderr)
+    return path
+
+
+def _fuzz_replay(args) -> int:
+    """Replay corpus files; exit 0 iff every recorded outcome reproduces."""
+    from .fuzz.corpus import load_entry, replay_entry
+    failures = 0
+    for path in args.replay:
+        entry = load_entry(path)
+        _, divergences = replay_entry(entry, matrix=args.matrix)
+        want = entry.divergence
+        if divergences:
+            print(f"{path}: {divergences[0].describe()}")
+        else:
+            print(f"{path}: clean "
+                  f"({'as recorded' if want is None else 'UNEXPECTED'})")
+        reproduced = (bool(divergences) == (want is not None))
+        if want is not None and divergences and args.matrix is None:
+            reproduced = (divergences[0].cycle == want.cycle
+                          and divergences[0].signal == want.signal)
+        if not reproduced:
+            failures += 1
+            print(f"{path}: recorded outcome did NOT reproduce",
+                  file=sys.stderr)
+    return 1 if failures else 0
+
+
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing: hunt seeds, shrink and record divergences."""
+    import time
+
+    from .fuzz.oracle import MATRICES, ORACLES, fuzz_seed
+
+    if args.list_oracles:
+        for name, spec in ORACLES.items():
+            print(f"{name:28s} {spec.describe()}")
+        for name, members in MATRICES.items():
+            print(f"matrix {name:21s} {', '.join(members)}")
+        return 0
+    if args.replay:
+        return _fuzz_replay(args)
+
+    params = _fuzz_params(args)
+    matrix = args.matrix or "quick"
+    seeds = _parse_seed_range(args.seeds)
+    deadline = (time.monotonic() + args.time_budget
+                if args.time_budget else None)
+    failures = []
+    tested = 0
+
+    def handle(report):
+        nonlocal tested
+        tested += 1
+        if report.ok:
+            if args.verbose:
+                print(f"seed {report.seed}: ok "
+                      f"({report.elapsed:.2f}s)", file=sys.stderr)
+            return
+        print(f"seed {report.seed}: {report.divergences[0].describe()}")
+        failures.append(_fuzz_report_divergence(args, report, params))
+
+    if args.jobs > 1:
+        import concurrent.futures as cf
+        from functools import partial
+        work = partial(fuzz_seed, params=params, matrix=matrix,
+                       cycles=args.cycles)
+        with cf.ProcessPoolExecutor(max_workers=args.jobs) as pool:
+            futures = [pool.submit(work, seed) for seed in seeds]
+            for future in futures:
+                if deadline is not None and time.monotonic() > deadline:
+                    for f in futures:
+                        f.cancel()
+                    break
+                handle(future.result())
+    else:
+        for seed in seeds:
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            handle(fuzz_seed(seed, params=params, matrix=matrix,
+                             cycles=args.cycles))
+
+    print(f"-- fuzzed {tested} seeds against [{matrix}]: "
+          f"{len(failures)} divergence(s)"
+          + (f", corpus in {args.corpus_dir}" if failures else ""),
+          file=sys.stderr)
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -222,6 +356,39 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("disasm", help="disassemble a program binary")
     p.add_argument("file")
     p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser(
+        "fuzz", help="differential fuzzing against an oracle matrix")
+    p.add_argument("--seeds", default="0:50", metavar="A:B",
+                   help="seed range to hunt (half-open; default 0:50)")
+    p.add_argument("--time-budget", type=float, metavar="SECONDS",
+                   help="stop hunting after this many seconds")
+    p.add_argument("--matrix",
+                   help="oracle matrix: a preset (quick/engines/full) or a "
+                        "comma-separated oracle list (default: quick; in "
+                        "--replay mode, default: the recorded oracle)")
+    p.add_argument("--corpus-dir", default="fuzz-corpus", metavar="DIR",
+                   help="where shrunk repros are written (default: "
+                        "fuzz-corpus)")
+    p.add_argument("--replay", nargs="+", metavar="FILE",
+                   help="replay corpus files instead of hunting; exits "
+                        "non-zero unless every recorded outcome reproduces")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fuzz seeds in parallel worker processes")
+    p.add_argument("--cycles", type=int,
+                   help="simulation cycle budget per seed (default: "
+                        "generator cycles + 8)")
+    p.add_argument("--n-ops", type=int, help="generator: ops per circuit")
+    p.add_argument("--n-regs", type=int, help="generator: register count")
+    p.add_argument("--max-width", type=int,
+                   help="generator: maximum wire width")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="record failing circuits without minimizing them")
+    p.add_argument("--list-oracles", action="store_true",
+                   help="list known oracles and matrices, then exit")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="report every seed, not just failures")
+    p.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -1,0 +1,112 @@
+"""Seeded fault injection: deliberately-wrong semantics for harness tests.
+
+A differential fuzzer that has never caught a bug proves nothing.  This
+module plants *known* bugs - a netlist op or an ISA ALU entry whose copied
+semantics are subtly wrong - behind context managers, so the test suite
+can assert the oracle harness detects the divergence, names the first bad
+cycle and signal, and shrinks the trigger circuit to a minimal repro.
+
+Faults are registered by name so corpus files recorded against a faulty
+oracle replay deterministically (``repro fuzz --replay``): the corpus
+entry stores the oracle name (e.g. ``golden-buggy-sub``), and the replay
+re-applies the same named fault.
+
+Patching is scoped and call-time only: the strict netlist interpreter
+looks up ``evaluate_op`` per op and the strict machine engine looks up
+``ALU_OPS`` per instruction, so only simulations *inside* the context
+manager see the fault.  (The compiled ``fast`` engines resolve semantics
+at construction time - faulty oracles therefore always run strict.)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from ..netlist.ir import Op, OpKind
+
+
+@contextmanager
+def patched_netlist_op(kind: OpKind,
+                       mutate: Callable[[Op, int], int]) -> Iterator[None]:
+    """Wrap the golden interpreter's ``evaluate_op`` for ops of ``kind``.
+
+    ``mutate(op, correct_result)`` returns the (wrong) result to use.
+    Only strict-engine interpreters constructed *and run* inside the
+    context observe the fault.
+    """
+    from ..netlist import interp as interp_mod
+    original = interp_mod.evaluate_op
+
+    def wrapper(op, values, memories=None):
+        result = original(op, values, memories)
+        if op.kind is kind:
+            return mutate(op, result) & ((1 << op.result.width) - 1)
+        return result
+
+    interp_mod.evaluate_op = wrapper
+    try:
+        yield
+    finally:
+        interp_mod.evaluate_op = original
+
+
+@contextmanager
+def patched_alu_op(op_name: str,
+                   mutate: Callable[[int, int, int], int]) -> Iterator[None]:
+    """Wrap one entry of the ISA ALU table (:data:`repro.isa.semantics.
+    ALU_OPS`).  ``mutate(a, b, correct_result)`` returns the wrong 16-bit
+    result.  Machines must be constructed inside the context (the strict
+    engine resolves the table per call; compiled bodies resolve it at
+    construction)."""
+    from ..isa import semantics
+    original = semantics.ALU_OPS[op_name]
+    semantics.ALU_OPS[op_name] = (
+        lambda a, b: mutate(a, b, original(a, b)) & 0xFFFF)
+    try:
+        yield
+    finally:
+        semantics.ALU_OPS[op_name] = original
+
+
+# ---------------------------------------------------------------------------
+# Canned faults (name -> zero-arg context-manager factory).
+# ---------------------------------------------------------------------------
+
+def _netlist_sub_off_by_one():
+    # SUB drops one when the subtrahend's low octal digit is 5: rare
+    # enough that the fuzzer must hunt for a trigger, common enough that
+    # a few hundred seeds always contain one.
+    def mutate(op, result):
+        return result - 1
+    return patched_netlist_op(OpKind.SUB, mutate)
+
+
+def _netlist_sub_conditional():
+    def mutate(op, result):
+        return result - 1 if (result & 0x7) == 5 else result
+    return patched_netlist_op(OpKind.SUB, mutate)
+
+
+def _alu_xor_sticky_bit():
+    # ISA-level XOR wrongly sets bit 0 when the first operand's low
+    # nibble is 3 - a "copied semantics table with one wrong row".
+    def mutate(a, b, result):
+        return result | 1 if (a & 0xF) == 0x3 else result
+    return patched_alu_op("XOR", mutate)
+
+
+FAULTS: dict[str, Callable[[], object]] = {
+    "netlist-sub-off-by-one": _netlist_sub_off_by_one,
+    "netlist-sub-conditional": _netlist_sub_conditional,
+    "alu-xor-sticky-bit": _alu_xor_sticky_bit,
+}
+
+
+def fault_context(name: str):
+    """Context manager applying the named canned fault."""
+    try:
+        return FAULTS[name]()
+    except KeyError:
+        raise ValueError(f"unknown fault {name!r}; known: "
+                         f"{', '.join(sorted(FAULTS))}") from None

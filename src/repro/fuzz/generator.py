@@ -1,0 +1,408 @@
+"""Seeded random-circuit generation for differential fuzzing.
+
+Two generations of generators live here:
+
+* :func:`generate` + :class:`GeneratorParams` - the fuzzing subsystem's
+  full-surface generator.  One seed deterministically produces one closed
+  circuit exercising every netlist IR construct the compiler must get
+  right: registers of odd widths, memories with read/write ports, dynamic
+  shifts, wide arithmetic with explicit trunc/zext/sext, mux trees, and
+  the dense bitwise clusters that custom-function synthesis fuses.  Every
+  cycle the circuit displays ``@<cycle> <name>=<hex> ...`` for all
+  architectural state, so two simulators agree iff their display streams
+  agree - and the oracle harness can name the first mismatching cycle and
+  signal straight from the streams.
+
+* the legacy helpers (:func:`random_circuit`,
+  :func:`random_memory_circuit`, and the small named designs) - grown in
+  ``tests/util_circuits.py`` and ``tests/test_fuzz_compiler.py``, folded
+  in here so library code and tests share one implementation.  Their
+  per-seed output is unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, replace
+
+from ..netlist import CircuitBuilder, Signal
+from ..netlist.ir import Circuit
+
+
+# ---------------------------------------------------------------------------
+# Small named designs (test fixtures).
+# ---------------------------------------------------------------------------
+
+def counter_circuit(limit=9, width=8, display=True) -> Circuit:
+    m = CircuitBuilder("counter")
+    count = m.register("count", width)
+    count.next = (count + 1).trunc(width)
+    if display:
+        m.display(~count[0], "%d is an even number", count)
+        m.display(count[0], "%d is an odd number", count)
+    m.finish(count == limit)
+    return m.build()
+
+
+def accumulator_circuit(width=32, limit=50) -> Circuit:
+    """Wide arithmetic: exercises carry chains and multi-limb compare."""
+    m = CircuitBuilder("accumulator")
+    cyc = m.register("cyc", 16)
+    acc = m.register("acc", width)
+    cyc.next = (cyc + 1).trunc(16)
+    acc.next = (acc + cyc.zext(width) * 3).trunc(width)
+    done = cyc == limit
+    m.display(done, "acc=%d", acc)
+    m.finish(done)
+    return m.build()
+
+
+def memory_circuit(depth=16, cycles=40) -> Circuit:
+    """Scratchpad traffic: write then read back with assertion."""
+    m = CircuitBuilder("memtest")
+    cyc = m.register("cyc", 16)
+    cyc.next = (cyc + 1).trunc(16)
+    mem = m.memory("buf", width=16, depth=depth)
+    addr = cyc.trunc(4) if depth == 16 else cyc.trunc(8)
+    mem.write(addr, (cyc * 7).trunc(16), enable=m.const(1, 1))
+    rd = mem.read(addr)
+    # Value read this cycle is what was written `depth` cycles ago.
+    expected = ((cyc - depth) * 7).trunc(16)
+    valid = cyc.geu(depth)
+    m.check(valid, rd == expected, "memory readback mismatch")
+    m.finish(cyc == cycles)
+    return m.build()
+
+
+def logic_heavy_circuit(stages=6, limit=30) -> Circuit:
+    """Long bitwise chains: custom-function synthesis fodder."""
+    m = CircuitBuilder("logic_heavy")
+    cyc = m.register("cyc", 16)
+    state = m.register("state", 16, init=0xACE1)
+    cyc.next = (cyc + 1).trunc(16)
+    x = state
+    for i in range(stages):
+        x = ((x & m.const(0xF0F0 >> (i % 4), 16))
+             | (x ^ m.const(0x1234 + i, 16)))
+    # LFSR-ish mixing to keep the state changing.
+    state.next = (x ^ (state >> 1)).trunc(16)
+    m.display(cyc == limit, "state=%x", state)
+    m.finish(cyc == limit)
+    return m.build()
+
+
+# ---------------------------------------------------------------------------
+# Legacy seeded generators (per-seed output preserved).
+# ---------------------------------------------------------------------------
+
+_BIN_OPS = ["add", "sub", "and", "or", "xor", "mul", "eq", "ltu", "lts",
+            "mux", "cat", "shl_const", "shr_const"]
+
+
+def random_circuit(seed, n_ops=30, n_regs=4, max_width=36,
+                   cycles=None) -> Circuit:
+    """Seeded random closed circuit with a per-cycle state display.
+
+    The display of every register value each cycle makes interpreter
+    comparisons exhaustive: two simulators agree iff their display streams
+    agree.
+    """
+    rng = random.Random(seed)
+    m = CircuitBuilder(f"random_{seed}")
+    regs = []
+    for i in range(n_regs):
+        width = rng.randint(1, max_width)
+        regs.append(m.register(f"r{i}", width,
+                               init=rng.getrandbits(width)))
+    cyc = m.register("cyc", 16)
+    cyc.next = (cyc + 1).trunc(16)
+
+    pool = list(regs) + [cyc]
+    for _ in range(n_ops):
+        op = rng.choice(_BIN_OPS)
+        a = rng.choice(pool)
+        b = rng.choice(pool)
+        try:
+            if op == "add":
+                value = a + b
+            elif op == "sub":
+                value = a - b
+            elif op == "and":
+                value = a & b
+            elif op == "or":
+                value = a | b
+            elif op == "xor":
+                value = a ^ b
+            elif op == "mul":
+                value = (a.mul_wide(b)).trunc(
+                    min(a.width + b.width, max_width))
+            elif op == "eq":
+                value = a == b
+            elif op == "ltu":
+                value = a.ltu(b)
+            elif op == "lts":
+                value = a.lts(b)
+            elif op == "mux":
+                sel = rng.choice(pool)
+                value = m.mux(sel[0], a, b.zext(max(a.width, b.width))
+                              if b.width < a.width else b.trunc(a.width)
+                              if b.width > a.width else b)
+            elif op == "cat":
+                value = m.cat(a, b)
+                if value.width > max_width:
+                    value = value.trunc(max_width)
+            elif op == "shl_const":
+                value = a << rng.randint(0, max(0, a.width - 1))
+            else:
+                value = a >> rng.randint(0, max(0, a.width - 1))
+        except Exception:
+            continue
+        pool.append(value)
+
+    # Bind each register's next value to a random same-width expression.
+    for reg in regs:
+        cands = [p for p in pool if p is not reg]
+        src = rng.choice(cands)
+        if src.width > reg.width:
+            reg.next = src.trunc(reg.width)
+        elif src.width < reg.width:
+            reg.next = src.zext(reg.width)
+        else:
+            reg.next = src
+
+    always = m.const(1, 1)
+    m.display(always, "trace " + " ".join(["%x"] * len(regs)), *regs)
+    m.finish(cyc == (cycles or 8))
+    return m.build()
+
+
+def random_memory_circuit(seed, n_regs=3, n_ops=12, mem_depth=8,
+                          cycles=10) -> Circuit:
+    """Random circuit plus a read/write memory in the loop."""
+    rng = random.Random(seed)
+    m = CircuitBuilder(f"fuzzmem_{seed}")
+    cyc = m.register("cyc", 16)
+    cyc.next = (cyc + 1).trunc(16)
+    regs = [m.register(f"r{i}", 16, init=rng.getrandbits(16))
+            for i in range(n_regs)]
+    mem = m.memory("mem", 16, mem_depth,
+                   init=[rng.getrandbits(16) for _ in range(mem_depth)])
+
+    abits = (mem_depth - 1).bit_length()
+    pool = list(regs) + [cyc]
+    for _ in range(n_ops):
+        a, b = rng.choice(pool), rng.choice(pool)
+        pool.append(rng.choice([
+            lambda: (a + b).trunc(16),
+            lambda: a ^ b,
+            lambda: (a * 3).trunc(16),
+            lambda: m.mux(a[0], a, b),
+            lambda: a >> b.trunc(3),
+        ])())
+    rd = mem.read(rng.choice(pool).trunc(abits))
+    pool.append(rd)
+    mem.write(rng.choice(pool).trunc(abits), rng.choice(pool),
+              enable=rng.choice(pool)[0])
+    for reg in regs:
+        reg.next = rng.choice(pool).trunc(16)
+
+    m.display(m.const(1, 1), "t %x %x %x %x", *regs, rd)
+    m.finish(cyc == cycles)
+    return m.build()
+
+
+# ---------------------------------------------------------------------------
+# Full-surface fuzzing generator.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GeneratorParams:
+    """Knobs of :func:`generate`; serialized verbatim into corpus files."""
+
+    n_regs: int = 4
+    n_ops: int = 40
+    max_width: int = 48
+    n_mems: int = 1
+    mem_depth: int = 8          # must be a power of two
+    cycles: int = 16
+    # Feature toggles (all on by default; the CLI exposes them for
+    # bisecting which construct class triggers a divergence).
+    wide_arith: bool = True
+    dynamic_shifts: bool = True
+    mux_trees: bool = True
+    bitwise_clusters: bool = True
+    memories: bool = True
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GeneratorParams":
+        return cls(**data)
+
+    def scaled(self, **overrides) -> "GeneratorParams":
+        return replace(self, **overrides)
+
+
+def _fit(rng: random.Random, sig: Signal, width: int) -> Signal:
+    """Resize ``sig`` to ``width`` (random zext/sext choice on widening)."""
+    if sig.width > width:
+        return sig.trunc(width)
+    if sig.width < width:
+        return sig.sext(width) if rng.random() < 0.3 else sig.zext(width)
+    return sig
+
+
+def generate(seed: int, params: GeneratorParams | None = None) -> Circuit:
+    """Deterministically generate one closed fuzz circuit for ``seed``.
+
+    The circuit is self-stimulating (no inputs): a 16-bit cycle counter,
+    ``n_regs`` registers of random widths, and ``n_mems`` memories evolve
+    under a soup of ``n_ops`` random expression clusters drawn from the
+    whole IR surface.  Every cycle one display line reports the cycle
+    number and all observable state; ``$finish`` fires at
+    ``params.cycles``.
+    """
+    params = params or GeneratorParams()
+    if params.mem_depth & (params.mem_depth - 1):
+        raise ValueError("mem_depth must be a power of two")
+    rng = random.Random(seed)
+    m = CircuitBuilder(f"fuzz_{seed}")
+
+    cyc = m.register("cyc", 16)
+    cyc.next = (cyc + 1).trunc(16)
+    regs = []
+    for i in range(params.n_regs):
+        width = rng.randint(1, params.max_width)
+        regs.append(m.register(f"r{i}", width, init=rng.getrandbits(width)))
+
+    mems = []
+    if params.memories:
+        for i in range(params.n_mems):
+            width = rng.randint(4, 24)
+            mems.append(m.memory(
+                f"m{i}", width, params.mem_depth,
+                init=[rng.getrandbits(width)
+                      for _ in range(params.mem_depth)]))
+
+    pool: list[Signal] = list(regs) + [cyc]
+    max_width = params.max_width
+
+    def pick() -> Signal:
+        return rng.choice(pool)
+
+    def emit_arith() -> Signal:
+        a, b = pick(), pick()
+        choice = rng.randrange(5)
+        if choice == 0:
+            return (a + b).trunc(min(max(a.width, b.width), max_width))
+        if choice == 1:
+            return (a - b).trunc(min(max(a.width, b.width), max_width))
+        if choice == 2 and params.wide_arith:
+            # Full-width product, resized back with explicit trunc/sext.
+            wide = a.mul_wide(b)
+            target = rng.randint(1, min(wide.width, max_width))
+            return _fit(rng, wide, target)
+        if choice == 3 and params.wide_arith:
+            # Carry-preserving addition across a width boundary.
+            return _fit(rng, a.add_wide(b),
+                        rng.randint(1, min(a.width + 1, max_width)))
+        return (a * b).trunc(min(max(a.width, b.width), max_width))
+
+    def emit_bitwise_cluster() -> Signal:
+        # A dense same-width logic cone: custom-function fusion fodder.
+        w = rng.randint(2, min(20, max_width))
+        sigs = [_fit(rng, pick(), w) for _ in range(rng.randint(3, 4))]
+        acc = sigs[0]
+        for _ in range(rng.randint(3, 7)):
+            other = rng.choice(sigs)
+            acc = rng.choice([
+                lambda: acc & other,
+                lambda: acc | other,
+                lambda: acc ^ other,
+                lambda: ~acc,
+            ])()
+        return acc
+
+    def emit_shift() -> Signal:
+        a = pick()
+        if params.dynamic_shifts and rng.random() < 0.7:
+            amt = _fit(rng, pick(), min(5, max(1, a.width.bit_length())))
+            kind = rng.randrange(3)
+            if kind == 0:
+                return (a << amt).trunc(a.width)
+            if kind == 1:
+                return a >> amt
+            return a.ashr(amt)
+        return a >> rng.randint(0, max(0, a.width - 1))
+
+    def emit_compare() -> Signal:
+        a, b = pick(), pick()
+        return rng.choice([
+            lambda: a == b,
+            lambda: a != b,
+            lambda: a.ltu(b),
+            lambda: a.lts(b),
+        ])()
+
+    def emit_mux_tree() -> Signal:
+        n = rng.randint(3, 6)
+        choices = [pick() for _ in range(n)]
+        index = _fit(rng, pick(), max(2, (n - 1).bit_length()))
+        return m.select(index, choices)
+
+    def emit_structural() -> Signal:
+        a = pick()
+        choice = rng.randrange(4)
+        if choice == 0:
+            value = m.cat(a, pick())
+            return (value.trunc(max_width) if value.width > max_width
+                    else value)
+        if choice == 1 and a.width > 1:
+            off = rng.randint(0, a.width - 1)
+            return a.bits(off, rng.randint(1, a.width - off))
+        if choice == 2:
+            return rng.choice([a.any, a.all, a.parity])()
+        return m.mux(pick()[0], a, _fit(rng, pick(), a.width))
+
+    def emit_memrd() -> Signal:
+        mem = rng.choice(mems)
+        abits = (mem.depth - 1).bit_length()
+        return mem.read(_fit(rng, pick(), abits))
+
+    emitters = [emit_arith, emit_shift, emit_compare, emit_structural]
+    if params.bitwise_clusters:
+        emitters.append(emit_bitwise_cluster)
+    if params.mux_trees:
+        emitters.append(emit_mux_tree)
+    if mems:
+        emitters.append(emit_memrd)
+
+    for _ in range(params.n_ops):
+        pool.append(rng.choice(emitters)())
+
+    # Memory write ports: 1-2 per memory, operands from the pool.  Port
+    # order is semantic (later ports win conflicts) - deliberately
+    # exercised by occasionally writing twice.
+    observed: list[tuple[str, Signal]] = []
+    for mem in mems:
+        abits = (mem.depth - 1).bit_length()
+        for _ in range(rng.randint(1, 2)):
+            mem.write(_fit(rng, pick(), abits),
+                      _fit(rng, pick(), mem.width),
+                      enable=pick()[0])
+        observed.append((mem.name, mem.read(_fit(rng, pick(), abits))))
+
+    # Bind every register's next value to a random pool expression.
+    for reg in regs:
+        src = rng.choice([p for p in pool if p is not reg])
+        reg.next = _fit(rng, src, reg.width)
+
+    # Exhaustive observation: cycle number plus all registers and one
+    # read port per memory, named so divergences localize to a signal.
+    names = [f"r{i}" for i in range(len(regs))] + [n for n, _ in observed]
+    values = list(regs) + [s for _, s in observed]
+    fmt = "@%d " + " ".join(f"{name}=%x" for name in names)
+    m.display(m.const(1, 1), fmt, cyc, *values)
+    m.finish(cyc == params.cycles)
+    return m.build()

@@ -1,0 +1,419 @@
+"""Delta-debugging minimizer for failing fuzz circuits.
+
+Given a circuit and a *predicate* (a function that re-runs the failing
+oracle and returns the :class:`~repro.fuzz.oracle.Divergence` if the
+circuit still fails), :func:`shrink` greedily applies semantics-shrinking
+rewrites until no rewrite preserves the failure:
+
+* drop whole effects (``$finish``, extra displays) and display arguments;
+* drop memories and registers, freezing them to observed values;
+* replace combinational op cones with constants - chunked ddmin-style
+  first (half, quarter, ... of all ops at once), then per-op.
+
+The key trick making single-digit-op repros reachable is *value
+freezing*: a replaced op becomes a ``CONST`` of the value the reference
+interpreter observed on that wire at the divergence cycle, so data-
+dependent bugs (wrong result only for particular operand values) keep
+firing while their upstream logic evaporates.  Dead code is swept after
+every accepted rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..netlist.interp import NetlistInterpreter
+from ..netlist.ir import (
+    Circuit,
+    CircuitError,
+    Display,
+    Finish,
+    Op,
+    OpKind,
+    Wire,
+    mask,
+)
+from ..netlist.serialize import copy_circuit
+from .oracle import Divergence
+
+Predicate = Callable[[Circuit], "Divergence | None"]
+
+
+# ---------------------------------------------------------------------------
+# Dead-code elimination.
+# ---------------------------------------------------------------------------
+
+def dce(circuit: Circuit) -> Circuit:
+    """Remove ops, registers, and memories unreachable from any effect,
+    output, or live piece of state.  Returns a new circuit."""
+    producers = {op.result.name: op for op in circuit.ops}
+    live_ops: set[str] = set()
+    live_regs: set[str] = set()
+    live_mems: set[str] = set()
+
+    worklist = [w.name for w in circuit.effect_wires()]
+    worklist += [w.name for w in circuit.outputs.values()]
+    while worklist:
+        name = worklist.pop()
+        op = producers.get(name)
+        if op is not None:
+            if name in live_ops:
+                continue
+            live_ops.add(name)
+            worklist += [a.name for a in op.args]
+            if op.kind is OpKind.MEMRD and op.memory not in live_mems:
+                live_mems.add(op.memory)
+                for wr in circuit.memories[op.memory].writes:
+                    worklist += [wr.addr.name, wr.data.name, wr.enable.name]
+        elif name in circuit.registers:
+            if name in live_regs:
+                continue
+            live_regs.add(name)
+            nxt = circuit.registers[name].next_value
+            if nxt is not None:
+                worklist.append(nxt.name)
+        # else: input wire - nothing upstream.
+
+    out = Circuit(circuit.name)
+    out.ops = [op for op in circuit.ops if op.result.name in live_ops]
+    out.registers = {n: r for n, r in circuit.registers.items()
+                     if n in live_regs}
+    out.memories = {n: m for n, m in circuit.memories.items()
+                    if n in live_mems}
+    out.inputs = dict(circuit.inputs)
+    out.outputs = dict(circuit.outputs)
+    out.effects = list(circuit.effects)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Observed values at the divergence cycle (for value freezing).
+# ---------------------------------------------------------------------------
+
+def _observed_values(circuit: Circuit, cycle: int | None) -> dict[str, int]:
+    """Reference wire values on ``cycle`` (default: the first cycle)."""
+    target = max(0, cycle or 0)
+    try:
+        interp = NetlistInterpreter(copy_circuit(circuit))
+        for _ in range(target + 1):
+            if interp.finished:
+                break
+            interp.step()
+        return dict(interp.trace)
+    except Exception:
+        return {}
+
+
+# ---------------------------------------------------------------------------
+# Rewrites.  Each candidate is a zero-arg callable producing a new
+# Circuit (or None if inapplicable), so nothing is built until tried.
+# ---------------------------------------------------------------------------
+
+def _const_for(wire: Wire, values: dict[str, int]) -> Op:
+    value = values.get(wire.name, 0) & mask(wire.width)
+    return Op(Wire(wire.name, wire.width), OpKind.CONST,
+              attrs={"value": value})
+
+
+def _replace_ops_with_consts(circuit: Circuit, names: set[str],
+                             values: dict[str, int]) -> Circuit:
+    out = copy_circuit(circuit)
+    out.ops = [
+        _const_for(op.result, values) if op.result.name in names else op
+        for op in out.ops
+    ]
+    return out
+
+
+def _drop_effect(circuit: Circuit, index: int) -> Circuit:
+    out = copy_circuit(circuit)
+    del out.effects[index]
+    return out
+
+
+def _drop_register(circuit: Circuit, name: str,
+                   values: dict[str, int]) -> Circuit:
+    """Replace a register read with a CONST of its observed value."""
+    out = copy_circuit(circuit)
+    reg = out.registers.pop(name)
+    frozen = values.get(name, reg.init)
+    out.ops.append(Op(Wire(name, reg.width), OpKind.CONST,
+                      attrs={"value": frozen & mask(reg.width)}))
+    return out
+
+
+def _drop_memory(circuit: Circuit, name: str,
+                 values: dict[str, int]) -> Circuit:
+    """Remove a memory, freezing each of its reads to observed values."""
+    out = copy_circuit(circuit)
+    out.memories.pop(name)
+    out.ops = [
+        _const_for(op.result, values)
+        if op.kind is OpKind.MEMRD and op.memory == name else op
+        for op in out.ops
+    ]
+    return out
+
+
+def _substitute_wire(circuit: Circuit, old: str, new: Wire) -> Circuit:
+    """Rewrite every use of wire ``old`` to ``new`` (same width)."""
+    def sub(wire: Wire) -> Wire:
+        return new if wire.name == old else wire
+
+    out = Circuit(circuit.name)
+    out.ops = [
+        op if all(a.name != old for a in op.args)
+        else Op(op.result, op.kind, tuple(sub(a) for a in op.args),
+                dict(op.attrs))
+        for op in circuit.ops
+    ]
+    for name, reg in circuit.registers.items():
+        copy = type(reg)(reg.name, reg.width, reg.init, reg.next_value)
+        if copy.next_value is not None:
+            copy.next_value = sub(copy.next_value)
+        out.registers[name] = copy
+    for name, mem in circuit.memories.items():
+        copy = type(mem)(mem.name, mem.width, mem.depth, tuple(mem.init),
+                         global_hint=mem.global_hint,
+                         sram_hint=mem.sram_hint)
+        copy.writes = [type(wr)(sub(wr.addr), sub(wr.data), sub(wr.enable))
+                       for wr in mem.writes]
+        out.memories[name] = copy
+    out.inputs = dict(circuit.inputs)
+    out.outputs = {n: sub(w) for n, w in circuit.outputs.items()}
+    for eff in circuit.effects:
+        if isinstance(eff, Display):
+            out.effects.append(Display(sub(eff.enable), eff.fmt,
+                                       tuple(sub(a) for a in eff.args)))
+        elif isinstance(eff, Finish):
+            out.effects.append(Finish(sub(eff.enable)))
+        else:
+            out.effects.append(type(eff)(sub(eff.enable), sub(eff.cond),
+                                         eff.message))
+    return out
+
+
+def _forward_op(circuit: Circuit, index: int, arg: Wire) -> Circuit:
+    """Delete op ``index``, rewiring its uses to one same-width arg."""
+    op = circuit.ops[index]
+    out = _substitute_wire(circuit, op.result.name, arg)
+    out.ops = [o for o in out.ops if o.result.name != op.result.name]
+    return out
+
+
+def _register_passthrough(circuit: Circuit, name: str) -> Circuit | None:
+    """Replace a register read with its next-value wire (drops one cycle
+    of latency; invalid candidates - combinational cycles - are rejected
+    by the predicate run)."""
+    reg = circuit.registers[name]
+    if reg.next_value is None or reg.next_value.name == name:
+        return None
+    out = _substitute_wire(circuit, name, reg.next_value)
+    del out.registers[name]
+    return out
+
+
+def _fmt_units(fmt: str) -> list[tuple[str, str | None]]:
+    """Split a display format into (literal, conversion) units; the final
+    unit's conversion is None.  ``%%`` stays inside literals."""
+    units: list[tuple[str, str | None]] = []
+    lit = ""
+    i = 0
+    while i < len(fmt):
+        if fmt[i] != "%":
+            lit += fmt[i]
+            i += 1
+            continue
+        spec = "%"
+        i += 1
+        while i < len(fmt) and fmt[i] in "0123456789":
+            spec += fmt[i]
+            i += 1
+        if i < len(fmt) and fmt[i] == "%":
+            lit += "%%"
+            i += 1
+            continue
+        if i < len(fmt):
+            spec += fmt[i]
+            i += 1
+            units.append((lit, spec))
+            lit = ""
+    units.append((lit, None))
+    return units
+
+
+def _retarget_display_arg(circuit: Circuit, eff_index: int, arg_index: int,
+                          new_wire: Wire) -> Circuit:
+    out = copy_circuit(circuit)
+    eff = out.effects[eff_index]
+    args = tuple(new_wire if i == arg_index else a
+                 for i, a in enumerate(eff.args))
+    out.effects[eff_index] = Display(eff.enable, eff.fmt, args)
+    return out
+
+
+def _drop_display_arg(circuit: Circuit, eff_index: int,
+                      arg_index: int) -> Circuit | None:
+    out = copy_circuit(circuit)
+    eff = out.effects[eff_index]
+    if not isinstance(eff, Display) or len(eff.args) <= 1:
+        return None
+    units = _fmt_units(eff.fmt)
+    if len(units) - 1 != len(eff.args):  # conversions != args: bail out
+        return None
+    kept = [u for i, u in enumerate(units[:-1]) if i != arg_index]
+    fmt = "".join(lit + conv for lit, conv in kept) + units[-1][0]
+    args = tuple(a for i, a in enumerate(eff.args) if i != arg_index)
+    out.effects[eff_index] = Display(eff.enable, fmt, args)
+    return out
+
+
+def _chunks(items: list, size: int) -> Iterator[list]:
+    for i in range(0, len(items), size):
+        yield items[i:i + size]
+
+
+def _candidates(circuit: Circuit,
+                values: dict[str, int]) -> Iterator[Circuit | None]:
+    """Most-aggressive-first stream of mutated copies of ``circuit``."""
+    # 1. Whole effects (keep at least one - the observation channel).
+    if len(circuit.effects) > 1:
+        for i in range(len(circuit.effects) - 1, -1, -1):
+            yield _drop_effect(circuit, i)
+    else:
+        # A lone Finish can still go (the runner bounds cycles anyway).
+        if circuit.effects and isinstance(circuit.effects[0], Finish):
+            yield _drop_effect(circuit, 0)
+
+    # 2. Memories and registers, frozen to observed values.
+    for name in list(circuit.memories):
+        yield _drop_memory(circuit, name, values)
+    for name in list(circuit.registers):
+        yield _drop_register(circuit, name, values)
+
+    # 3. Op cones -> constants, ddmin-style: big chunks first.
+    replaceable = [op.result.name for op in circuit.ops
+                   if op.kind is not OpKind.CONST]
+    size = max(1, len(replaceable) // 2)
+    while size >= 1:
+        for chunk in _chunks(replaceable, size):
+            yield _replace_ops_with_consts(circuit, set(chunk), values)
+        if size == 1:
+            break
+        size //= 2
+
+    # 4. Retarget display arguments one producer-step upstream (display
+    #    renders any width, so width-adjustment chains between the bug
+    #    site and the observation can be stepped over and then DCE'd).
+    producers = {op.result.name: op for op in circuit.ops}
+    for ei, eff in enumerate(circuit.effects):
+        if not isinstance(eff, Display):
+            continue
+        for ai, arg in enumerate(eff.args):
+            source = producers.get(arg.name)
+            if source is None and arg.name in circuit.registers:
+                source_next = circuit.registers[arg.name].next_value
+                if source_next is not None:
+                    source = producers.get(source_next.name)
+            for upstream in (source.args if source is not None else ()):
+                yield _retarget_display_arg(circuit, ei, ai, upstream)
+
+    # 5. Forwarding: delete an op by rewiring uses to a same-width arg
+    #    (collapses mux/select chains), and register passthroughs.
+    for i in range(len(circuit.ops) - 1, -1, -1):
+        op = circuit.ops[i]
+        for arg in op.args:
+            if arg.width == op.result.width:
+                yield _forward_op(circuit, i, arg)
+    for name in list(circuit.registers):
+        yield _register_passthrough(circuit, name)
+
+    # 6. Individual display arguments.
+    for ei, eff in enumerate(circuit.effects):
+        if isinstance(eff, Display):
+            for ai in range(len(eff.args) - 1, -1, -1):
+                yield _drop_display_arg(circuit, ei, ai)
+
+
+# ---------------------------------------------------------------------------
+# The shrink loop.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ShrinkResult:
+    """Outcome of :func:`shrink`."""
+
+    circuit: Circuit
+    divergence: Divergence
+    initial_ops: int
+    final_ops: int
+    tests: int          # predicate evaluations spent
+    accepted: int       # rewrites that kept the failure
+
+    def summary(self) -> str:
+        return (f"shrunk {self.initial_ops} -> {self.final_ops} IR ops "
+                f"({self.accepted} rewrites, {self.tests} oracle runs); "
+                f"{self.divergence.describe()}")
+
+
+def shrink(circuit: Circuit, predicate: Predicate,
+           max_tests: int = 800) -> ShrinkResult:
+    """Minimize ``circuit`` while ``predicate`` keeps reporting a
+    divergence.  Greedy first-improvement search with a hard budget of
+    ``max_tests`` predicate evaluations."""
+    initial_ops = len(circuit.ops)
+    base = dce(copy_circuit(circuit))
+    divergence = predicate(base)
+    if divergence is None:
+        raise ValueError("circuit does not reproduce the divergence "
+                         "(predicate returned None on the input)")
+    tests = 1
+    accepted = 0
+    improved = True
+    while improved and tests < max_tests:
+        improved = False
+        # Freeze values at the divergence cycle; once shrinking has
+        # dropped the @cycle display field, the line index (one display
+        # per cycle in generated circuits) is the best remaining proxy.
+        freeze_at = (divergence.cycle if divergence.cycle is not None
+                     else divergence.line_index)
+        values = _observed_values(base, freeze_at)
+        for candidate in _candidates(base, values):
+            if tests >= max_tests:
+                break
+            if candidate is None:
+                continue
+            try:
+                candidate.validate()
+            except CircuitError:
+                continue
+            tests += 1
+            try:
+                div = predicate(candidate)
+            except Exception:
+                continue
+            if div is not None:
+                base = dce(candidate)
+                divergence = div
+                accepted += 1
+                improved = True
+                break
+    return ShrinkResult(base, divergence, initial_ops, len(base.ops),
+                        tests, accepted)
+
+
+def oracle_predicate(oracle_name: str, cycles: int,
+                     config=None) -> Predicate:
+    """Predicate re-running one registry oracle against the reference."""
+    from .oracle import FUZZ_CONFIG, ORACLES, compare_results, run_oracle
+    from .oracle import run_reference
+    spec = ORACLES[oracle_name]
+    config = config or FUZZ_CONFIG
+
+    def predicate(circuit: Circuit) -> Divergence | None:
+        reference = run_reference(circuit, cycles)
+        observed = run_oracle(spec, lambda: circuit, cycles, config, {})
+        return compare_results(spec.name, reference, observed)
+
+    return predicate

@@ -10,6 +10,7 @@ from .interp import (
     format_display,
     run_circuit,
 )
+from .serialize import circuit_from_dict, circuit_to_dict, copy_circuit
 from .ir import (
     AssertEffect,
     Circuit,
@@ -45,6 +46,9 @@ __all__ = [
     "SimulationAssertionError",
     "SimulationResult",
     "Wire",
+    "circuit_from_dict",
+    "circuit_to_dict",
+    "copy_circuit",
     "format_display",
     "mask",
     "run_circuit",

@@ -1,0 +1,195 @@
+"""JSON-friendly (de)serialization of netlist circuits.
+
+The fuzzing subsystem (:mod:`repro.fuzz`) persists minimized failing
+circuits into corpus files that must replay bit-identically years later,
+on machines that never saw the generator that produced them.  A corpus
+entry therefore stores the *reduced IR itself*, not a seed recipe; this
+module is the stable wire format for that IR.
+
+``circuit_to_dict`` emits plain dicts/lists/ints/strings only, so the
+result round-trips through ``json`` without custom encoders.
+``circuit_from_dict`` validates the rebuilt circuit before returning it.
+The format is versioned (``"format": "repro-circuit/v1"``) so later
+schema changes stay detectable.
+"""
+
+from __future__ import annotations
+
+from .ir import (
+    AssertEffect,
+    Circuit,
+    CircuitError,
+    Display,
+    Finish,
+    MemWrite,
+    Memory,
+    Op,
+    OpKind,
+    Register,
+    Wire,
+)
+
+FORMAT = "repro-circuit/v1"
+
+
+def _wire_to_list(wire: Wire) -> list:
+    return [wire.name, wire.width]
+
+
+def _wire_from_list(data) -> Wire:
+    name, width = data
+    return Wire(str(name), int(width))
+
+
+def circuit_to_dict(circuit: Circuit) -> dict:
+    """Serialize a :class:`Circuit` into JSON-compatible plain data."""
+    ops = []
+    for op in circuit.ops:
+        entry: dict = {
+            "result": _wire_to_list(op.result),
+            "kind": op.kind.value,
+        }
+        if op.args:
+            entry["args"] = [_wire_to_list(a) for a in op.args]
+        if op.attrs:
+            entry["attrs"] = {k: op.attrs[k] for k in op.attrs}
+        ops.append(entry)
+
+    registers = [
+        {
+            "name": reg.name,
+            "width": reg.width,
+            "init": reg.init,
+            "next": (None if reg.next_value is None
+                     else _wire_to_list(reg.next_value)),
+        }
+        for reg in circuit.registers.values()
+    ]
+
+    memories = [
+        {
+            "name": mem.name,
+            "width": mem.width,
+            "depth": mem.depth,
+            "init": list(mem.init),
+            "writes": [
+                {
+                    "addr": _wire_to_list(wr.addr),
+                    "data": _wire_to_list(wr.data),
+                    "enable": _wire_to_list(wr.enable),
+                }
+                for wr in mem.writes
+            ],
+            "global_hint": mem.global_hint,
+            "sram_hint": mem.sram_hint,
+        }
+        for mem in circuit.memories.values()
+    ]
+
+    effects = []
+    for eff in circuit.effects:
+        if isinstance(eff, Display):
+            effects.append({
+                "type": "display",
+                "enable": _wire_to_list(eff.enable),
+                "fmt": eff.fmt,
+                "args": [_wire_to_list(a) for a in eff.args],
+            })
+        elif isinstance(eff, Finish):
+            effects.append({
+                "type": "finish",
+                "enable": _wire_to_list(eff.enable),
+            })
+        elif isinstance(eff, AssertEffect):
+            effects.append({
+                "type": "assert",
+                "enable": _wire_to_list(eff.enable),
+                "cond": _wire_to_list(eff.cond),
+                "message": eff.message,
+            })
+        else:  # pragma: no cover - Effect union is closed today
+            raise CircuitError(f"cannot serialize effect {eff!r}")
+
+    return {
+        "format": FORMAT,
+        "name": circuit.name,
+        "ops": ops,
+        "registers": registers,
+        "memories": memories,
+        "inputs": [_wire_to_list(w) for w in circuit.inputs.values()],
+        "outputs": {n: _wire_to_list(w)
+                    for n, w in circuit.outputs.items()},
+        "effects": effects,
+    }
+
+
+def circuit_from_dict(data: dict, validate: bool = True) -> Circuit:
+    """Rebuild a :class:`Circuit` from :func:`circuit_to_dict` output."""
+    if data.get("format") != FORMAT:
+        raise CircuitError(
+            f"unsupported circuit format {data.get('format')!r} "
+            f"(expected {FORMAT!r})"
+        )
+    circuit = Circuit(str(data["name"]))
+    for entry in data["ops"]:
+        attrs = dict(entry.get("attrs", {}))
+        circuit.ops.append(Op(
+            result=_wire_from_list(entry["result"]),
+            kind=OpKind(entry["kind"]),
+            args=tuple(_wire_from_list(a) for a in entry.get("args", [])),
+            attrs=attrs,
+        ))
+    for entry in data["registers"]:
+        reg = Register(str(entry["name"]), int(entry["width"]),
+                       int(entry["init"]))
+        if entry.get("next") is not None:
+            reg.next_value = _wire_from_list(entry["next"])
+        circuit.registers[reg.name] = reg
+    for entry in data["memories"]:
+        mem = Memory(
+            str(entry["name"]), int(entry["width"]), int(entry["depth"]),
+            tuple(int(v) for v in entry.get("init", [])),
+            global_hint=bool(entry.get("global_hint", False)),
+            sram_hint=bool(entry.get("sram_hint", False)),
+        )
+        for wr in entry.get("writes", []):
+            mem.writes.append(MemWrite(
+                _wire_from_list(wr["addr"]),
+                _wire_from_list(wr["data"]),
+                _wire_from_list(wr["enable"]),
+            ))
+        circuit.memories[mem.name] = mem
+    for wire_data in data.get("inputs", []):
+        wire = _wire_from_list(wire_data)
+        circuit.inputs[wire.name] = wire
+    for name, wire_data in data.get("outputs", {}).items():
+        circuit.outputs[str(name)] = _wire_from_list(wire_data)
+    for entry in data["effects"]:
+        etype = entry["type"]
+        if etype == "display":
+            circuit.effects.append(Display(
+                _wire_from_list(entry["enable"]), str(entry["fmt"]),
+                tuple(_wire_from_list(a) for a in entry.get("args", [])),
+            ))
+        elif etype == "finish":
+            circuit.effects.append(Finish(_wire_from_list(entry["enable"])))
+        elif etype == "assert":
+            circuit.effects.append(AssertEffect(
+                _wire_from_list(entry["enable"]),
+                _wire_from_list(entry["cond"]),
+                str(entry.get("message", "assertion failed")),
+            ))
+        else:
+            raise CircuitError(f"unknown effect type {etype!r}")
+    if validate:
+        circuit.validate()
+    return circuit
+
+
+def copy_circuit(circuit: Circuit) -> Circuit:
+    """Deep, independent copy of a circuit (via the wire format).
+
+    The shrinker mutates candidate circuits destructively; copying through
+    the serializer guarantees no structure is shared with the original.
+    """
+    return circuit_from_dict(circuit_to_dict(circuit), validate=False)

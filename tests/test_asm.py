@@ -15,7 +15,7 @@ from repro.isa.asm import (
 )
 from repro.machine import TINY
 
-from util_circuits import counter_circuit
+from repro.fuzz.generator import counter_circuit
 
 ROUNDTRIP_CASES = [
     isa.Nop(),

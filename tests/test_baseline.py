@@ -20,7 +20,7 @@ from repro.designs import DESIGNS
 from repro.netlist import run_circuit
 from repro.perfmodel import EPYC_7V73X, I7_9700K
 
-from util_circuits import accumulator_circuit, counter_circuit, random_circuit
+from repro.fuzz.generator import accumulator_circuit, counter_circuit, random_circuit
 
 
 class TestSerial:

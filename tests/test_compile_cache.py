@@ -22,7 +22,7 @@ from repro.compiler.cache import (
 from repro.machine.boot import serialize
 from repro.machine.config import TINY
 from repro.netlist.ir import Circuit, Op, OpKind, Register, Wire
-from util_circuits import counter_circuit, logic_heavy_circuit
+from repro.fuzz.generator import counter_circuit, logic_heavy_circuit
 
 
 def _tiny_options(**kw) -> CompilerOptions:

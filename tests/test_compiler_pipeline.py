@@ -19,7 +19,7 @@ from repro.isa import FunctionalInterpreter
 from repro.machine import Machine, MachineConfig, TINY
 from repro.netlist import CircuitBuilder, NetlistInterpreter
 
-from util_circuits import (
+from repro.fuzz.generator import (
     accumulator_circuit,
     counter_circuit,
     logic_heavy_circuit,

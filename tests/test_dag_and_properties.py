@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.netlist import CircuitBuilder, CircuitDag, NetlistInterpreter, sink_cones
 from repro.netlist.ir import OpKind, topological_order
 
-from util_circuits import random_circuit
+from repro.fuzz.generator import random_circuit
 
 
 class TestCircuitDag:

@@ -4,7 +4,7 @@ from repro.compiler import CompilerOptions, compile_circuit
 from repro.machine import Machine, TINY
 from repro.machine.debug import TraceRecorder
 
-from util_circuits import counter_circuit
+from repro.fuzz.generator import counter_circuit
 
 
 def make_machine():

@@ -7,7 +7,7 @@ from repro.designs import DESIGNS
 from repro.netlist import CircuitBuilder, run_circuit
 from repro.perfmodel import I7_9700K
 
-from util_circuits import counter_circuit, memory_circuit, random_circuit
+from repro.fuzz.generator import counter_circuit, memory_circuit, random_circuit
 
 
 class TestSemantics:

@@ -1,103 +1,59 @@
 """Differential fuzzing: randomized circuits (including memories and
-dynamic shifts) driven through the whole toolchain - golden interpreter
-vs compiled cycle-accurate machine - under several compiler
-configurations."""
+dynamic shifts) driven through the whole toolchain under several
+compiler configurations.
 
-import random
+The generators, oracle registry, and trace comparison now live in
+:mod:`repro.fuzz`; these tests are thin wrappers that pin the historical
+seed ranges as regressions against the named oracles.
+"""
 
 import pytest
 
-from repro.compiler import CompilerOptions, compile_circuit
-from repro.machine import Machine, MachineConfig
-from repro.netlist import CircuitBuilder, NetlistInterpreter
-
-from util_circuits import random_circuit
-
-CONFIG = MachineConfig(grid_x=3, grid_y=3, result_latency=6)
+from repro.fuzz.generator import random_circuit, random_memory_circuit
+from repro.fuzz.oracle import FUZZ_CONFIG, matrix_oracles, run_matrix
+from repro.machine import MachineConfig
 
 
-def random_memory_circuit(seed, n_regs=3, n_ops=12, mem_depth=8,
-                          cycles=10):
-    """Random circuit plus a read/write memory in the loop."""
-    rng = random.Random(seed)
-    m = CircuitBuilder(f"fuzzmem_{seed}")
-    cyc = m.register("cyc", 16)
-    cyc.next = (cyc + 1).trunc(16)
-    regs = [m.register(f"r{i}", 16, init=rng.getrandbits(16))
-            for i in range(n_regs)]
-    mem = m.memory("mem", 16, mem_depth,
-                   init=[rng.getrandbits(16) for _ in range(mem_depth)])
-
-    abits = (mem_depth - 1).bit_length()
-    pool = list(regs) + [cyc]
-    for _ in range(n_ops):
-        a, b = rng.choice(pool), rng.choice(pool)
-        pool.append(rng.choice([
-            lambda: (a + b).trunc(16),
-            lambda: a ^ b,
-            lambda: (a * 3).trunc(16),
-            lambda: m.mux(a[0], a, b),
-            lambda: a >> b.trunc(3),
-        ])())
-    rd = mem.read(rng.choice(pool).trunc(abits))
-    pool.append(rd)
-    mem.write(rng.choice(pool).trunc(abits), rng.choice(pool),
-              enable=rng.choice(pool)[0])
-    for reg in regs:
-        reg.next = rng.choice(pool).trunc(16)
-
-    m.display(m.const(1, 1), "t %x %x %x %x", *regs, rd)
-    m.finish(cyc == cycles)
-    return m.build()
-
-
-def run_differential(build, options, cycles=20):
-    golden = NetlistInterpreter(build()).run(cycles)
-    result = compile_circuit(build(), options)
-    machine = Machine(result.program, CONFIG, strict=True)
-    mres = machine.run(cycles)
-    assert mres.displays == golden.displays
-    assert mres.vcycles == golden.cycles
+def assert_oracle_clean(make_circuit, oracle, cycles=20,
+                        config=FUZZ_CONFIG):
+    """Run one named oracle against the golden interpreter reference."""
+    _, divergences = run_matrix(make_circuit, matrix_oracles(oracle),
+                                cycles, config)
+    assert not divergences, divergences[0].describe()
 
 
 @pytest.mark.parametrize("seed", range(8))
 def test_fuzz_memory_circuits_with_mem2reg(seed):
-    run_differential(lambda: random_memory_circuit(seed + 4000),
-                     CompilerOptions(config=CONFIG))
+    assert_oracle_clean(lambda: random_memory_circuit(seed + 4000),
+                        "machine-strict")
 
 
 @pytest.mark.parametrize("seed", range(8))
 def test_fuzz_memory_circuits_without_mem2reg(seed):
-    run_differential(lambda: random_memory_circuit(seed + 4100),
-                     CompilerOptions(config=CONFIG, mem2reg_max_words=0))
+    assert_oracle_clean(lambda: random_memory_circuit(seed + 4100),
+                        "machine-strict-nomem2reg")
 
 
 @pytest.mark.parametrize("seed", range(6))
 def test_fuzz_no_coalescing(seed):
-    run_differential(lambda: random_circuit(seed + 4200, n_ops=20),
-                     CompilerOptions(config=CONFIG, coalesce_state=False))
+    assert_oracle_clean(lambda: random_circuit(seed + 4200, n_ops=20),
+                        "machine-strict-nocoalesce")
 
 
 @pytest.mark.parametrize("seed", range(6))
 def test_fuzz_lpt_strategy(seed):
-    run_differential(lambda: random_circuit(seed + 4300, n_ops=20),
-                     CompilerOptions(config=CONFIG, merge_strategy="lpt"))
+    assert_oracle_clean(lambda: random_circuit(seed + 4300, n_ops=20),
+                        "machine-strict-lpt")
 
 
 @pytest.mark.parametrize("seed", range(4))
 def test_fuzz_greedy_custom_selector(seed):
-    run_differential(lambda: random_circuit(seed + 4400, n_ops=25),
-                     CompilerOptions(config=CONFIG,
-                                     custom_selector="greedy"))
+    assert_oracle_clean(lambda: random_circuit(seed + 4400, n_ops=25),
+                        "machine-strict-greedy")
 
 
 @pytest.mark.parametrize("seed", range(4))
 def test_fuzz_single_core(seed):
     config = MachineConfig(grid_x=1, grid_y=1, result_latency=6)
-    golden = NetlistInterpreter(
-        random_memory_circuit(seed + 4500)).run(20)
-    result = compile_circuit(random_memory_circuit(seed + 4500),
-                             CompilerOptions(config=config,
-                                             mem2reg_max_words=0))
-    mres = Machine(result.program, config, strict=True).run(20)
-    assert mres.displays == golden.displays
+    assert_oracle_clean(lambda: random_memory_circuit(seed + 4500),
+                        "machine-strict-nomem2reg", config=config)

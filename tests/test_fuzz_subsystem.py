@@ -1,0 +1,268 @@
+"""The fuzzing subsystem's own test suite: generator determinism,
+circuit serialization, oracle-matrix comparison, fault detection with
+cycle/signal localization, delta-debugging shrinking, corpus replay, and
+the ``repro fuzz`` CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.fuzz import (
+    CorpusEntry,
+    GeneratorParams,
+    fuzz_seed,
+    generate,
+    load_entry,
+    matrix_oracles,
+    replay_entry,
+    run_matrix,
+    save_entry,
+    shrink,
+)
+from repro.fuzz.faults import fault_context
+from repro.fuzz.oracle import FUZZ_CONFIG, MATRICES, ORACLES
+from repro.fuzz.shrink import oracle_predicate
+from repro.netlist import circuit_from_dict, circuit_to_dict
+from repro.netlist.interp import NetlistInterpreter
+
+SMALL = GeneratorParams().scaled(n_ops=14, n_regs=3, max_width=24,
+                                 cycles=10)
+
+
+# ---------------------------------------------------------------------------
+# Generator
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(6))
+def test_generator_deterministic(seed):
+    assert (generate(seed, SMALL).fingerprint()
+            == generate(seed, SMALL).fingerprint())
+
+
+def test_generator_seeds_differ():
+    prints = {generate(s, SMALL).fingerprint() for s in range(10)}
+    assert len(prints) == 10
+
+
+def test_generator_params_roundtrip():
+    params = GeneratorParams().scaled(n_ops=7, memories=False)
+    assert GeneratorParams.from_dict(params.as_dict()) == params
+
+
+def test_generator_covers_ir_surface():
+    # The default params must keep exercising every feature family the
+    # oracle matrix differentiates on: memories, dynamic shifts, wide
+    # arithmetic, mux trees.
+    kinds = set()
+    for seed in range(12):
+        circuit = generate(seed)
+        kinds.update(op.kind.name for op in circuit.ops)
+        assert circuit.memories, "default params should include a memory"
+    for expected in ("MUL", "ASHR", "LSHR", "SHL", "MUX", "CONCAT",
+                     "SLICE", "MEMRD", "ADD", "SUB"):
+        assert expected in kinds, f"no {expected} in 12 seeds"
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [0, 3, 9])
+def test_circuit_serialization_roundtrip(seed):
+    circuit = generate(seed, SMALL)
+    clone = circuit_from_dict(circuit_to_dict(circuit))
+    assert clone.fingerprint() == circuit.fingerprint()
+    assert (NetlistInterpreter(clone).run(20).displays
+            == NetlistInterpreter(circuit).run(20).displays)
+
+
+def test_circuit_serialization_is_json():
+    data = circuit_to_dict(generate(0, SMALL))
+    assert circuit_from_dict(
+        json.loads(json.dumps(data))).fingerprint() \
+        == circuit_from_dict(data).fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Oracle matrix
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(4))
+def test_quick_matrix_clean(seed):
+    report = fuzz_seed(seed, SMALL, matrix="quick")
+    assert report.ok, report.divergences[0].describe()
+
+
+def test_matrix_presets_resolve():
+    for name in MATRICES:
+        assert matrix_oracles(name)
+
+
+def test_matrix_comma_list_expands_presets():
+    names = [s.name for s in matrix_oracles("quick,golden-buggy-sub")]
+    assert names == ["interp-fast", "baseline-serial", "machine-strict",
+                     "golden-buggy-sub"]
+
+
+def test_fault_oracles_not_in_presets():
+    for name, members in MATRICES.items():
+        for member in members:
+            assert ORACLES[member].fault is None, (name, member)
+
+
+# ---------------------------------------------------------------------------
+# Fault detection: the harness must catch known-bad semantics and name
+# the first divergent cycle and signal.
+# ---------------------------------------------------------------------------
+
+def _first_divergence(matrix, seeds):
+    for seed in seeds:
+        report = fuzz_seed(seed, matrix=matrix)
+        if not report.ok:
+            return report
+    pytest.fail(f"no divergence from {matrix} in seeds {seeds}")
+
+
+def test_netlist_fault_detected_with_cycle_and_signal():
+    report = _first_divergence("golden-buggy-sub", range(0, 10))
+    d = report.divergences[0]
+    assert d.oracle == "golden-buggy-sub"
+    assert d.cycle is not None and d.signal is not None
+    assert d.expected != d.actual
+
+
+def test_machine_alu_fault_detected_with_cycle_and_signal():
+    report = _first_divergence("machine-buggy-xor", range(8, 14))
+    d = report.divergences[0]
+    assert d.oracle == "machine-buggy-xor"
+    assert d.cycle is not None and d.signal is not None
+
+
+def test_fault_context_is_scoped():
+    # Seed 7 (default params) has a live SUB feeding the trace display.
+    circuit = generate(7)
+    clean = NetlistInterpreter(circuit).run(20).displays
+    with fault_context("netlist-sub-off-by-one"):
+        faulty = NetlistInterpreter(circuit).run(20).displays
+    assert faulty != clean
+    assert NetlistInterpreter(circuit).run(20).displays == clean
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+def test_shrinker_reduces_seeded_bug_below_bound():
+    report = _first_divergence("golden-buggy-sub", range(0, 10))
+    params = report.params
+    budget = params.cycles + 8
+    circuit = generate(report.seed, params)
+    predicate = oracle_predicate("golden-buggy-sub", budget)
+    result = shrink(circuit, predicate)
+    assert result.final_ops <= 10, result.summary()
+    assert result.final_ops < result.initial_ops
+    # The minimized circuit still triggers the same oracle.
+    assert predicate(result.circuit) is not None
+
+
+def test_shrink_preserves_divergence_oracle():
+    report = _first_divergence("golden-buggy-sub", range(0, 10))
+    budget = report.params.cycles + 8
+    result = shrink(generate(report.seed, report.params),
+                    oracle_predicate("golden-buggy-sub", budget))
+    assert result.divergence.oracle == "golden-buggy-sub"
+
+
+# ---------------------------------------------------------------------------
+# Corpus
+# ---------------------------------------------------------------------------
+
+def test_corpus_roundtrip(tmp_path):
+    circuit = generate(2, SMALL)
+    entry = CorpusEntry(circuit=circuit, cycles=18, seed=2, params=SMALL,
+                        matrix="quick", note="roundtrip")
+    path = save_entry(entry, str(tmp_path))
+    loaded = load_entry(path)
+    assert loaded.circuit.fingerprint() == circuit.fingerprint()
+    assert loaded.params == SMALL
+    assert loaded.seed == 2 and loaded.cycles == 18
+    assert loaded.divergence is None
+
+
+def test_corpus_detects_tampering(tmp_path):
+    entry = CorpusEntry(circuit=generate(2, SMALL), cycles=18)
+    path = save_entry(entry, str(tmp_path))
+    with open(path) as f:
+        data = json.load(f)
+    data["circuit"]["ops"][0]["attrs"]["value"] = 12345
+    with open(path, "w") as f:
+        json.dump(data, f)
+    with pytest.raises(ValueError, match="fingerprint mismatch"):
+        load_entry(path)
+
+
+def test_corpus_replay_clean_entry(tmp_path):
+    entry = CorpusEntry(circuit=generate(2, SMALL), cycles=18, seed=2,
+                        params=SMALL, matrix="quick")
+    path = save_entry(entry, str(tmp_path))
+    _, divergences = replay_entry(load_entry(path))
+    assert not divergences
+
+
+def test_corpus_replay_fault_entry_deterministic(tmp_path):
+    report = _first_divergence("golden-buggy-sub", range(0, 10))
+    budget = report.params.cycles + 8
+    result = shrink(generate(report.seed, report.params),
+                    oracle_predicate("golden-buggy-sub", budget))
+    entry = CorpusEntry(circuit=result.circuit, cycles=budget,
+                        seed=report.seed, params=report.params,
+                        oracle="golden-buggy-sub",
+                        divergence=result.divergence)
+    path = save_entry(entry, str(tmp_path))
+    for _ in range(2):  # replay twice: must be byte-deterministic
+        _, divergences = replay_entry(load_entry(path))
+        assert divergences
+        assert divergences[0].cycle == result.divergence.cycle
+        assert divergences[0].signal == result.divergence.signal
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_fuzz_clean_hunt(capsys):
+    assert cli_main(["fuzz", "--seeds", "0:2", "--matrix", "quick",
+                     "--n-ops", "14", "--n-regs", "3",
+                     "--max-width", "24"]) == 0
+    assert "0 divergence(s)" in capsys.readouterr().err
+
+
+def test_cli_fuzz_hunt_shrink_and_replay(tmp_path, capsys):
+    corpus = str(tmp_path / "corpus")
+    rc = cli_main(["fuzz", "--seeds", "7:8",
+                   "--matrix", "quick,golden-buggy-sub",
+                   "--corpus-dir", corpus])
+    out = capsys.readouterr()
+    assert rc == 1
+    assert "first divergence at" in out.out
+    files = [os.path.join(corpus, f) for f in os.listdir(corpus)]
+    assert len(files) == 1
+    # Replaying the recorded repro reproduces the recorded divergence.
+    assert cli_main(["fuzz", "--replay", files[0]]) == 0
+    assert "first divergence at" in capsys.readouterr().out
+
+
+def test_cli_fuzz_list_oracles(capsys):
+    assert cli_main(["fuzz", "--list-oracles"]) == 0
+    out = capsys.readouterr().out
+    assert "machine-strict" in out and "matrix full" in out
+
+
+def test_cli_fuzz_time_budget(capsys):
+    assert cli_main(["fuzz", "--seeds", "0:100000",
+                     "--matrix", "interp-fast",
+                     "--time-budget", "2"]) == 0
+    err = capsys.readouterr().err
+    assert "0 divergence(s)" in err

@@ -9,7 +9,7 @@ from repro.fpga.resources import max_cores, max_cores_heterogeneous
 from repro.machine import Machine, MachineConfig
 from repro.netlist import NetlistInterpreter
 
-from util_circuits import counter_circuit, memory_circuit
+from repro.fuzz.generator import counter_circuit, memory_circuit
 
 
 def hetero_config(scratchpad_cores, grid=3):

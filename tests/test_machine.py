@@ -12,7 +12,7 @@ from repro.machine.boot import deserialize, serialize
 from repro.designs import micro
 from repro.netlist import CircuitBuilder
 
-from util_circuits import counter_circuit
+from repro.fuzz.generator import counter_circuit
 
 
 class TestCache:

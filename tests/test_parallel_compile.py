@@ -13,7 +13,7 @@ from repro.compiler import (
 )
 from repro.machine.boot import serialize
 from repro.machine.config import MachineConfig, TINY
-from util_circuits import (
+from repro.fuzz.generator import (
     accumulator_circuit,
     counter_circuit,
     logic_heavy_circuit,

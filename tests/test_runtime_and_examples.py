@@ -8,7 +8,7 @@ import pytest
 from repro import CompilerOptions, simulate_on_manticore
 from repro.machine import TINY
 
-from util_circuits import counter_circuit
+from repro.fuzz.generator import counter_circuit
 
 
 class TestSimulateOnManticore:

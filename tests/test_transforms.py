@@ -14,7 +14,7 @@ from repro.compiler.transforms import (
 )
 from repro.netlist import CircuitBuilder, NetlistInterpreter, run_circuit
 
-from util_circuits import counter_circuit, memory_circuit, random_circuit
+from repro.fuzz.generator import counter_circuit, memory_circuit, random_circuit
 
 
 def displays_of(circuit, cycles=20):

@@ -10,7 +10,7 @@ from repro.compiler.verify import VerificationError, verify_program
 from repro.isa.program import CoreBinary, ExceptionTable, MachineProgram
 from repro.machine import MachineConfig, TINY
 
-from util_circuits import accumulator_circuit, counter_circuit
+from repro.fuzz.generator import accumulator_circuit, counter_circuit
 
 
 def compiled(circuit=None):

@@ -8,7 +8,7 @@ from repro.machine import Machine, TINY
 from repro.machine.waveform import Probe, WaveformCollector, trace_map_for
 from repro.netlist import NetlistInterpreter
 
-from util_circuits import counter_circuit
+from repro.fuzz.generator import counter_circuit
 
 
 @pytest.fixture()

@@ -1,144 +1,26 @@
-"""Shared circuit construction helpers for tests: small named designs and
-a seeded random-circuit generator for differential testing."""
+"""Compatibility shim: these helpers moved to :mod:`repro.fuzz.generator`.
 
-import random
+The shared circuit builders and the seeded random-circuit generator are
+now part of the fuzzing subsystem (``src/repro/fuzz/generator.py``), where
+``repro fuzz`` and the differential-oracle harness use them directly.
+Import from ``repro.fuzz.generator`` in new code; this module only
+re-exports the original names so out-of-tree scripts keep working.
+"""
 
-from repro.netlist import CircuitBuilder
+from repro.fuzz.generator import (  # noqa: F401
+    accumulator_circuit,
+    counter_circuit,
+    logic_heavy_circuit,
+    memory_circuit,
+    random_circuit,
+    random_memory_circuit,
+)
 
-
-def counter_circuit(limit=9, width=8, display=True):
-    m = CircuitBuilder("counter")
-    count = m.register("count", width)
-    count.next = (count + 1).trunc(width)
-    if display:
-        m.display(~count[0], "%d is an even number", count)
-        m.display(count[0], "%d is an odd number", count)
-    m.finish(count == limit)
-    return m.build()
-
-
-def accumulator_circuit(width=32, limit=50):
-    """Wide arithmetic: exercises carry chains and multi-limb compare."""
-    m = CircuitBuilder("accumulator")
-    cyc = m.register("cyc", 16)
-    acc = m.register("acc", width)
-    cyc.next = (cyc + 1).trunc(16)
-    acc.next = (acc + cyc.zext(width) * 3).trunc(width)
-    done = cyc == limit
-    m.display(done, "acc=%d", acc)
-    m.finish(done)
-    return m.build()
-
-
-def memory_circuit(depth=16, cycles=40):
-    """Scratchpad traffic: write then read back with assertion."""
-    m = CircuitBuilder("memtest")
-    cyc = m.register("cyc", 16)
-    cyc.next = (cyc + 1).trunc(16)
-    mem = m.memory("buf", width=16, depth=depth)
-    addr = cyc.trunc(4) if depth == 16 else cyc.trunc(8)
-    mem.write(addr, (cyc * 7).trunc(16), enable=m.const(1, 1))
-    rd = mem.read(addr)
-    # Value read this cycle is what was written `depth` cycles ago.
-    expected = ((cyc - depth) * 7).trunc(16)
-    valid = cyc.geu(depth)
-    m.check(valid, rd == expected, "memory readback mismatch")
-    m.finish(cyc == cycles)
-    return m.build()
-
-
-def logic_heavy_circuit(stages=6, limit=30):
-    """Long bitwise chains: custom-function synthesis fodder."""
-    m = CircuitBuilder("logic_heavy")
-    cyc = m.register("cyc", 16)
-    state = m.register("state", 16, init=0xACE1)
-    cyc.next = (cyc + 1).trunc(16)
-    x = state
-    for i in range(stages):
-        x = ((x & m.const(0xF0F0 >> (i % 4), 16))
-             | (x ^ m.const(0x1234 + i, 16)))
-    # LFSR-ish mixing to keep the state changing.
-    state.next = (x ^ (state >> 1)).trunc(16)
-    m.display(cyc == limit, "state=%x", state)
-    m.finish(cyc == limit)
-    return m.build()
-
-
-_BIN_OPS = ["add", "sub", "and", "or", "xor", "mul", "eq", "ltu", "lts",
-            "mux", "cat", "shl_const", "shr_const"]
-
-
-def random_circuit(seed, n_ops=30, n_regs=4, max_width=36, cycles=None):
-    """Seeded random closed circuit with a per-cycle state display.
-
-    The display of every register value each cycle makes interpreter
-    comparisons exhaustive: two simulators agree iff their display streams
-    agree.
-    """
-    rng = random.Random(seed)
-    m = CircuitBuilder(f"random_{seed}")
-    regs = []
-    for i in range(n_regs):
-        width = rng.randint(1, max_width)
-        regs.append(m.register(f"r{i}", width,
-                               init=rng.getrandbits(width)))
-    cyc = m.register("cyc", 16)
-    cyc.next = (cyc + 1).trunc(16)
-
-    pool = list(regs) + [cyc]
-    for _ in range(n_ops):
-        op = rng.choice(_BIN_OPS)
-        a = rng.choice(pool)
-        b = rng.choice(pool)
-        try:
-            if op == "add":
-                value = a + b
-            elif op == "sub":
-                value = a - b
-            elif op == "and":
-                value = a & b
-            elif op == "or":
-                value = a | b
-            elif op == "xor":
-                value = a ^ b
-            elif op == "mul":
-                value = (a.mul_wide(b)).trunc(
-                    min(a.width + b.width, max_width))
-            elif op == "eq":
-                value = a == b
-            elif op == "ltu":
-                value = a.ltu(b)
-            elif op == "lts":
-                value = a.lts(b)
-            elif op == "mux":
-                sel = rng.choice(pool)
-                value = m.mux(sel[0], a, b.zext(max(a.width, b.width))
-                              if b.width < a.width else b.trunc(a.width)
-                              if b.width > a.width else b)
-            elif op == "cat":
-                value = m.cat(a, b)
-                if value.width > max_width:
-                    value = value.trunc(max_width)
-            elif op == "shl_const":
-                value = a << rng.randint(0, max(0, a.width - 1))
-            else:
-                value = a >> rng.randint(0, max(0, a.width - 1))
-        except Exception:
-            continue
-        pool.append(value)
-
-    # Bind each register's next value to a random same-width expression.
-    for reg in regs:
-        cands = [p for p in pool if p is not reg]
-        src = rng.choice(cands)
-        if src.width > reg.width:
-            reg.next = src.trunc(reg.width)
-        elif src.width < reg.width:
-            reg.next = src.zext(reg.width)
-        else:
-            reg.next = src
-
-    always = m.const(1, 1)
-    m.display(always, "trace " + " ".join(["%x"] * len(regs)), *regs)
-    m.finish(cyc == (cycles or 8))
-    return m.build()
+__all__ = [
+    "accumulator_circuit",
+    "counter_circuit",
+    "logic_heavy_circuit",
+    "memory_circuit",
+    "random_circuit",
+    "random_memory_circuit",
+]
