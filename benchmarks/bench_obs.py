@@ -1,0 +1,156 @@
+"""Observer-overhead benchmark for the observability subsystem.
+
+Measures the fast engine on the full nine-design registry in three
+configurations and writes ``BENCH_obs.json``:
+
+* **off** - no profiler attached (the zero-observer path: the machine
+  pays only ``is None`` checks);
+* **on** - a :class:`repro.obs.Profiler` attached (per-Vcycle bulk
+  merges of the statically-known counts);
+* **baseline** - the fast-engine rate recorded in ``BENCH_engine.json``
+  before the observability hooks existed, for a cross-PR regression
+  check.
+
+The gate: the zero-observer geomean rate must stay within
+``MAX_ZERO_OBSERVER_OVERHEAD`` (2%) of the recorded baseline, and
+profiler-on overhead is reported (informational - profiling is opt-in).
+Baseline comparison is skipped per-design when ``BENCH_engine.json`` is
+missing; wall-clock noise is handled by best-of-``REPEATS`` with
+interleaved off/on measurement.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from harness import BENCH_ORDER, machine_for, precompile  # noqa: E402
+
+from repro.designs import DESIGNS  # noqa: E402
+from repro.obs import Profiler  # noqa: E402
+
+BENCH_DESIGNS = tuple(BENCH_ORDER)
+GRID_SIDE = 8
+WARMUP_VCYCLES = 2
+REPEATS = int(os.environ.get("BENCH_OBS_REPEATS", "5"))
+#: Allowed slowdown of the unobserved fast path vs the pre-obs baseline.
+MAX_ZERO_OBSERVER_OVERHEAD = 0.02
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+ENGINE_BASELINE = Path(__file__).resolve().parent.parent \
+    / "BENCH_engine.json"
+
+
+def _time_run(name: str, profiler) -> float:
+    """Vcycles/second of one fresh fast-engine run (post-warmup)."""
+    budget = DESIGNS[name].cycles + 300
+    machine = machine_for(name, engine="fast", grid_side=GRID_SIDE,
+                          profiler=profiler)
+    for _ in range(WARMUP_VCYCLES):
+        machine.step_vcycle()
+    start = time.perf_counter()
+    machine.run(budget)
+    elapsed = time.perf_counter() - start
+    timed = machine.counters.vcycles - WARMUP_VCYCLES
+    return timed / elapsed if elapsed > 0 else 0.0
+
+
+def _measure(name: str) -> tuple[float, float]:
+    """Best off/on rates, interleaved so thermal drift hits both."""
+    best_off = best_on = 0.0
+    for _ in range(REPEATS):
+        best_off = max(best_off, _time_run(name, None))
+        best_on = max(best_on, _time_run(name, Profiler()))
+    return best_off, best_on
+
+
+def _baseline_rates() -> dict[str, float]:
+    if not ENGINE_BASELINE.exists():
+        return {}
+    data = json.loads(ENGINE_BASELINE.read_text())
+    return {name: entry["fast_vcycles_per_sec"]
+            for name, entry in data.get("designs", {}).items()}
+
+
+def geomean(values) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main() -> int:
+    precompile(BENCH_DESIGNS, grid_side=GRID_SIDE)
+    baselines = _baseline_rates()
+    results: dict[str, dict] = {}
+    for name in BENCH_DESIGNS:
+        off, on = _measure(name)
+        entry = {
+            "off_vcycles_per_sec": round(off, 2),
+            "on_vcycles_per_sec": round(on, 2),
+            "profiler_overhead_percent": round((off / on - 1) * 100, 2)
+            if on else None,
+        }
+        base = baselines.get(name)
+        if base:
+            entry["baseline_fast_vcycles_per_sec"] = base
+            entry["vs_baseline_percent"] = round((base / off - 1) * 100, 2)
+        results[name] = entry
+        base_txt = (f"  vs baseline {entry['vs_baseline_percent']:+6.2f}%"
+                    if base else "")
+        print(f"{name:>6}: off {off:9.1f} Vc/s   on {on:9.1f} Vc/s   "
+              f"profiler {entry['profiler_overhead_percent']:+6.2f}%"
+              f"{base_txt}")
+
+    off_geo = geomean([r["off_vcycles_per_sec"] for r in results.values()])
+    on_geo = geomean([r["on_vcycles_per_sec"] for r in results.values()])
+    base_geo = geomean([baselines[n] for n in results if n in baselines])
+    zero_overhead = (base_geo / off_geo - 1) if (base_geo and off_geo) \
+        else None
+    payload = {
+        "grid": f"{GRID_SIDE}x{GRID_SIDE}",
+        "engine": "fast",
+        "warmup_vcycles": WARMUP_VCYCLES,
+        "repeats": REPEATS,
+        "max_zero_observer_overhead": MAX_ZERO_OBSERVER_OVERHEAD,
+        "designs": results,
+        "geomean": {
+            "off_vcycles_per_sec": round(off_geo, 2),
+            "on_vcycles_per_sec": round(on_geo, 2),
+            "baseline_fast_vcycles_per_sec": round(base_geo, 2)
+            if base_geo else None,
+            "zero_observer_overhead_percent":
+                round(zero_overhead * 100, 2)
+                if zero_overhead is not None else None,
+            "profiler_overhead_percent":
+                round((off_geo / on_geo - 1) * 100, 2) if on_geo else None,
+        },
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+
+    if zero_overhead is None:
+        print("note: no BENCH_engine.json baseline; overhead gate skipped")
+        return 0
+    if zero_overhead > MAX_ZERO_OBSERVER_OVERHEAD:
+        print(f"FAIL: zero-observer geomean is {zero_overhead:.2%} slower "
+              f"than the pre-obs baseline "
+              f"(limit {MAX_ZERO_OBSERVER_OVERHEAD:.0%})", file=sys.stderr)
+        return 1
+    print(f"zero-observer overhead {zero_overhead:+.2%} vs baseline "
+          f"(limit {MAX_ZERO_OBSERVER_OVERHEAD:.0%}): OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,14 +109,16 @@ def precompile(names=None, jobs: int | None = None,
         memo[key_of(name)] = result
 
 
-def machine_for(name: str, engine: str = "strict", grid_side: int = 8):
+def machine_for(name: str, engine: str = "strict", grid_side: int = 8,
+                profiler=None):
     """Fresh :class:`~repro.machine.Machine` over a cached small-grid
     compile - the engine-comparison workhorse (each caller gets its own
     machine so strict/fast runs never share mutable state)."""
     from repro.machine import Machine, MachineConfig
     result = _grid_compile(name, grid_side)
     config = MachineConfig(grid_x=grid_side, grid_y=grid_side)
-    return Machine(result.program, config, engine=engine)
+    return Machine(result.program, config, engine=engine,
+                   profiler=profiler)
 
 
 @functools.lru_cache(maxsize=None)

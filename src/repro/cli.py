@@ -13,6 +13,9 @@ Commands
 ``fuzz``                     differential fuzzing: hunt a seed range through
                              an oracle matrix, shrink + record divergences
                              into a replayable corpus (``--replay FILE``)
+``profile``                  compile + run one design under the observability
+                             subsystem; print a bottleneck report and export
+                             profile JSON / Chrome trace / Prometheus metrics
 """
 
 from __future__ import annotations
@@ -298,6 +301,47 @@ def cmd_fuzz(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_profile(args) -> int:
+    """Profile one design: compile with span tracing, run with profiling
+    counters, and render the bottleneck report (``repro.obs``)."""
+    import json
+
+    from .obs import profile_circuit
+
+    if args.design:
+        from .designs import DESIGNS
+        info = DESIGNS[args.design]
+        circuit = info.build()
+        cycles = args.cycles or info.cycles + 300
+        name = args.design
+    else:
+        circuit = _load_circuit(args.file)
+        cycles = args.cycles or 1_000_000
+        name = None
+
+    run = profile_circuit(circuit, name=name, engine=args.engine,
+                          options=_compiler_options(args),
+                          max_vcycles=cycles)
+    profile = run.profile
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(profile, f, indent=2)
+        print(f"-- profile JSON: {args.json}", file=sys.stderr)
+    if args.trace_out:
+        with open(args.trace_out, "w") as f:
+            json.dump(run.trace_json, f, indent=2)
+        print(f"-- Chrome trace: {args.trace_out} "
+              f"(load via chrome://tracing or ui.perfetto.dev)",
+              file=sys.stderr)
+    if args.metrics:
+        with open(args.metrics, "w") as f:
+            f.write(run.prometheus)
+        print(f"-- Prometheus textfile: {args.metrics}", file=sys.stderr)
+    if not args.quiet:
+        print(run.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -389,6 +433,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true",
                    help="report every seed, not just failures")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "profile",
+        help="profile a design: bottleneck report + trace exports")
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--design", metavar="NAME",
+                     help="profile a built-in benchmark design")
+    src.add_argument("--file", metavar="FILE.v",
+                     help="profile a Verilog file")
+    p.add_argument("--engine", default="fast",
+                   choices=["strict", "permissive", "fast"],
+                   help="machine execution engine (default: fast)")
+    p.add_argument("--cycles", type=int,
+                   help="Vcycle budget (default: the design's driver-"
+                        "complete cycle count + 300, or 1000000 for files)")
+    add_grid(p)
+    add_compile_flags(p)
+    p.add_argument("--json", metavar="FILE",
+                   help="write the profile export (docs/profile.schema."
+                        "json) as JSON")
+    p.add_argument("--trace", dest="trace_out", metavar="FILE",
+                   help="write compile/run spans as Chrome trace_event "
+                        "JSON")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="write flat metrics as a Prometheus textfile")
+    p.add_argument("-q", "--quiet", action="store_true",
+                   help="suppress the terminal report (exports only)")
+    p.set_defaults(func=cmd_profile)
     return parser
 
 

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..netlist.ir import Circuit
+from ..obs.trace import span as _span
 
 #: Compiler-version salt mixed into every cache key.  Bump whenever the
 #: compiler's output format or semantics change so old artifacts miss.
@@ -186,13 +187,14 @@ class CompileCache:
         return sum(size for _, size, _ in self.entries())
 
     def _evict(self) -> None:
-        entries = sorted(self.entries())  # oldest mtime first
-        total = sum(size for _, size, _ in entries)
-        while entries and total > self.max_bytes:
-            _, size, path = entries.pop(0)
-            self._remove(path)
-            total -= size
-            self.stats.evictions += 1
+        with _span("compile.cache.evict", max_bytes=self.max_bytes):
+            entries = sorted(self.entries())  # oldest mtime first
+            total = sum(size for _, size, _ in entries)
+            while entries and total > self.max_bytes:
+                _, size, path = entries.pop(0)
+                self._remove(path)
+                total -= size
+                self.stats.evictions += 1
 
     @staticmethod
     def _remove(path: Path) -> None:

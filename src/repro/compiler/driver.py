@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from ..isa.program import MachineProgram, ProgramImage
 from ..machine.config import MachineConfig, PROTOTYPE
 from ..netlist.ir import Circuit
+from ..obs.trace import span as _span
 from . import transforms
 from .custom import CustomSynthesisResult, synthesize_custom_functions
 from .lower import CompilerError, LowerOptions, lower_circuit
@@ -166,13 +167,19 @@ def compile_circuit(circuit: Circuit,
     from .cache import cache_from_options
 
     options = options or CompilerOptions()
-    cache = cache_from_options(options)
+    with _span("compile", design=circuit.name):
+        return _compile_traced(circuit, options, cache_from_options(options))
+
+
+def _compile_traced(circuit: Circuit, options: CompilerOptions,
+                    cache) -> CompileResult:
     if cache is None:
         return _compile_uncached(circuit, options)
 
     t0 = time.perf_counter()
-    key = cache.key(circuit, options)
-    cached = cache.get(key)
+    with _span("compile.cache.lookup"):
+        key = cache.key(circuit, options)
+        cached = cache.get(key)
     if cached is not None:
         cached.report.times.cache = time.perf_counter() - t0
         cached.report.cache = cache.describe("hit", key)
@@ -182,7 +189,8 @@ def compile_circuit(circuit: Circuit,
     result = _compile_uncached(circuit, options)
 
     t0 = time.perf_counter()
-    cache.put(key, result)
+    with _span("compile.cache.store"):
+        cache.put(key, result)
     result.report.times.cache = lookup + (time.perf_counter() - t0)
     result.report.cache = cache.describe("miss", key)
     return result
@@ -200,49 +208,56 @@ def _compile_uncached(circuit: Circuit,
     times = PhaseTimes()
 
     t0 = time.perf_counter()
-    if options.mem2reg_max_words:
-        circuit = memory_to_registers(circuit, options.mem2reg_max_words)
-    if options.optimize_netlist:
-        circuit = transforms.optimize(circuit)
+    with _span("compile.opt"):
+        if options.mem2reg_max_words:
+            circuit = memory_to_registers(circuit,
+                                          options.mem2reg_max_words)
+        if options.optimize_netlist:
+            circuit = transforms.optimize(circuit)
     times.opt = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    design = lower_circuit(circuit, options.lower_options)
+    with _span("compile.lower"):
+        design = lower_circuit(circuit, options.lower_options)
     times.lower = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    prog = split(design)
-    split_count = len(prog.partitions)
-    split_edges = sum(len(v) for v in
-                      prog.communication_graph().values()) // 2
-    if options.merge_strategy == "balanced":
-        merged = merge_balanced(prog, max_cores)
-    elif options.merge_strategy == "lpt":
-        merged = merge_lpt(prog, max_cores)
-    else:
-        raise CompilerError(
-            f"unknown merge strategy {options.merge_strategy!r}"
-        )
-    image = build_processes(merged)
+    with _span("compile.parallelize"):
+        prog = split(design)
+        split_count = len(prog.partitions)
+        split_edges = sum(len(v) for v in
+                          prog.communication_graph().values()) // 2
+        if options.merge_strategy == "balanced":
+            merged = merge_balanced(prog, max_cores)
+        elif options.merge_strategy == "lpt":
+            merged = merge_lpt(prog, max_cores)
+        else:
+            raise CompilerError(
+                f"unknown merge strategy {options.merge_strategy!r}"
+            )
+        image = build_processes(merged)
     times.parallelize = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    custom_result = None
-    if options.enable_custom_functions:
-        custom_result = synthesize_custom_functions(
-            image, use_milp=(options.custom_selector == "milp"),
-            jobs=options.jobs)
+    with _span("compile.custom"):
+        custom_result = None
+        if options.enable_custom_functions:
+            custom_result = synthesize_custom_functions(
+                image, use_milp=(options.custom_selector == "milp"),
+                jobs=options.jobs)
     times.custom = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    scheduled = schedule(image, config,
-                         coalesce_state=options.coalesce_state,
-                         jobs=options.jobs)
+    with _span("compile.schedule"):
+        scheduled = schedule(image, config,
+                             coalesce_state=options.coalesce_state,
+                             jobs=options.jobs)
     times.schedule = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    program = allocate(scheduled)
-    verify_program(program, config)
+    with _span("compile.regalloc"):
+        program = allocate(scheduled)
+        verify_program(program, config)
     times.regalloc = time.perf_counter() - t0
 
     report = CompileReport(

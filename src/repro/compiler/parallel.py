@@ -25,6 +25,7 @@ from dataclasses import replace
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..netlist.ir import Circuit
+from ..obs.trace import span as _span
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -57,11 +58,12 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T],
     workers = min(resolve_jobs(jobs), len(items))
     if workers <= 1 or len(items) < MIN_ITEMS_FOR_POOL:
         return [fn(x) for x in items]
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
-    except (pickle.PicklingError, BrokenProcessPool, OSError):
-        return [fn(x) for x in items]
+    with _span("compile.parallel_map", items=len(items), workers=workers):
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, items, chunksize=chunksize))
+        except (pickle.PicklingError, BrokenProcessPool, OSError):
+            return [fn(x) for x in items]
 
 
 # ----------------------------------------------------------------------

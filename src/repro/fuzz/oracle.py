@@ -51,21 +51,30 @@ class OracleSpec:
     #: Round-trip the compilation through a fresh compile cache and run
     #: the artifact the *cache* returned (catches serialization bugs).
     through_cache: bool = False
+    #: Attach a :class:`repro.obs.Profiler` to the machine run and
+    #: cross-check its counters against the machine's ``PerfCounters``.
+    #: Any behaviour change or invariant violation becomes a divergence
+    #: (observation must never perturb - tests/test_obs_perturbation.py).
+    profiled: bool = False
 
     def describe(self) -> str:
         parts = [self.kind, self.engine]
         parts += [f"{k}={v}" for k, v in self.options]
         if self.through_cache:
             parts.append("cached")
+        if self.profiled:
+            parts.append("profiled")
         if self.fault:
             parts.append(f"fault={self.fault}")
         return f"{self.name} ({', '.join(parts)})"
 
 
 def _machine(name: str, engine: str = "strict", fault: str | None = None,
-             through_cache: bool = False, **options) -> OracleSpec:
+             through_cache: bool = False, profiled: bool = False,
+             **options) -> OracleSpec:
     return OracleSpec(name, "machine", engine,
-                      tuple(sorted(options.items())), fault, through_cache)
+                      tuple(sorted(options.items())), fault, through_cache,
+                      profiled)
 
 
 #: Registry of every known oracle.  ``golden`` (the strict interpreter)
@@ -86,6 +95,7 @@ ORACLES: dict[str, OracleSpec] = {
         _machine("machine-strict-cached", through_cache=True),
         _machine("machine-fast-nomem2reg", engine="fast",
                  mem2reg_max_words=0),
+        _machine("machine-fast-profiled", engine="fast", profiled=True),
         # Fault-injection oracles: deliberately wrong semantics used by
         # the self-tests and as live demos of a failing replay.
         OracleSpec("golden-buggy-sub", "interp", "strict",
@@ -98,13 +108,15 @@ ORACLES: dict[str, OracleSpec] = {
 MATRICES: dict[str, tuple[str, ...]] = {
     "quick": ("interp-fast", "baseline-serial", "machine-strict"),
     "engines": ("interp-fast", "baseline-serial", "machine-strict",
-                "machine-permissive", "machine-fast"),
+                "machine-permissive", "machine-fast",
+                "machine-fast-profiled"),
     "full": ("interp-fast", "baseline-serial", "machine-strict",
              "machine-permissive", "machine-fast",
              "machine-strict-nomem2reg", "machine-strict-nocoalesce",
              "machine-strict-lpt", "machine-strict-greedy",
              "machine-strict-nocustom", "machine-strict-jobs2",
-             "machine-strict-cached", "machine-fast-nomem2reg"),
+             "machine-strict-cached", "machine-fast-nomem2reg",
+             "machine-fast-profiled"),
 }
 
 
@@ -317,6 +329,39 @@ def _compile_for(spec: OracleSpec, circuit: Circuit, config: MachineConfig,
     return result
 
 
+def check_profile_invariants(profiler, mres) -> str | None:
+    """First violated profiler/machine counter invariant, or ``None``.
+
+    The ``machine-fast-profiled`` oracle runs this after every fuzz
+    seed: per-core counters must sum to the machine-wide
+    ``PerfCounters``, link hops to the hop total, and the per-Vcycle
+    samples to the run totals.
+    """
+    totals = profiler.totals()
+    counters = mres.counters
+    pairs = [
+        ("instructions", totals["instructions"], counters.instructions),
+        ("sends vs messages", totals["sends"], counters.messages),
+        ("exceptions", totals["exceptions"], counters.exceptions),
+        ("stall attribution", totals["stall_caused"],
+         counters.stall_cycles),
+        ("link hops", sum(profiler.links.values()), profiler.total_hops),
+        ("sample vcycles", sum(s.width for s in profiler.samples),
+         mres.vcycles),
+        ("sample instructions",
+         sum(s.instructions for s in profiler.samples),
+         counters.instructions),
+        ("sample messages", sum(s.messages for s in profiler.samples),
+         counters.messages),
+        ("stall causes", profiler.stall_causes.get("total", 0),
+         counters.stall_cycles),
+    ]
+    for name, got, want in pairs:
+        if got != want:
+            return f"{name}: profiler={got} machine={want}"
+    return None
+
+
 def run_oracle(spec: OracleSpec, make_circuit: Callable[[], Circuit],
                cycles: int, config: MachineConfig = FUZZ_CONFIG,
                compiled: dict | None = None) -> OracleResult:
@@ -341,9 +386,19 @@ def run_oracle(spec: OracleSpec, make_circuit: Callable[[], Circuit],
                 from ..machine import Machine
                 result = _compile_for(spec, make_circuit(), config,
                                       compiled)
+                profiler = None
+                if spec.profiled:
+                    from ..obs import Profiler
+                    profiler = Profiler()
                 machine = Machine(result.program, config,
-                                  engine=spec.engine)
+                                  engine=spec.engine, profiler=profiler)
                 mres = machine.run(cycles)
+                if profiler is not None:
+                    problem = check_profile_invariants(profiler, mres)
+                    if problem is not None:
+                        return OracleResult(
+                            error=f"profiler invariant violated "
+                                  f"({problem})")
                 return OracleResult(list(mres.displays), mres.vcycles,
                                     mres.finished)
             raise OracleError(f"unknown oracle kind {spec.kind!r}")

@@ -97,6 +97,17 @@ class Cache:
                     self.dram[base + i] = word
                 line.dirty = False
 
+    def occupancy(self) -> dict[str, int]:
+        """Line-usage snapshot for observability reports: how much of
+        the cache a run actually touched, and how much is dirty."""
+        dirty = sum(1 for line in self.lines.values() if line.dirty)
+        return {
+            "lines_used": len(self.lines),
+            "num_lines": self.num_lines,
+            "dirty_lines": dirty,
+            "dram_words": len(self.dram),
+        }
+
     def peek(self, addr: int) -> int:
         """Coherent read without timing effects (host-side)."""
         line_addr = addr // self.line_words

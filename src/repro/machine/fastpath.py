@@ -52,7 +52,7 @@ re-verified strictly.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from typing import TYPE_CHECKING, Callable
 
 from ..isa import instructions as isa
@@ -71,14 +71,24 @@ class FastpathUnsupported(RuntimeError):
 class _VcycleAbort(Exception):
     """Raised by an ``Expect`` closure when the host finishes the
     simulation mid-Vcycle; carries the exact strict-engine counter
-    deltas up to (and including) the finishing instruction."""
+    deltas up to (and including) the finishing instruction, plus the
+    per-core prefix counts an attached profiler needs to attribute the
+    partial Vcycle (snapshotted at compile time - the abort position is
+    static, so the prefix is too)."""
 
-    __slots__ = ("instrs", "messages")
+    __slots__ = ("instrs", "messages", "core_instr", "core_sends",
+                 "core_recvs")
 
-    def __init__(self, instrs: int, messages: int) -> None:
+    def __init__(self, instrs: int, messages: int,
+                 core_instr: dict | None = None,
+                 core_sends: dict | None = None,
+                 core_recvs: dict | None = None) -> None:
         super().__init__()
         self.instrs = instrs
         self.messages = messages
+        self.core_instr = core_instr or {}
+        self.core_sends = core_sends or {}
+        self.core_recvs = core_recvs or {}
 
 
 # ---------------------------------------------------------------------------
@@ -340,6 +350,15 @@ class FastEngine:
         trace: list[Callable[[], None]] = []
         n_instr = 0
         n_msgs = 0
+        # Static profiler plan: the per-core and per-link counts of one
+        # full Vcycle are data-independent, so an attached profiler gets
+        # them as one bulk merge per Vcycle instead of per-event hooks.
+        # The running prefixes are snapshotted into each Expect's abort
+        # sentinel for exact attribution of a mid-Vcycle $finish.
+        run_instr = {cid: 0 for cid in cores}
+        run_sends = {cid: 0 for cid in cores}
+        run_recvs = {cid: 0 for cid in cores}
+        send_routes: list[tuple] = []
         for idx, (cycle, cid, item) in enumerate(events):
             core = cores[cid]
             regs = core.regs
@@ -351,8 +370,10 @@ class FastEngine:
                 j = recv_seen[cid]
                 recv_seen[cid] = j + 1
                 trace.append(_c_recv(regs, recv_rd[cid][j], inboxes[cid], j))
+                run_recvs[cid] += 1
                 continue
             n_instr += 1
+            run_instr[cid] += 1
             ws = item.writes()
             if ws and cycle + latency > vcpl:
                 raise FastpathUnsupported(
@@ -366,11 +387,13 @@ class FastEngine:
                                       defers[cid], k))
                 q.append((cycle + latency, k, ws[0]))
                 continue
-            trace.append(self._compile_instr(item, core, cid, inboxes,
-                                             inbox_slot, idx,
-                                             n_instr, n_msgs))
+            trace.append(self._compile_instr(
+                item, core, cid, inboxes, inbox_slot, idx, n_instr, n_msgs,
+                (run_instr, run_sends, run_recvs)))
             if type(item) is isa.Send:
                 n_msgs += 1
+                run_sends[cid] += 1
+                send_routes.append(tuple(cfg.route(cid, item.target)))
         # End-of-Vcycle drain, in the strict engine's core order.
         for cid in cores:
             q = commit_q[cid]
@@ -383,11 +406,27 @@ class FastEngine:
         self._n_msgs = n_msgs
         self._defers = defers
         self._defer_meta = defer_meta
+        self._core_instr = run_instr
+        self._core_sends = run_sends
+        self._core_recvs = run_recvs
+        self._send_routes = send_routes
+        link_hops: Counter = Counter()
+        for route in send_routes:
+            link_hops.update(route)
+        self._link_hops = dict(link_hops)
+
+    # ------------------------------------------------------------------
+    def _partial_link_hops(self, n_msgs: int) -> Counter:
+        """Per-link hops of the first ``n_msgs`` Sends (abort paths)."""
+        hops: Counter = Counter()
+        for route in self._send_routes[:n_msgs]:
+            hops.update(route)
+        return hops
 
     # ------------------------------------------------------------------
     def _compile_instr(self, instr, core: "_Core", cid: int, inboxes,
                        inbox_slot, event_idx: int, n_instr: int,
-                       n_msgs: int):
+                       n_msgs: int, running=None):
         machine = self.machine
         regs = core.regs
         t = type(instr)
@@ -439,7 +478,9 @@ class FastEngine:
         if t is isa.Expect:
             # Preallocate the abort sentinel with the exact counter
             # deltas as of this trace position (the Expect included).
-            abort = _VcycleAbort(n_instr, n_msgs)
+            run_instr, run_sends, run_recvs = running or ({}, {}, {})
+            abort = _VcycleAbort(n_instr, n_msgs, dict(run_instr),
+                                 dict(run_sends), dict(run_recvs))
             return _c_expect(regs, machine, cid, instr.rs1, instr.rs2,
                              instr.eid, abort)
         raise FastpathUnsupported(
@@ -464,6 +505,7 @@ class FastEngine:
         """Execute one full Vcycle through the compiled trace."""
         machine = self.machine
         counters = machine.counters
+        prof = machine.profiler
         try:
             for fn in self._trace:
                 fn()
@@ -471,9 +513,16 @@ class FastEngine:
             counters.instructions += abort.instrs
             counters.messages += abort.messages
             self._flush_deferred()
+            if prof is not None:
+                prof.add_vcycle_bulk(abort.core_instr, abort.core_sends,
+                                     abort.core_recvs,
+                                     self._partial_link_hops(abort.messages))
         else:
             counters.instructions += self._n_instr
             counters.messages += self._n_msgs
+            if prof is not None:
+                prof.add_vcycle_bulk(self._core_instr, self._core_sends,
+                                     self._core_recvs, self._link_hops)
         counters.vcycles += 1
         counters.compute_cycles += machine.program.vcpl
         machine.now = 0

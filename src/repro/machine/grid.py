@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from ..isa import instructions as isa
 from ..isa.interp import HazardError, NoCDropError
 from ..isa.program import CoreBinary, MachineProgram, SimulationFailure
+from ..obs.trace import span as _span
 from .cache import Cache, CacheStats
 from .config import MachineConfig
 
@@ -61,11 +62,25 @@ class MachineResult:
     cache: CacheStats
 
     def simulation_rate_khz(self, frequency_mhz: float) -> float:
-        """Achieved RTL simulation rate given the machine frequency."""
-        if self.counters.total_cycles == 0:
+        """Achieved RTL simulation rate given the machine frequency.
+
+        Returns 0.0 for runs that executed no machine cycles (a
+        zero-Vcycle budget, or a design that finished before its first
+        Vcycle) instead of dividing by zero; report renderers must pair
+        the 0.0 with an explicit "did not run / did not finish" note.
+        """
+        if self.counters.total_cycles == 0 or self.vcycles == 0:
             return 0.0
         return (frequency_mhz * 1e3 * self.vcycles
                 / self.counters.total_cycles)
+
+    def status(self) -> str:
+        """Human-readable completion status for reports."""
+        if self.finished:
+            return "finished ($finish reached)"
+        if self.vcycles == 0:
+            return "did not run (zero Vcycles executed)"
+        return f"did not finish (stopped at the {self.vcycles}-Vcycle budget)"
 
 
 class _Core:
@@ -181,8 +196,14 @@ class Machine:
                  config: MachineConfig | None = None,
                  strict: bool = True,
                  exception_stall: int = 500,
-                 engine: str | None = None) -> None:
+                 engine: str | None = None,
+                 profiler=None) -> None:
         self.program = program
+        #: optional :class:`repro.obs.profiler.Profiler`; observation
+        #: only - attaching one never changes results or counters
+        #: (``tests/test_obs_perturbation.py``), and ``None`` keeps every
+        #: hot loop on its unhooked path.
+        self.profiler = profiler
         self.config = config or MachineConfig(
             grid_x=program.grid[0], grid_y=program.grid[1])
         if (self.config.grid_x, self.config.grid_y) != program.grid:
@@ -216,6 +237,8 @@ class Machine:
         self._verify_left = max(0, self.config.fastpath_verify_vcycles)
         if engine == "fast" and self._verify_left == 0:
             self._trusted = self._ensure_fastpath()
+        if profiler is not None:
+            profiler.attach(self)
 
     # ------------------------------------------------------------------
     def _merge_events(self) -> list[tuple[int, int, object]]:
@@ -233,14 +256,38 @@ class Machine:
     # -- global services ---------------------------------------------------
     def global_read(self, core_id: int, addr: int) -> int:
         self._check_privileged(core_id)
+        if self.profiler is None:
+            value, stall = self.cache.read(addr)
+            self.counters.stall_cycles += stall
+            return value
+        stats = self.cache.stats
+        hits, writebacks = stats.hits, stats.writebacks
         value, stall = self.cache.read(addr)
         self.counters.stall_cycles += stall
+        self._profile_cache_op(core_id, "read", stall,
+                               stats.hits > hits,
+                               stats.writebacks > writebacks)
         return value
 
     def global_write(self, core_id: int, addr: int, value: int) -> None:
         self._check_privileged(core_id)
+        if self.profiler is None:
+            stall = self.cache.write(addr, value)
+            self.counters.stall_cycles += stall
+            return
+        stats = self.cache.stats
+        hits, writebacks = stats.hits, stats.writebacks
         stall = self.cache.write(addr, value)
         self.counters.stall_cycles += stall
+        self._profile_cache_op(core_id, "write", stall,
+                               stats.hits > hits,
+                               stats.writebacks > writebacks)
+
+    def _profile_cache_op(self, core_id: int, op: str, stall: int,
+                          hit: bool, writeback: bool) -> None:
+        self.profiler.record_cache_op(
+            core_id, op, "hit" if hit else "miss", stall,
+            self.config.cache_writeback_stall if writeback else 0)
 
     def _check_privileged(self, core_id: int) -> None:
         if core_id != self.program.privileged_core:
@@ -268,11 +315,15 @@ class Machine:
         heapq.heappush(self.cores[dst].queue,
                        (arrival, self._msg_seq, rd, value))
         self.counters.messages += 1
+        if self.profiler is not None:
+            self.profiler.record_message(src, dst, route)
 
     def service_exception(self, core_id: int, eid: int) -> None:
         self._check_privileged(core_id)
         self.counters.exceptions += 1
         self.counters.stall_cycles += self.exception_stall
+        if self.profiler is not None:
+            self.profiler.record_exception(core_id, self.exception_stall)
         # Host flushes the cache, then reads DRAM (paper SSA.3.2).
         self.cache.flush()
         verdict, text = self.program.exceptions.service(
@@ -289,7 +340,8 @@ class Machine:
         if self._fastpath is None and self._fastpath_error is None:
             from .fastpath import FastpathUnsupported, compile_fastpath
             try:
-                self._fastpath = compile_fastpath(self)
+                with _span("machine.fastpath.compile"):
+                    self._fastpath = compile_fastpath(self)
             except FastpathUnsupported as exc:
                 self._fastpath_error = str(exc)
         return self._fastpath is not None
@@ -304,6 +356,12 @@ class Machine:
         """
         if self.finished:
             return
+        prof = self.profiler
+        if prof is not None:
+            c = self.counters
+            index = c.vcycles
+            before = (c.compute_cycles, c.stall_cycles, c.instructions,
+                      c.messages, c.exceptions)
         exceptions_before = self.counters.exceptions
         if self._trusted:
             self._fastpath.run_vcycle()
@@ -317,12 +375,20 @@ class Machine:
                 and self.engine == "fast":
             self._trusted = False
             self._verify_left = max(self._verify_left, 1)
+        if prof is not None:
+            c = self.counters
+            prof.end_vcycle(index, c.compute_cycles - before[0],
+                            c.stall_cycles - before[1],
+                            c.instructions - before[2],
+                            c.messages - before[3],
+                            c.exceptions - before[4])
 
     def _step_vcycle_strict(self) -> None:
         """The checking engine: dynamic dispatch, hazard faults, NoC
         reservation checks, receive-slot matching."""
         from ..isa.semantics import execute
 
+        prof = self.profiler
         self._link_busy.clear()
         vcpl = self.program.vcpl
         for cycle, cid, item in self._vcycle_events:
@@ -342,9 +408,13 @@ class Machine:
                         f"its receive slot at {cycle}"
                     )
                 core.regs[rd] = value & 0xFFFF
+                if prof is not None:
+                    prof.record_receive(cid)
             else:
                 execute(item, core)  # type: ignore[arg-type]
                 self.counters.instructions += 1
+                if prof is not None:
+                    prof.record_instruction(cid)
             if self.finished:
                 break
 
@@ -362,8 +432,12 @@ class Machine:
         self.now = 0
 
     def run(self, max_vcycles: int) -> MachineResult:
-        while not self.finished and self.counters.vcycles < max_vcycles:
-            self.step_vcycle()
+        with _span("machine.run", engine=self.engine,
+                   budget=max_vcycles) as s:
+            while not self.finished and self.counters.vcycles < max_vcycles:
+                self.step_vcycle()
+            if s is not None:
+                s.args["vcycles"] = self.counters.vcycles
         return MachineResult(
             vcycles=self.counters.vcycles,
             finished=self.finished,

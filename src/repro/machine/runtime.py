@@ -56,7 +56,8 @@ def simulate_on_manticore(circuit: Circuit, max_vcycles: int = 1_000_000,
                           strict: bool = True,
                           engine: str | None = None,
                           cache_dir: str | None = None,
-                          jobs: int | None = None) -> SimulationRun:
+                          jobs: int | None = None,
+                          profiler=None) -> SimulationRun:
     """Compile a circuit, (optionally) round-trip it through the
     bootloader binary format, and execute it on the machine model.
 
@@ -71,6 +72,9 @@ def simulate_on_manticore(circuit: Circuit, max_vcycles: int = 1_000_000,
     compilation entirely (content-addressed compile cache); ``jobs > 1``
     fans the parallel compiler phases over worker processes.  Both are
     output-invariant.
+
+    ``profiler`` attaches a :class:`repro.obs.Profiler` to the machine;
+    observation only - the result is bit-identical with and without one.
     """
     import dataclasses
 
@@ -94,6 +98,7 @@ def simulate_on_manticore(circuit: Circuit, max_vcycles: int = 1_000_000,
         program = deserialize(stream)
     config = (options.config if options else None) or MachineConfig(
         grid_x=program.grid[0], grid_y=program.grid[1])
-    machine = Machine(program, config, strict=strict, engine=engine)
+    machine = Machine(program, config, strict=strict, engine=engine,
+                      profiler=profiler)
     mres = machine.run(max_vcycles)
     return SimulationRun(result.report, mres, binary_bytes)

@@ -1,0 +1,211 @@
+"""Export formats for the observability layer.
+
+Three consumers, three formats:
+
+* :func:`chrome_trace` - a ``trace_event`` JSON object loadable in
+  ``chrome://tracing`` / Perfetto, built from a :class:`~repro.obs.
+  trace.Tracer`'s span tree (complete ``"ph": "X"`` events);
+* :func:`metrics_dict` - the profile export flattened to dotted-key
+  numeric leaves, for programmatic diffing and JSON lines;
+* :func:`prometheus_textfile` - the same metrics in Prometheus textfile
+  exposition format (``repro_*`` families, per-core/per-link labels),
+  suitable for the node-exporter textfile collector.
+
+:func:`validate_profile` is a dependency-free validator for the subset
+of JSON Schema the checked-in ``docs/profile.schema.json`` uses
+(``type``/``required``/``properties``/``items``/``enum``/``minimum``),
+so CI can gate the export without installing ``jsonschema``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from .trace import Tracer
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event.
+# ---------------------------------------------------------------------------
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
+    """The tracer's spans as a Chrome ``trace_event`` JSON object."""
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+        "args": {"name": process_name},
+    }]
+    for s in tracer.spans:
+        events.append({
+            "name": s.name,
+            "cat": s.cat or "repro",
+            "ph": "X",
+            "ts": round((s.start - tracer.epoch) * 1e6, 3),
+            "dur": round(s.duration * 1e6, 3),
+            "pid": 1,
+            "tid": 1,
+            "args": {k: _jsonable(v) for k, v in s.args.items()},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _jsonable(value):
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Flat metrics.
+# ---------------------------------------------------------------------------
+
+
+def metrics_dict(profile: dict) -> dict[str, float]:
+    """Every numeric leaf of the profile export, dotted-key flattened
+    (``result.vcycles``, ``cores.5.instructions``, ``noc.links.E:0:1``)."""
+    out: dict[str, float] = {}
+
+    def walk(node: Any, prefix: str) -> None:
+        if isinstance(node, bool):
+            out[prefix] = int(node)
+        elif isinstance(node, (int, float)):
+            out[prefix] = node
+        elif isinstance(node, dict):
+            for key, value in node.items():
+                walk(value, f"{prefix}.{key}" if prefix else str(key))
+        elif isinstance(node, list):
+            for i, value in enumerate(node):
+                # Core rows are keyed by their core id, not list position.
+                key = value.get("core") if isinstance(value, dict) else None
+                walk(value, f"{prefix}.{key if key is not None else i}")
+
+    walk(profile, "")
+    return out
+
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_NAME.sub("_", name)
+
+
+def prometheus_textfile(profile: dict) -> str:
+    """Prometheus textfile exposition of the profile export."""
+    design = profile.get("design", "unknown")
+    engine = profile.get("engine", "unknown")
+    base = f'design="{design}",engine="{engine}"'
+    lines: list[str] = []
+
+    def gauge(name: str, value, labels: str = "") -> None:
+        if value is None:
+            return
+        full = f"repro_{_prom_name(name)}"
+        label_str = f"{{{base}{',' + labels if labels else ''}}}"
+        lines.append(f"{full}{label_str} {value}")
+
+    def header(name: str, help_text: str) -> None:
+        full = f"repro_{_prom_name(name)}"
+        lines.append(f"# HELP {full} {help_text}")
+        lines.append(f"# TYPE {full} gauge")
+
+    result = profile.get("result", {})
+    for key in ("vcycles", "compute_cycles", "stall_cycles",
+                "instructions", "messages", "exceptions"):
+        header(key, f"machine-wide {key} over the profiled run")
+        gauge(key, result.get(key))
+    header("finished", "1 when the design reached $finish")
+    gauge("finished", int(bool(result.get("finished"))))
+    header("simulation_rate_khz", "achieved RTL simulation rate")
+    gauge("simulation_rate_khz", result.get("simulation_rate_khz"))
+
+    header("stall_cycles_by_cause", "global stall cycles by cause")
+    for cause, cycles in sorted(profile.get("stalls", {})
+                                .get("causes", {}).items()):
+        gauge("stall_cycles_by_cause", cycles, f'cause="{cause}"')
+
+    header("core_counter", "per-core profiling counters")
+    for row in profile.get("cores", {}).get("table", []):
+        core = row.get("core")
+        for key in ("instructions", "sends", "receives",
+                    "cache_accesses", "exceptions", "stall_caused",
+                    "schedule_length"):
+            if key in row:
+                gauge("core_counter", row[key],
+                      f'core="{core}",counter="{key}"')
+
+    header("link_hops", "message hops per directed torus link")
+    for link, hops in sorted(profile.get("noc", {})
+                             .get("links", {}).items()):
+        gauge("link_hops", hops, f'link="{link}"')
+
+    cache = profile.get("cache", {})
+    header("cache_accesses", "privileged-core cache accesses")
+    gauge("cache_accesses", cache.get("accesses"))
+    header("cache_hit_rate", "privileged-core cache hit rate")
+    gauge("cache_hit_rate", cache.get("hit_rate"))
+
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (dependency-free subset of JSON Schema).
+# ---------------------------------------------------------------------------
+
+_TYPES = {
+    "object": dict, "array": list, "string": str, "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, expected: str) -> bool:
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value,
+                                                                  bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    python_type = _TYPES.get(expected)
+    if python_type is bool:
+        return isinstance(value, bool)
+    return python_type is not None and isinstance(value, python_type) \
+        and not (python_type is dict and isinstance(value, bool))
+
+
+def validate_profile(instance, schema: dict, path: str = "$") -> list[str]:
+    """Errors (empty when valid) for the schema subset we check in:
+    ``type`` / ``required`` / ``properties`` / ``items`` / ``enum`` /
+    ``minimum`` / ``additionalProperties`` (schema form)."""
+    errors: list[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_type_ok(instance, t) for t in allowed):
+            errors.append(f"{path}: expected type {expected}, got "
+                          f"{type(instance).__name__}")
+            return errors
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']}")
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool) \
+            and instance < schema["minimum"]:
+        errors.append(f"{path}: {instance} < minimum {schema['minimum']}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, sub in properties.items():
+            if key in instance:
+                errors.extend(validate_profile(instance[key], sub,
+                                               f"{path}.{key}"))
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for key, value in instance.items():
+                if key not in properties:
+                    errors.extend(validate_profile(value, extra,
+                                                   f"{path}.{key}"))
+    if isinstance(instance, list) and "items" in schema:
+        for i, value in enumerate(instance):
+            errors.extend(validate_profile(value, schema["items"],
+                                           f"{path}[{i}]"))
+    return errors

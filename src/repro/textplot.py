@@ -61,6 +61,41 @@ def line_plot(series: Mapping[str, Sequence[tuple[float, float]]],
     return "\n".join(lines)
 
 
+#: Shade ramp for :func:`heatmap`, low to high.
+HEAT_RAMP = " .:-=+*#%@"
+
+
+def heatmap(rows: Sequence[Sequence[float]], title: str = "",
+            unit: str = "", cell_width: int = 2) -> str:
+    """Render a 2D value grid as an ASCII shade heatmap.
+
+    Used by the observability report for torus-link utilization: row 0
+    is y=0 (top), each cell is shaded against the grid's maximum with
+    :data:`HEAT_RAMP`.  A zero-max grid renders all-blank with the same
+    frame, so empty runs still produce a readable chart.
+    """
+    if not rows or not any(len(r) for r in rows):
+        return "(empty heatmap)"
+    peak = max((v for row in rows for v in row), default=0.0)
+    lines = [title] if title else []
+    width = max(len(row) for row in rows)
+    lines.append("    +" + "-" * (width * cell_width) + "+")
+    for y, row in enumerate(rows):
+        cells = []
+        for value in row:
+            if peak <= 0:
+                shade = HEAT_RAMP[0]
+            else:
+                level = int(value / peak * (len(HEAT_RAMP) - 1))
+                shade = HEAT_RAMP[max(0, min(level, len(HEAT_RAMP) - 1))]
+            cells.append(shade * cell_width)
+        lines.append(f"{y:3d} |" + "".join(cells) + "|")
+    lines.append("    +" + "-" * (width * cell_width) + "+")
+    lines.append(f"    scale: ' '=0 .. '@'={peak:g}{unit}   "
+                 f"(x: 0..{width - 1} left to right)")
+    return "\n".join(lines)
+
+
 def bar_chart(bars: Mapping[str, float], width: int = 48,
               title: str = "", unit: str = "") -> str:
     """Horizontal ASCII bars, scaled to the longest."""
