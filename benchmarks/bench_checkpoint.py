@@ -1,0 +1,197 @@
+"""Checkpoint subsystem benchmark: size, latency, steady-state overhead.
+
+Measures, across the nine-design registry on the fast engine, and
+writes ``BENCH_checkpoint.json``:
+
+* **snapshot size** - encoded bytes of a mid-run snapshot (the wire
+  format compresses register/scratch/cache images, so this is far below
+  the raw state size);
+* **save latency** - capture + encode + atomic publish into a store;
+* **restore latency** - decode + fingerprint check + machine
+  reconstruction (including the fast path's trust restore);
+* **steady-state overhead** - Vcycles/second of a checkpointed run
+  (``checkpoint_every=CHECKPOINT_EVERY``) vs the same run without a
+  store attached.
+
+The gate is suite-level and time-weighted: enabling
+``--checkpoint-every 100`` must not add more than
+``MAX_CHECKPOINT_OVERHEAD`` (5%) to the *total* fast-engine wall-clock
+across the nine-design registry.  That is the steady-state question -
+what does periodic checkpointing cost per unit of simulation time -
+and it weights each design by how long it actually simulates.
+Per-design overheads are reported alongside (including the honest
+outliers: a design that completes in ~12 ms pays a visible fraction of
+its runtime for a single capture, and a design that finishes before
+Vcycle 100 never publishes at all, so its delta is pure wall-clock
+noise).  Noise is handled by best-of-``REPEATS`` with interleaved
+plain/checkpointed measurement.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from harness import BENCH_ORDER, machine_for, precompile  # noqa: E402
+
+from repro import checkpoint as ck  # noqa: E402
+from repro.designs import DESIGNS  # noqa: E402
+from repro.machine import MachineConfig  # noqa: E402
+
+BENCH_DESIGNS = tuple(BENCH_ORDER)
+GRID_SIDE = 8
+ENGINE = "fast"
+CHECKPOINT_EVERY = 100
+REPEATS = int(os.environ.get("BENCH_CKPT_REPEATS", "5"))
+#: Allowed geomean slowdown of `--checkpoint-every 100` on the fast
+#: engine vs the same run with no store attached.
+MAX_CHECKPOINT_OVERHEAD = 0.05
+CONFIG = MachineConfig(grid_x=GRID_SIDE, grid_y=GRID_SIDE)
+OUT_PATH = Path(__file__).resolve().parent.parent \
+    / "BENCH_checkpoint.json"
+
+
+def _budget(name: str) -> int:
+    return DESIGNS[name].cycles + 300
+
+
+def _program(name: str):
+    return machine_for(name, engine=ENGINE, grid_side=GRID_SIDE).program
+
+
+def _snapshot_metrics(name: str, store_dir: str) -> dict:
+    """Size and save/restore latency of one mid-run snapshot."""
+    program = _program(name)
+    machine = machine_for(name, engine=ENGINE, grid_side=GRID_SIDE)
+    machine.run(max(1, _budget(name) // 2))
+    store = ck.CheckpointStore(store_dir, keep=3)
+
+    best_save = best_restore = math.inf
+    blob = b""
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        blob = ck.encode_snapshot(ck.capture(machine))
+        path = store.publish(blob)
+        best_save = min(best_save, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        restored = ck.restore(ck.load_snapshot(path), program=program,
+                              config=CONFIG)
+        best_restore = min(best_restore, time.perf_counter() - start)
+    assert restored.counters.vcycles == machine.counters.vcycles
+    return {
+        "snapshot_bytes": len(blob),
+        "save_ms": round(best_save * 1e3, 3),
+        "restore_ms": round(best_restore * 1e3, 3),
+    }
+
+
+def _time_run(name: str,
+              store: ck.CheckpointStore | None) -> tuple[float, int, int]:
+    """(elapsed seconds, Vcycles run, snapshots published) of one fresh
+    driver run (optionally snapshotting every CHECKPOINT_EVERY
+    Vcycles)."""
+    program = _program(name)
+    start = time.perf_counter()
+    run = ck.run_with_checkpoints(
+        program, _budget(name), config=CONFIG, engine=ENGINE,
+        store=store, checkpoint_every=CHECKPOINT_EVERY if store else 0)
+    elapsed = time.perf_counter() - start
+    return elapsed, run.result.vcycles, len(run.published)
+
+
+def _measure_overhead(name: str,
+                      store_dir: str) -> tuple[float, float, int, int]:
+    """Best (= fastest) plain/checkpointed elapsed seconds, interleaved,
+    plus the Vcycles each run covers and the publishes per run."""
+    best_plain = best_ckpt = math.inf
+    vcycles = publishes = 0
+    for _ in range(REPEATS):
+        elapsed, vcycles, _ = _time_run(name, None)
+        best_plain = min(best_plain, elapsed)
+        store = ck.CheckpointStore(store_dir, keep=3)
+        elapsed, _, publishes = _time_run(name, store)
+        best_ckpt = min(best_ckpt, elapsed)
+    return best_plain, best_ckpt, vcycles, publishes
+
+
+def geomean(values) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main() -> int:
+    precompile(BENCH_DESIGNS, grid_side=GRID_SIDE)
+    results: dict[str, dict] = {}
+    total_plain = total_ckpt = 0.0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-") as tmp:
+        for name in BENCH_DESIGNS:
+            entry = _snapshot_metrics(name, os.path.join(tmp, name))
+            plain, ckpt, vcycles, publishes = _measure_overhead(
+                name, os.path.join(tmp, name + "-run"))
+            total_plain += plain
+            total_ckpt += ckpt
+            entry.update({
+                "vcycles": vcycles,
+                "plain_vcycles_per_sec": round(vcycles / plain, 2),
+                "checkpointed_vcycles_per_sec": round(vcycles / ckpt, 2),
+                "overhead_percent": round((ckpt / plain - 1) * 100, 2),
+                "publishes_per_run": publishes,
+            })
+            results[name] = entry
+            print(f"{name:>6}: {entry['snapshot_bytes']:8d} B   "
+                  f"save {entry['save_ms']:7.2f} ms   "
+                  f"restore {entry['restore_ms']:7.2f} ms   "
+                  f"overhead {entry['overhead_percent']:+6.2f}%"
+                  f"{'' if publishes else '   (finishes before first checkpoint)'}")
+
+    overhead = total_ckpt / total_plain - 1
+    payload = {
+        "grid": f"{GRID_SIDE}x{GRID_SIDE}",
+        "engine": ENGINE,
+        "checkpoint_every": CHECKPOINT_EVERY,
+        "repeats": REPEATS,
+        "max_checkpoint_overhead": MAX_CHECKPOINT_OVERHEAD,
+        "designs": results,
+        "suite": {
+            "geomean_snapshot_bytes": round(geomean(
+                [r["snapshot_bytes"] for r in results.values()]), 1),
+            "geomean_save_ms": round(geomean(
+                [r["save_ms"] for r in results.values()]), 3),
+            "geomean_restore_ms": round(geomean(
+                [r["restore_ms"] for r in results.values()]), 3),
+            "plain_seconds": round(total_plain, 4),
+            "checkpointed_seconds": round(total_ckpt, 4),
+            "overhead_percent": round(overhead * 100, 2),
+        },
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+
+    if overhead > MAX_CHECKPOINT_OVERHEAD:
+        print(f"FAIL: checkpoint-every-{CHECKPOINT_EVERY} adds "
+              f"{overhead:.2%} to the suite's fast-engine wall-clock "
+              f"(limit {MAX_CHECKPOINT_OVERHEAD:.0%})", file=sys.stderr)
+        return 1
+    print(f"checkpoint overhead {overhead:+.2%} of suite wall-clock "
+          f"({total_plain:.2f}s -> {total_ckpt:.2f}s, "
+          f"limit {MAX_CHECKPOINT_OVERHEAD:.0%}): OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Checkpoint/restore: deterministic snapshots and crash-safe resume.
+
+The subsystem in three layers:
+
+* :mod:`repro.checkpoint.format` - the versioned, fingerprint-checked
+  snapshot wire format plus atomic (rename + fsync) publishing.
+* :mod:`repro.checkpoint.state` - :func:`capture` a running
+  :class:`~repro.machine.grid.Machine` (mid-Vcycle included, messages in
+  flight and all) and :func:`restore` one that continues bit-identically
+  on any engine.
+* :mod:`repro.checkpoint.store` / :mod:`repro.checkpoint.driver` - a
+  pruned directory of snapshot generations, and the long-run driver
+  behind ``repro run --checkpoint-every K --resume``.
+
+See ARCHITECTURE.md SS8 and ``docs/checkpoint.schema.json``.
+"""
+
+from .driver import CheckpointedRun, run_with_checkpoints
+from .format import (
+    FORMAT,
+    MAGIC,
+    Snapshot,
+    SnapshotError,
+    decode_snapshot,
+    encode_snapshot,
+    load_snapshot,
+    read_header,
+    write_atomic,
+)
+from .state import capture, program_fingerprint, restore
+from .store import CheckpointStore, RejectedSnapshot
+
+__all__ = [
+    "FORMAT",
+    "MAGIC",
+    "CheckpointedRun",
+    "CheckpointStore",
+    "RejectedSnapshot",
+    "Snapshot",
+    "SnapshotError",
+    "capture",
+    "decode_snapshot",
+    "encode_snapshot",
+    "load_snapshot",
+    "program_fingerprint",
+    "read_header",
+    "restore",
+    "run_with_checkpoints",
+    "write_atomic",
+]

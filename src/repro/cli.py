@@ -106,31 +106,108 @@ def cmd_compile(args) -> int:
 
 
 def cmd_run(args) -> int:
-    """Compile and execute on the cycle-accurate machine model."""
+    """Compile and execute on the cycle-accurate machine model,
+    optionally in crash-safe checkpointed chunks (``repro.checkpoint``)."""
+    import json
+    import os
+    import time
+
+    from . import checkpoint as ckpt
     from .compiler.driver import compile_circuit
-    from .machine.grid import Machine
     from .machine.waveform import WaveformCollector, trace_map_for
 
-    circuit = _load_circuit(args.file)
+    if args.design:
+        from .designs import DESIGNS
+        info = DESIGNS[args.design]
+        circuit = info.build()
+        cycles = args.cycles or info.cycles + 300
+    elif args.file:
+        circuit = _load_circuit(args.file)
+        cycles = args.cycles or 1_000_000
+    else:
+        print("repro run: need FILE.v or --design NAME", file=sys.stderr)
+        return 2
     config = _grid_config(args)
     result = compile_circuit(circuit, _compiler_options(args))
-    machine = Machine(result.program, config)
 
+    store = None
+    if args.checkpoint_dir:
+        store = ckpt.CheckpointStore(args.checkpoint_dir,
+                                     keep=args.checkpoint_keep)
+    elif args.checkpoint_every or args.resume:
+        print("repro run: --checkpoint-every/--resume need "
+              "--checkpoint-dir", file=sys.stderr)
+        return 2
+
+    probes = None
     if args.vcd:
         names = args.trace.split(",") if args.trace else None
         probes = trace_map_for(result, names=names)
-        collector = WaveformCollector(machine, probes)
-        collector.run(args.cycles)
-        with open(args.vcd, "w") as f:
-            collector.write_vcd(f)
-        print(f"-- wrote {len(probes)} signals to {args.vcd}",
+    hooks: dict = {}
+
+    def on_start(machine, resumed):
+        if probes is None:
+            return
+        if resumed and os.path.exists(args.vcd):
+            # Continue the interrupted dump: prime the change detector
+            # with the restored values, append body-only later.
+            hooks["collector"] = WaveformCollector.resumed_from(
+                machine, probes)
+        else:
+            collector = WaveformCollector(machine, probes)
+            collector.sample()  # initial values
+            hooks["collector"] = collector
+
+    def on_vcycle(machine):
+        collector = hooks.get("collector")
+        if collector is not None:
+            collector.sample()
+        if args.throttle:
+            time.sleep(args.throttle)
+
+    run = ckpt.run_with_checkpoints(
+        result.program, cycles, config=config, engine=args.engine,
+        store=store, checkpoint_every=args.checkpoint_every,
+        resume=args.resume, on_start=on_start, on_vcycle=on_vcycle)
+    mres = run.result
+
+    for bad in run.rejected:
+        print(f"-- discarded snapshot {bad.path.name}: {bad.reason}",
               file=sys.stderr)
-        mres = machine.run(0)
-    else:
-        mres = machine.run(args.cycles)
-    for line in mres.displays:
-        print(line)
+    if args.resume:
+        if run.resumed_from is not None:
+            print(f"-- resumed from {run.resumed_path.name} at "
+                  f"Vcycle {run.resumed_from}", file=sys.stderr)
+        else:
+            print("-- no usable snapshot; started fresh", file=sys.stderr)
+    if run.published:
+        print(f"-- published {len(run.published)} snapshot(s), newest "
+              f"{run.published[-1].name}", file=sys.stderr)
+
+    collector = hooks.get("collector")
+    if collector is not None:
+        mode = "a" if collector.resumed else "w"
+        with open(args.vcd, mode) as f:
+            collector.write_vcd(f, header=not collector.resumed)
+        print(f"-- wrote {len(probes)} signals to {args.vcd}"
+              + (" (appended)" if collector.resumed else ""),
+              file=sys.stderr)
+
     c = mres.counters
+    if args.json:
+        print(json.dumps({
+            "design": args.design or args.file,
+            "engine": args.engine,
+            "vcycles": mres.vcycles,
+            "finished": mres.finished,
+            "displays": mres.displays,
+            "counters": c.as_dict(),
+            "cache": mres.cache.as_dict(),
+            "resumed_from": run.resumed_from,
+        }, indent=2, sort_keys=True))
+    else:
+        for line in mres.displays:
+            print(line)
     print(f"-- {mres.vcycles} Vcycles, {c.total_cycles} machine cycles "
           f"({c.stall_cycles} stalled), "
           f"rate @475MHz = {mres.simulation_rate_khz(475.0):.1f} kHz",
@@ -381,12 +458,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("run", help="compile and run on the machine model")
-    p.add_argument("file")
+    p.add_argument("file", nargs="?",
+                   help="Verilog file (or use --design)")
+    p.add_argument("--design", metavar="NAME",
+                   help="run a built-in benchmark design instead of a file")
     add_grid(p)
     add_compile_flags(p)
-    p.add_argument("--cycles", type=int, default=1_000_000)
-    p.add_argument("--vcd", help="write a VCD waveform")
+    p.add_argument("--cycles", "--max-vcycles", dest="cycles", type=int,
+                   help="Vcycle budget (default: the design's cycle count "
+                        "+ 300, or 1000000 for files)")
+    p.add_argument("--engine", default="strict",
+                   choices=["strict", "permissive", "fast"],
+                   help="machine execution engine (default: strict)")
+    p.add_argument("--vcd", help="write a VCD waveform (on --resume, "
+                                 "appends to an existing dump)")
     p.add_argument("--trace", help="comma-separated register prefixes")
+    p.add_argument("--checkpoint-dir", metavar="DIR",
+                   help="snapshot directory for crash-safe long runs")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
+                   help="publish a snapshot every K completed Vcycles")
+    p.add_argument("--checkpoint-keep", type=int, default=3, metavar="N",
+                   help="snapshot generations to retain (default: 3)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from the newest valid snapshot in "
+                        "--checkpoint-dir (torn/mismatched snapshots are "
+                        "discarded with a report)")
+    p.add_argument("--json", action="store_true",
+                   help="print the run result (Vcycles, displays, "
+                        "counters, cache) as JSON")
+    p.add_argument("--throttle", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="sleep after every Vcycle (testing aid: makes "
+                        "kill-and-resume windows deterministic)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("designs", help="list benchmark designs")

@@ -56,6 +56,11 @@ class OracleSpec:
     #: Any behaviour change or invariant violation becomes a divergence
     #: (observation must never perturb - tests/test_obs_perturbation.py).
     profiled: bool = False
+    #: Snapshot the machine mid-run through the checkpoint wire format
+    #: (encode -> decode -> restore into a fresh machine) and finish on
+    #: the restored machine.  Any state the snapshot loses or distorts
+    #: shows up as a divergence from the golden interpreter.
+    checkpoint: bool = False
 
     def describe(self) -> str:
         parts = [self.kind, self.engine]
@@ -64,6 +69,8 @@ class OracleSpec:
             parts.append("cached")
         if self.profiled:
             parts.append("profiled")
+        if self.checkpoint:
+            parts.append("checkpointed")
         if self.fault:
             parts.append(f"fault={self.fault}")
         return f"{self.name} ({', '.join(parts)})"
@@ -71,10 +78,10 @@ class OracleSpec:
 
 def _machine(name: str, engine: str = "strict", fault: str | None = None,
              through_cache: bool = False, profiled: bool = False,
-             **options) -> OracleSpec:
+             checkpoint: bool = False, **options) -> OracleSpec:
     return OracleSpec(name, "machine", engine,
                       tuple(sorted(options.items())), fault, through_cache,
-                      profiled)
+                      profiled, checkpoint)
 
 
 #: Registry of every known oracle.  ``golden`` (the strict interpreter)
@@ -96,6 +103,7 @@ ORACLES: dict[str, OracleSpec] = {
         _machine("machine-fast-nomem2reg", engine="fast",
                  mem2reg_max_words=0),
         _machine("machine-fast-profiled", engine="fast", profiled=True),
+        _machine("machine-fast-ckpt", engine="fast", checkpoint=True),
         # Fault-injection oracles: deliberately wrong semantics used by
         # the self-tests and as live demos of a failing replay.
         OracleSpec("golden-buggy-sub", "interp", "strict",
@@ -109,14 +117,14 @@ MATRICES: dict[str, tuple[str, ...]] = {
     "quick": ("interp-fast", "baseline-serial", "machine-strict"),
     "engines": ("interp-fast", "baseline-serial", "machine-strict",
                 "machine-permissive", "machine-fast",
-                "machine-fast-profiled"),
+                "machine-fast-profiled", "machine-fast-ckpt"),
     "full": ("interp-fast", "baseline-serial", "machine-strict",
              "machine-permissive", "machine-fast",
              "machine-strict-nomem2reg", "machine-strict-nocoalesce",
              "machine-strict-lpt", "machine-strict-greedy",
              "machine-strict-nocustom", "machine-strict-jobs2",
              "machine-strict-cached", "machine-fast-nomem2reg",
-             "machine-fast-profiled"),
+             "machine-fast-profiled", "machine-fast-ckpt"),
 }
 
 
@@ -392,6 +400,14 @@ def run_oracle(spec: OracleSpec, make_circuit: Callable[[], Circuit],
                     profiler = Profiler()
                 machine = Machine(result.program, config,
                                   engine=spec.engine, profiler=profiler)
+                if spec.checkpoint:
+                    from .. import checkpoint as ckpt
+                    machine.run(max(1, cycles // 2))
+                    snap = ckpt.decode_snapshot(
+                        ckpt.encode_snapshot(ckpt.capture(machine)))
+                    machine = ckpt.restore(snap, program=result.program,
+                                           config=config,
+                                           profiler=profiler)
                 mres = machine.run(cycles)
                 if profiler is not None:
                     problem = check_profile_invariants(profiler, mres)

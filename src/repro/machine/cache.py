@@ -24,6 +24,16 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "writebacks": self.writebacks, "accesses": self.accesses}
+
+    def load_dict(self, data: dict) -> None:
+        self.hits = int(data["hits"])
+        self.misses = int(data["misses"])
+        self.writebacks = int(data["writebacks"])
+        self.accesses = int(data["accesses"])
+
 
 class _Line:
     __slots__ = ("tag", "dirty", "data")
@@ -107,6 +117,40 @@ class Cache:
             "dirty_lines": dirty,
             "dram_words": len(self.dram),
         }
+
+    # -- checkpoint hooks ------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full cache + DRAM state as plain JSON data: every resident
+        line with its tag, dirty bit, and word image, plus the sparse
+        DRAM contents and the access statistics."""
+        from ..netlist.serialize import pack_pairs, pack_words
+        return {
+            "lines": [[index, line.tag, int(line.dirty),
+                       pack_words(line.data, strip_zeros=True)]
+                      for index, line in sorted(self.lines.items())],
+            "dram": pack_pairs(self.dram.items()),
+            "stats": self.stats.as_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Inject a :meth:`state_dict` image (dirty lines stay dirty, so
+        a restored run writes back exactly what the original would)."""
+        from ..netlist.serialize import unpack_pairs, unpack_words
+        lines: dict[int, _Line] = {}
+        for index, tag, dirty, packed in state["lines"]:
+            data = unpack_words(packed)
+            if len(data) > self.line_words:
+                raise ValueError(
+                    f"cache line {index}: snapshot has {len(data)} words,"
+                    f" config says {self.line_words}")
+            data += [0] * (self.line_words - len(data))
+            line = _Line(int(tag), data)
+            line.dirty = bool(dirty)
+            lines[int(index)] = line
+        self.lines = lines
+        self.dram.clear()
+        self.dram.update(unpack_pairs(state["dram"]))
+        self.stats.load_dict(state["stats"])
 
     def peek(self, addr: int) -> int:
         """Coherent read without timing effects (host-side)."""

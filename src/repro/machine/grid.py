@@ -52,6 +52,24 @@ class PerfCounters:
     def total_cycles(self) -> int:
         return self.compute_cycles + self.stall_cycles
 
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "vcycles": self.vcycles,
+            "compute_cycles": self.compute_cycles,
+            "stall_cycles": self.stall_cycles,
+            "instructions": self.instructions,
+            "messages": self.messages,
+            "exceptions": self.exceptions,
+        }
+
+    def load_dict(self, data: dict) -> None:
+        self.vcycles = int(data["vcycles"])
+        self.compute_cycles = int(data["compute_cycles"])
+        self.stall_cycles = int(data["stall_cycles"])
+        self.instructions = int(data["instructions"])
+        self.messages = int(data["messages"])
+        self.exceptions = int(data["exceptions"])
+
 
 @dataclass
 class MachineResult:
@@ -180,6 +198,53 @@ class _Core:
     def custom_function(self, index: int) -> int:
         return self.binary.cfu[index]
 
+    # -- checkpoint hooks ------------------------------------------------
+    def state_dict(self) -> dict:
+        """The core's complete architectural state as plain JSON data
+        (register file and scratchpad packed via ``pack_words``, zero
+        tails stripped - the architected lengths come from the config)."""
+        from ..netlist.serialize import pack_words
+        return {
+            "regs": pack_words(self.regs, strip_zeros=True),
+            "scratch": (None if self.scratch is None
+                        else pack_words(self.scratch, strip_zeros=True)),
+            "carry": self.carry,
+            "predicate": self.predicate,
+            "pending": [list(p) for p in self.pending],
+            "queue": [list(m) for m in sorted(self.queue)],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Inject a :meth:`state_dict` image.  Register/scratch lists are
+        mutated *in place* so fast-engine closures bound to them by
+        object identity keep working after a restore."""
+        from ..netlist.serialize import unpack_words
+        regs = unpack_words(state["regs"])
+        if len(regs) > len(self.regs):
+            raise ValueError(
+                f"core {self.core_id}: snapshot has {len(regs)} registers,"
+                f" machine has {len(self.regs)}")
+        self.regs[:] = regs + [0] * (len(self.regs) - len(regs))
+        if (state["scratch"] is None) != (self.scratch is None):
+            raise ValueError(
+                f"core {self.core_id}: snapshot/machine scratchpad "
+                "presence mismatch (wrong MachineConfig?)")
+        if state["scratch"] is not None:
+            scratch = unpack_words(state["scratch"])
+            if len(scratch) > len(self.scratch):
+                raise ValueError(
+                    f"core {self.core_id}: snapshot scratchpad size "
+                    f"{len(scratch)} > machine {len(self.scratch)}")
+            self.scratch[:] = scratch + \
+                [0] * (len(self.scratch) - len(scratch))
+        self.carry = int(state["carry"])
+        self.predicate = int(state["predicate"])
+        self.pending = [(int(t), int(r), int(v))
+                        for t, r, v in state["pending"]]
+        self.queue = [(int(a), int(s), int(rd), int(v))
+                      for a, s, rd, v in state["queue"]]
+        heapq.heapify(self.queue)
+
 
 #: Recognized execution engines (see ``repro.machine.fastpath``):
 #: ``"strict"`` checks hazards, NoC reservations, and receive matching on
@@ -228,6 +293,15 @@ class Machine:
         self._link_busy: set[tuple] = set()
         self._msg_seq = 0
         self._vcycle_events = self._merge_events()
+        #: resume position of a partially executed Vcycle (the checking
+        #: engines can pause between events - ``step_events`` - which is
+        #: what lets checkpoints capture in-flight messages and pending
+        #: writebacks); 0 means "at a Vcycle boundary".
+        self._event_pos = 0
+        #: counter values at the start of the Vcycle currently in
+        #: progress (None at a boundary) - lets a Vcycle split across
+        #: pauses/restores still report exact per-Vcycle profiler deltas.
+        self._vcycle_base: tuple | None = None
         # Verify-once-then-trust state (engine="fast"): the compiled
         # engine, whether it is currently trusted, and how many strict
         # verification Vcycles remain before (re-)trusting it.
@@ -353,8 +427,15 @@ class Machine:
         protocol: strict Vcycles until ``config.fastpath_verify_vcycles``
         clean ones have run, then the compiled trace; any Vcycle with an
         exception drops trust for one strict (re-verifying) Vcycle.
+
+        If the machine was restored from a mid-Vcycle checkpoint
+        (``_event_pos != 0``) the call first *completes* that partial
+        Vcycle, so the boundary Vcycle is never duplicated or skipped.
         """
         if self.finished:
+            return
+        if not self._trusted:
+            self.step_events(None)
             return
         prof = self.profiler
         if prof is not None:
@@ -363,16 +444,8 @@ class Machine:
             before = (c.compute_cycles, c.stall_cycles, c.instructions,
                       c.messages, c.exceptions)
         exceptions_before = self.counters.exceptions
-        if self._trusted:
-            self._fastpath.run_vcycle()
-        else:
-            self._step_vcycle_strict()
-            if self.engine == "fast":
-                self._verify_left -= 1
-                if self._verify_left <= 0 and self._ensure_fastpath():
-                    self._trusted = True
-        if self.counters.exceptions != exceptions_before \
-                and self.engine == "fast":
+        self._fastpath.run_vcycle()
+        if self.counters.exceptions != exceptions_before:
             self._trusted = False
             self._verify_left = max(self._verify_left, 1)
         if prof is not None:
@@ -383,15 +456,69 @@ class Machine:
                             c.messages - before[3],
                             c.exceptions - before[4])
 
-    def _step_vcycle_strict(self) -> None:
+    def step_events(self, max_events: int | None) -> bool:
+        """Advance the current Vcycle by up to ``max_events`` events
+        under the checking engine; returns True once the Vcycle (and its
+        end-of-Vcycle drain) completed, False when paused mid-Vcycle.
+
+        Pausing mid-Vcycle is what gives checkpoints access to the
+        "awkward" states - messages in flight on the NoC, delayed
+        writebacks pending, the link-reservation set half-populated.
+        Only the event-loop engines can pause; the trusted fast path
+        executes whole Vcycles atomically.
+        """
+        if self.finished:
+            return True
+        if self._trusted:
+            raise ValueError(
+                "mid-Vcycle stepping requires the checking engine (the "
+                "trusted fast path executes Vcycles atomically)")
+        if self._vcycle_base is None:
+            c = self.counters
+            self._vcycle_base = (c.vcycles, c.compute_cycles,
+                                 c.stall_cycles, c.instructions,
+                                 c.messages, c.exceptions)
+        stop = None if max_events is None else self._event_pos + max_events
+        if not self._step_vcycle_strict(stop):
+            return False
+        base = self._vcycle_base
+        self._vcycle_base = None
+        if self.engine == "fast":
+            self._verify_left -= 1
+            if self.counters.exceptions != base[5]:
+                self._verify_left = max(self._verify_left, 1)
+            elif self._verify_left <= 0 and self._ensure_fastpath():
+                self._trusted = True
+        prof = self.profiler
+        if prof is not None:
+            c = self.counters
+            prof.end_vcycle(base[0], c.compute_cycles - base[1],
+                            c.stall_cycles - base[2],
+                            c.instructions - base[3],
+                            c.messages - base[4],
+                            c.exceptions - base[5])
+        return True
+
+    def _step_vcycle_strict(self, stop_event: int | None = None) -> bool:
         """The checking engine: dynamic dispatch, hazard faults, NoC
-        reservation checks, receive-slot matching."""
+        reservation checks, receive-slot matching.  Resumes from
+        ``_event_pos`` and optionally pauses before event ``stop_event``
+        (returning False); returns True when the Vcycle completed."""
         from ..isa.semantics import execute
 
         prof = self.profiler
-        self._link_busy.clear()
+        events = self._vcycle_events
+        pos = self._event_pos
+        if pos == 0:
+            self._link_busy.clear()
         vcpl = self.program.vcpl
-        for cycle, cid, item in self._vcycle_events:
+        n_events = len(events)
+        while pos < n_events:
+            if stop_event is not None and pos >= stop_event:
+                self._event_pos = pos
+                return False
+            cycle, cid, item = events[pos]
+            pos += 1
             self.now = cycle
             core = self.cores[cid]
             core.commit_writes(cycle)
@@ -430,6 +557,8 @@ class Machine:
         self.counters.vcycles += 1
         self.counters.compute_cycles += vcpl
         self.now = 0
+        self._event_pos = 0
+        return True
 
     def run(self, max_vcycles: int) -> MachineResult:
         with _span("machine.run", engine=self.engine,
@@ -449,3 +578,94 @@ class Machine:
     # -- probes ---------------------------------------------------------------
     def peek_reg(self, core_id: int, reg: int) -> int:
         return self.cores[core_id].regs[reg]
+
+    # -- checkpoint hooks ------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """The machine's complete dynamic state as plain JSON data.
+
+        Everything :class:`repro.checkpoint` needs to reconstruct a
+        bit-identical continuation: per-core architectural state,
+        cache + DRAM, machine-wide counters, exception-side displays,
+        the mid-Vcycle event position with its NoC link reservations,
+        and the fast engine's trust state.  An attached profiler's
+        counters ride along so resumed profiles merge seamlessly.
+        The program binary and :class:`MachineConfig` are *not* part of
+        this dict - the checkpoint layer records them separately.
+        """
+        state = {
+            "engine": self.engine,
+            "exception_stall": self.exception_stall,
+            "counters": self.counters.as_dict(),
+            "cache": self.cache.state_dict(),
+            "cores": {str(cid): core.state_dict()
+                      for cid, core in self.cores.items()},
+            "displays": list(self.displays),
+            "finished": self.finished,
+            "now": self.now,
+            "msg_seq": self._msg_seq,
+            # Link reservations are cleared at the start of every Vcycle
+            # before any event reads them, so at a Vcycle boundary the
+            # surviving set is dead weight - only mid-Vcycle snapshots
+            # need it (and it can be thousands of entries).
+            "link_busy": (sorted([list(link), cycle]
+                                 for link, cycle in self._link_busy)
+                          if self._event_pos else []),
+            "event_pos": self._event_pos,
+            "vcycle_base": (None if self._vcycle_base is None
+                            else list(self._vcycle_base)),
+            "fastpath": {"trusted": self._trusted,
+                         "verify_left": self._verify_left},
+        }
+        if self.profiler is not None:
+            state["profiler"] = self.profiler.state_dict()
+        return state
+
+    def load_checkpoint_state(self, state: dict) -> None:
+        """Inject a :meth:`checkpoint_state` image into this machine.
+
+        The machine must have been constructed from the same program and
+        config the state was captured under (the checkpoint layer
+        verifies fingerprints before calling this).  If the snapshot was
+        taken with the fast path trusted, the compiled kernels are
+        rebuilt immediately from the static schedule - no strict
+        re-verification Vcycles - restoring the exact trust state of the
+        interrupted run.
+        """
+        for cid_str, core_state in state["cores"].items():
+            cid = int(cid_str)
+            if cid not in self.cores:
+                raise ValueError(
+                    f"snapshot names core {cid} which this program does "
+                    "not map (program/snapshot mismatch)")
+            self.cores[cid].load_state(core_state)
+        self.cache.load_state(state["cache"])
+        self.counters.load_dict(state["counters"])
+        self.displays = [str(s) for s in state["displays"]]
+        self.finished = bool(state["finished"])
+        self.now = int(state["now"])
+        self._msg_seq = int(state["msg_seq"])
+        self._link_busy = {
+            ((str(link[0]),) + tuple(int(v) for v in link[1:]), int(cycle))
+            for link, cycle in state["link_busy"]
+        }
+        self._event_pos = int(state["event_pos"])
+        base = state["vcycle_base"]
+        self._vcycle_base = None if base is None else tuple(
+            int(v) for v in base)
+        fast = state["fastpath"]
+        self._verify_left = int(fast["verify_left"])
+        self._trusted = False
+        if bool(fast["trusted"]) and self.engine == "fast":
+            # Rebuild the verified closures from the (cached) compile
+            # artifact instead of burning strict re-verification
+            # Vcycles: the trust was earned before the snapshot and the
+            # static schedule has not changed (fingerprint-checked).
+            if self._ensure_fastpath():
+                self._trusted = True
+            else:
+                # Fastpath no longer compiles (should be impossible for
+                # a fingerprint-matched program): stay on the checking
+                # engine - slower but still bit-identical.
+                self._verify_left = max(self._verify_left, 1)
+        if self.profiler is not None and "profiler" in state:
+            self.profiler.load_state(state["profiler"])

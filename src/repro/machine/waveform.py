@@ -37,7 +37,30 @@ class WaveformCollector:
     machine: Machine
     probes: list[Probe]
     samples: list[tuple[int, dict[str, int]]] = field(default_factory=list)
+    #: True when this collector continues an earlier dump (see
+    #: :meth:`resumed_from`): suppresses the initial-values record and
+    #: the VCD header so the output *appends* to the previous segment.
+    resumed: bool = False
     _last: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def resumed_from(cls, machine: Machine,
+                     probes: list[Probe]) -> "WaveformCollector":
+        """A collector that continues a dump interrupted at ``machine``'s
+        current Vcycle (e.g. restored from a checkpoint).
+
+        The probes' *current* values prime the change detector, so the
+        boundary Vcycle - already emitted by the interrupted segment -
+        is not re-emitted, and only genuine post-resume changes appear.
+        Concatenating the old dump with this collector's
+        ``write_vcd(out, header=False)`` output yields the same VCD an
+        uninterrupted run would have written.
+        """
+        collector = cls(machine, probes, resumed=True)
+        for probe in probes:
+            collector._last[probe.label] = machine.peek_reg(
+                probe.core, probe.reg)
+        return collector
 
     def sample(self) -> None:
         """Record the current value of every probe (call once per
@@ -49,7 +72,7 @@ class WaveformCollector:
             if self._last.get(probe.label) != value:
                 changed[probe.label] = value
                 self._last[probe.label] = value
-        if changed or not self.samples:
+        if changed or (not self.samples and not self.resumed):
             self.samples.append((t, dict(changed)))
 
     def run(self, max_vcycles: int):
@@ -62,16 +85,23 @@ class WaveformCollector:
         return self.machine.run(0)  # package a MachineResult
 
     # ------------------------------------------------------------------
-    def write_vcd(self, out: IO[str], timescale: str = "1ns") -> None:
-        """Emit the collected samples as a VCD document."""
+    def write_vcd(self, out: IO[str], timescale: str = "1ns",
+                  header: bool = True) -> None:
+        """Emit the collected samples as a VCD document.
+
+        ``header=False`` emits only the value-change body - what a
+        resumed collector appends to an existing dump (the identifier
+        codes are positional over the same probe list, so they match the
+        original header)."""
         ids = {probe.label: _vcd_id(i)
                for i, probe in enumerate(self.probes)}
-        out.write(f"$timescale {timescale} $end\n")
-        out.write("$scope module manticore $end\n")
-        for probe in self.probes:
-            out.write(f"$var wire {probe.width} {ids[probe.label]} "
-                      f"{probe.label} $end\n")
-        out.write("$upscope $end\n$enddefinitions $end\n")
+        if header:
+            out.write(f"$timescale {timescale} $end\n")
+            out.write("$scope module manticore $end\n")
+            for probe in self.probes:
+                out.write(f"$var wire {probe.width} {ids[probe.label]} "
+                          f"{probe.label} $end\n")
+            out.write("$upscope $end\n$enddefinitions $end\n")
         for t, changes in self.samples:
             out.write(f"#{t}\n")
             for label, value in changes.items():

@@ -11,9 +11,24 @@ result round-trips through ``json`` without custom encoders.
 ``circuit_from_dict`` validates the rebuilt circuit before returning it.
 The format is versioned (``"format": "repro-circuit/v1"``) so later
 schema changes stay detectable.
+
+This module also hosts the shared JSON/binary helpers every persisted
+artifact in the repo builds on (fuzz corpus, checkpoint snapshots):
+:func:`canonical_json` (byte-stable encoding, so equal states produce
+equal files), :func:`blob_sha256` (the fingerprint those files carry),
+and :func:`pack_words`/:func:`unpack_words` (compact, deterministic
+encoding of 16-bit word arrays - register files, scratchpads, cache
+lines).
 """
 
 from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import struct
+import zlib
+from typing import Iterable, Sequence
 
 from .ir import (
     AssertEffect,
@@ -30,6 +45,90 @@ from .ir import (
 )
 
 FORMAT = "repro-circuit/v1"
+
+
+# ---------------------------------------------------------------------------
+# Shared JSON/binary helpers (used by fuzz corpus + checkpoint snapshots).
+# ---------------------------------------------------------------------------
+
+def canonical_json(obj) -> bytes:
+    """Byte-stable JSON encoding: sorted keys, no whitespace, UTF-8.
+
+    Two equal Python structures always encode to the same bytes, which is
+    what makes content fingerprints and "identical state => identical
+    snapshot file" guarantees possible.
+    """
+    return json.dumps(obj, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def blob_sha256(data: bytes) -> str:
+    """Hex sha256 of a byte blob (the standard fingerprint everywhere)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+_ZERO_BLOCK = [0] * 4096
+
+
+def pack_words(values: Sequence[int],
+               strip_zeros: bool = False) -> str:
+    """Encode a sequence of 16-bit words as a compact, deterministic
+    string: little-endian ``u16`` array, zlib-compressed when that is
+    smaller, base64-wrapped, with a self-describing prefix.
+
+    Large mostly-zero arrays (scratchpads, cache line images) compress by
+    orders of magnitude; tiny arrays skip the zlib header overhead.
+    Level 1 keeps per-snapshot capture cheap (the checkpoint driver
+    packs every core's register file at every publish); decompression
+    is level-agnostic, so the level is not part of the format.
+
+    With ``strip_zeros`` the zero tail is dropped before encoding:
+    register files and scratchpads are overwhelmingly zero-tailed
+    (allocation packs live registers low; untouched memory reads 0), so
+    callers that pad back to the architected length on load - the
+    machine state hooks - pack typically 50-400x fewer words, which is
+    what keeps periodic checkpoint capture cheap.  The strip stays at
+    C speed: whole all-zero blocks fall off via slice comparison (no
+    struct packing of a 16K-word zero tail), then one byte-level
+    ``rstrip`` trims the remainder.
+    """
+    if strip_zeros:
+        n = len(values)
+        while n >= len(_ZERO_BLOCK) \
+                and values[n - len(_ZERO_BLOCK):n] == _ZERO_BLOCK:
+            n -= len(_ZERO_BLOCK)
+        values = values[:n]
+    raw = struct.pack(f"<{len(values)}H", *values)
+    if strip_zeros:
+        kept = len(raw.rstrip(b"\x00"))
+        raw = raw[:kept + (kept & 1)]
+    packed = zlib.compress(raw, 1)
+    if len(packed) < len(raw):
+        return "z16:" + base64.b64encode(packed).decode("ascii")
+    return "u16:" + base64.b64encode(raw).decode("ascii")
+
+
+def unpack_words(text: str) -> list[int]:
+    """Decode :func:`pack_words` output back into a list of ints."""
+    kind, _, body = text.partition(":")
+    raw = base64.b64decode(body.encode("ascii"), validate=True)
+    if kind == "z16":
+        raw = zlib.decompress(raw)
+    elif kind != "u16":
+        raise CircuitError(f"unknown packed-word encoding {kind!r}")
+    if len(raw) % 2:
+        raise CircuitError("truncated packed-word payload")
+    return list(struct.unpack(f"<{len(raw) // 2}H", raw))
+
+
+def pack_pairs(pairs: Iterable[tuple[int, int]]) -> list[list[int]]:
+    """Deterministic (sorted) list-of-pairs form for sparse int->int maps
+    (DRAM images, scratch init) whose keys exceed 16 bits."""
+    return [[int(k), int(v)] for k, v in sorted(pairs)]
+
+
+def unpack_pairs(data: Iterable[Sequence[int]]) -> dict[int, int]:
+    return {int(k): int(v) for k, v in data}
 
 
 def _wire_to_list(wire: Wire) -> list:

@@ -63,6 +63,14 @@ class CoreCounters:
             "stall_caused": self.stall_caused,
         }
 
+    def load_dict(self, data: dict) -> None:
+        self.instructions = int(data["instructions"])
+        self.sends = int(data["sends"])
+        self.receives = int(data["receives"])
+        self.cache_accesses = int(data["cache_accesses"])
+        self.exceptions = int(data["exceptions"])
+        self.stall_caused = int(data["stall_caused"])
+
 
 @dataclass
 class VcycleSample:
@@ -196,6 +204,48 @@ class Profiler:
                 self.core(cid).receives += n
         self.links.update(link_hops)
         self.total_hops += sum(link_hops.values())
+
+    # -- checkpoint hooks ----------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything collected so far as plain JSON data, so a profile
+        spanning checkpoint/resume segments equals the single-run
+        profile (tuple keys flattened into sorted lists)."""
+        return {
+            "cores": {str(cid): c.as_dict()
+                      for cid, c in self.cores.items()},
+            "links": [[kind, x, y, hops] for (kind, x, y), hops
+                      in sorted(self.links.items())],
+            "samples": [s.as_dict() for s in self.samples],
+            "cache_latency": [
+                [op, outcome, [[stall, n]
+                               for stall, n in sorted(hist.items())]]
+                for (op, outcome), hist
+                in sorted(self.cache_latency.items())],
+            "stall_causes": {k: v for k, v
+                             in sorted(self.stall_causes.items())},
+            "total_hops": self.total_hops,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Inject a :meth:`state_dict` image, replacing anything
+        collected so far (``sample_cap`` and ``grid`` stay as
+        configured/attached)."""
+        self.cores = {}
+        for cid_str, data in state["cores"].items():
+            counters = CoreCounters()
+            counters.load_dict(data)
+            self.cores[int(cid_str)] = counters
+        self.links = Counter({(str(kind), int(x), int(y)): int(hops)
+                              for kind, x, y, hops in state["links"]})
+        self.samples = [VcycleSample(**{k: int(v) for k, v in s.items()})
+                        for s in state["samples"]]
+        self.cache_latency = {
+            (str(op), str(outcome)): Counter(
+                {int(stall): int(n) for stall, n in hist})
+            for op, outcome, hist in state["cache_latency"]}
+        self.stall_causes = Counter(
+            {str(k): int(v) for k, v in state["stall_causes"].items()})
+        self.total_hops = int(state["total_hops"])
 
     # -- aggregate views -----------------------------------------------
     def totals(self) -> dict[str, int]:

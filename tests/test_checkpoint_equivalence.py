@@ -1,0 +1,88 @@
+"""Snapshot/restore must be invisible: every design, every engine.
+
+The subsystem's core contract - a run interrupted by a checkpoint and
+continued from the restored snapshot is bit-identical to a run that was
+never interrupted - enforced over the full design registry under all
+three engines, with the snapshot taken at an *awkward* point: for the
+event-loop engines the machine is paused mid-Vcycle (pending writebacks
+and, where the design produces them, NoC messages in flight); the fast
+engine snapshots at a Vcycle boundary (its trusted path is
+Vcycle-atomic by design).  Both sides run under a profiler, whose merged
+counters must also match the uninterrupted profile exactly.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro import checkpoint as ck
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.designs import DESIGNS
+from repro.machine import ENGINES, Machine, MachineConfig
+from repro.obs import Profiler
+
+CONFIG = MachineConfig(grid_x=8, grid_y=8)
+
+ALL_DESIGNS = sorted(DESIGNS)
+
+
+@functools.lru_cache(maxsize=None)
+def _program(name: str):
+    options = CompilerOptions(config=CONFIG)
+    return compile_circuit(DESIGNS[name].build(), options).program
+
+
+def _budget(name: str) -> int:
+    return max(64, DESIGNS[name].cycles + 300)
+
+
+@functools.lru_cache(maxsize=None)
+def _reference(name: str, engine: str):
+    """Uninterrupted profiled run (shared across the matrix)."""
+    profiler = Profiler()
+    machine = Machine(_program(name), CONFIG, engine=engine,
+                      profiler=profiler)
+    result = machine.run(_budget(name))
+    return machine, result, profiler
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("name", ALL_DESIGNS)
+def test_snapshot_resume_bit_identical(name, engine):
+    ref_machine, ref_result, ref_profiler = _reference(name, engine)
+    budget = _budget(name)
+    half = max(1, ref_result.vcycles // 2)
+
+    profiler = Profiler()
+    machine = Machine(_program(name), CONFIG, engine=engine,
+                      profiler=profiler)
+    machine.run(half)
+    if engine != "fast" and not machine.finished:
+        # The awkward boundary: pause partway into the next Vcycle so
+        # the snapshot carries a split Vcycle (pending writebacks, any
+        # in-flight messages, the half-populated link reservations).
+        machine.step_events(5)
+
+    snapshot = ck.decode_snapshot(
+        ck.encode_snapshot(ck.capture(machine)))
+    resumed_profiler = Profiler()
+    restored = ck.restore(snapshot, program=_program(name), config=CONFIG,
+                          profiler=resumed_profiler)
+    assert restored.engine == engine
+    result = restored.run(budget)
+
+    assert result.vcycles == ref_result.vcycles
+    assert result.finished == ref_result.finished
+    assert result.displays == ref_result.displays
+    assert result.counters == ref_result.counters
+    assert result.cache == ref_result.cache
+    for cid, core in ref_machine.cores.items():
+        restored_core = restored.cores[cid]
+        assert restored_core.regs == core.regs, f"core {cid} registers"
+        assert restored_core.scratch == core.scratch, f"core {cid} scratch"
+    assert restored.cache.dram == ref_machine.cache.dram
+
+    assert resumed_profiler.totals() == ref_profiler.totals()
+    assert resumed_profiler.state_dict() == ref_profiler.state_dict()
