@@ -28,7 +28,7 @@ import dataclasses
 
 from ..machine.boot import deserialize, serialize
 from ..machine.config import MachineConfig
-from ..machine.grid import Machine
+from ..machine.grid import COMPILED_ENGINES, Machine
 from ..netlist.serialize import blob_sha256
 from .format import Snapshot, SnapshotError
 
@@ -105,10 +105,10 @@ def restore(snapshot: Snapshot, program=None, config=None,
             f"({saved_config} != {config})")
     engine = engine or payload["engine"]
     state = payload["state"]
-    if state["event_pos"] and engine == "fast" \
+    if state["event_pos"] and engine in COMPILED_ENGINES \
             and state["fastpath"]["trusted"]:
         raise SnapshotError(
-            "snapshot is mid-Vcycle with a trusted fast path - "
+            "snapshot is mid-Vcycle with a trusted compiled engine - "
             "impossible state (corrupt snapshot?)")
     machine = Machine(program, config, engine=engine,
                       exception_stall=int(state["exception_stall"]),

@@ -421,6 +421,11 @@ def cmd_profile(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
+    # Engine and matrix choices come from the live registries so a new
+    # engine tier or oracle preset shows up here without a CLI edit.
+    from .fuzz.oracle import MATRICES
+    from .machine import ENGINES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Manticore (ASPLOS 2023) reproduction toolchain")
@@ -467,8 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cycles", "--max-vcycles", dest="cycles", type=int,
                    help="Vcycle budget (default: the design's cycle count "
                         "+ 300, or 1000000 for files)")
-    p.add_argument("--engine", default="strict",
-                   choices=["strict", "permissive", "fast"],
+    p.add_argument("--engine", default="strict", choices=list(ENGINES),
                    help="machine execution engine (default: strict)")
     p.add_argument("--vcd", help="write a VCD waveform (on --resume, "
                                  "appends to an existing dump)")
@@ -511,9 +515,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--time-budget", type=float, metavar="SECONDS",
                    help="stop hunting after this many seconds")
     p.add_argument("--matrix",
-                   help="oracle matrix: a preset (quick/engines/full) or a "
-                        "comma-separated oracle list (default: quick; in "
-                        "--replay mode, default: the recorded oracle)")
+                   help=f"oracle matrix: a preset "
+                        f"({'/'.join(sorted(MATRICES))}) or a "
+                        f"comma-separated oracle list (default: quick; in "
+                        f"--replay mode, default: the recorded oracle)")
     p.add_argument("--corpus-dir", default="fuzz-corpus", metavar="DIR",
                    help="where shrunk repros are written (default: "
                         "fuzz-corpus)")
@@ -545,8 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="profile a built-in benchmark design")
     src.add_argument("--file", metavar="FILE.v",
                      help="profile a Verilog file")
-    p.add_argument("--engine", default="fast",
-                   choices=["strict", "permissive", "fast"],
+    p.add_argument("--engine", default="fast", choices=list(ENGINES),
                    help="machine execution engine (default: fast)")
     p.add_argument("--cycles", type=int,
                    help="Vcycle budget (default: the design's driver-"

@@ -3,7 +3,7 @@
 Every oracle is one way of executing a circuit that must agree with the
 golden strict interpreter bit-for-bit: the interpreter's own compiled
 engine, the Verilator-like serial baseline, and the Manticore toolchain
-(compile + machine model) under strict/permissive/fast engines and a
+(compile + machine model) under strict/permissive/fast/codegen engines and a
 matrix of :class:`~repro.compiler.CompilerOptions` variants (merge
 strategy, mem2reg, state coalescing, custom-function selector, parallel
 ``jobs``, compile cache on/off).
@@ -61,6 +61,11 @@ class OracleSpec:
     #: the restored machine.  Any state the snapshot loses or distorts
     #: shows up as a divergence from the golden interpreter.
     checkpoint: bool = False
+    #: Override ``MachineConfig.fastpath_verify_vcycles`` for the
+    #: machine run (machine oracles only).  ``0`` makes a compiled
+    #: engine trust its kernel from Vcycle one with no strict
+    #: verification - the harshest differential test of emitted code.
+    verify_vcycles: int | None = None
 
     def describe(self) -> str:
         parts = [self.kind, self.engine]
@@ -71,6 +76,8 @@ class OracleSpec:
             parts.append("profiled")
         if self.checkpoint:
             parts.append("checkpointed")
+        if self.verify_vcycles is not None:
+            parts.append(f"verify={self.verify_vcycles}")
         if self.fault:
             parts.append(f"fault={self.fault}")
         return f"{self.name} ({', '.join(parts)})"
@@ -78,10 +85,11 @@ class OracleSpec:
 
 def _machine(name: str, engine: str = "strict", fault: str | None = None,
              through_cache: bool = False, profiled: bool = False,
-             checkpoint: bool = False, **options) -> OracleSpec:
+             checkpoint: bool = False, verify_vcycles: int | None = None,
+             **options) -> OracleSpec:
     return OracleSpec(name, "machine", engine,
                       tuple(sorted(options.items())), fault, through_cache,
-                      profiled, checkpoint)
+                      profiled, checkpoint, verify_vcycles)
 
 
 #: Registry of every known oracle.  ``golden`` (the strict interpreter)
@@ -104,6 +112,11 @@ ORACLES: dict[str, OracleSpec] = {
                  mem2reg_max_words=0),
         _machine("machine-fast-profiled", engine="fast", profiled=True),
         _machine("machine-fast-ckpt", engine="fast", checkpoint=True),
+        _machine("machine-codegen", engine="codegen"),
+        _machine("machine-codegen-trust0", engine="codegen",
+                 verify_vcycles=0),
+        _machine("machine-codegen-ckpt", engine="codegen",
+                 checkpoint=True),
         # Fault-injection oracles: deliberately wrong semantics used by
         # the self-tests and as live demos of a failing replay.
         OracleSpec("golden-buggy-sub", "interp", "strict",
@@ -117,14 +130,18 @@ MATRICES: dict[str, tuple[str, ...]] = {
     "quick": ("interp-fast", "baseline-serial", "machine-strict"),
     "engines": ("interp-fast", "baseline-serial", "machine-strict",
                 "machine-permissive", "machine-fast",
-                "machine-fast-profiled", "machine-fast-ckpt"),
+                "machine-fast-profiled", "machine-fast-ckpt",
+                "machine-codegen", "machine-codegen-trust0",
+                "machine-codegen-ckpt"),
     "full": ("interp-fast", "baseline-serial", "machine-strict",
              "machine-permissive", "machine-fast",
              "machine-strict-nomem2reg", "machine-strict-nocoalesce",
              "machine-strict-lpt", "machine-strict-greedy",
              "machine-strict-nocustom", "machine-strict-jobs2",
              "machine-strict-cached", "machine-fast-nomem2reg",
-             "machine-fast-profiled", "machine-fast-ckpt"),
+             "machine-fast-profiled", "machine-fast-ckpt",
+             "machine-codegen", "machine-codegen-trust0",
+             "machine-codegen-ckpt"),
 }
 
 
@@ -291,7 +308,8 @@ class _NullContext:
 def _context_for(spec: OracleSpec):
     if spec.fault is None:
         return _NullContext()
-    if spec.engine == "fast":
+    from ..machine.grid import COMPILED_ENGINES
+    if spec.engine in COMPILED_ENGINES:
         raise OracleError(
             f"oracle {spec.name}: faults require a strict engine "
             f"(compiled engines resolve semantics at construction)")
@@ -391,6 +409,8 @@ def run_oracle(spec: OracleSpec, make_circuit: Callable[[], Circuit],
                 return OracleResult(list(res.displays), res.cycles,
                                     res.finished)
             if spec.kind == "machine":
+                import dataclasses
+
                 from ..machine import Machine
                 result = _compile_for(spec, make_circuit(), config,
                                       compiled)
@@ -398,6 +418,12 @@ def run_oracle(spec: OracleSpec, make_circuit: Callable[[], Circuit],
                 if spec.profiled:
                     from ..obs import Profiler
                     profiler = Profiler()
+                if spec.verify_vcycles is not None:
+                    # Machine-side override only: the compiled binary is
+                    # shared with the other oracles for this option set.
+                    config = dataclasses.replace(
+                        config,
+                        fastpath_verify_vcycles=spec.verify_vcycles)
                 machine = Machine(result.program, config,
                                   engine=spec.engine, profiler=profiler)
                 if spec.checkpoint:

@@ -50,12 +50,14 @@ class MachineConfig:
     noc_inject_latency: int = 2
     noc_eject_latency: int = 2
 
-    #: Execution engines (``repro.machine.fastpath``): number of Vcycles
-    #: the ``engine="fast"`` machine runs under the strict checking engine
-    #: before trusting the compiled fast path.  Because issue order,
-    #: routing, and writeback timing are data-independent in a branch-free
-    #: program, one clean strict Vcycle proves the whole schedule; raise
-    #: this for paranoia, or set 0 to trust the static plan immediately.
+    #: Compiled engines (``repro.machine.fastpath`` and
+    #: ``repro.machine.codegen``): number of Vcycles an
+    #: ``engine="fast"``/``engine="codegen"`` machine runs under the
+    #: strict checking engine before trusting its compiled artifact.
+    #: Because issue order, routing, and writeback timing are
+    #: data-independent in a branch-free program, one clean strict Vcycle
+    #: proves the whole schedule; raise this for paranoia, or set 0 to
+    #: trust the static plan immediately.
     fastpath_verify_vcycles: int = 1
 
     # Privileged-core cache (SS5.3): 128 KiB direct-mapped, write-allocate,

@@ -415,6 +415,21 @@ class FastEngine:
             link_hops.update(route)
         self._link_hops = dict(link_hops)
 
+    # An exception discovered mid-Vcycle sends the next Vcycle back to
+    # the strict engine (the conservative original protocol); the
+    # codegen engine services exceptions inline and overrides this.
+    services_exceptions = False
+
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Engine-protocol no-op: the fast path's closures share register
+        storage with the cores by identity, so architectural state is
+        always current (the codegen engine, which holds state in kernel
+        frame locals, actually flushes here)."""
+
+    def invalidate(self) -> None:
+        """Engine-protocol no-op (see :meth:`sync`)."""
+
     # ------------------------------------------------------------------
     def _partial_link_hops(self, n_msgs: int) -> Counter:
         """Per-link hops of the first ``n_msgs`` Sends (abort paths)."""

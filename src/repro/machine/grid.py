@@ -17,11 +17,13 @@ with the same timing contract the compiler scheduled against:
   (global stall, SS5.3) and charge stall cycles measured by Fig. 8's
   counters.
 
-Three engines execute this contract (see :mod:`repro.machine.fastpath`
-and docs/ARCHITECTURE.md "Execution engines"): ``strict`` (all checks,
-the reference), ``permissive`` (no hazard faults - stale reads, like the
-real hardware), and ``fast`` (verify-once-then-trust compiled kernels,
-bit-identical results).
+Four engines execute this contract (see :mod:`repro.machine.fastpath`,
+:mod:`repro.machine.codegen`, and docs/ARCHITECTURE.md "Execution
+engines"): ``strict`` (all checks, the reference), ``permissive`` (no
+hazard faults - stale reads, like the real hardware), ``fast``
+(verify-once-then-trust compiled closure kernels), and ``codegen``
+(the same trust protocol over emitted-and-``exec``'d Python source) -
+the compiled engines stay bit-identical with strict.
 """
 
 from __future__ import annotations
@@ -246,12 +248,28 @@ class _Core:
         heapq.heapify(self.queue)
 
 
-#: Recognized execution engines (see ``repro.machine.fastpath``):
+#: Recognized execution engines (see ``repro.machine.fastpath`` and
+#: ``repro.machine.codegen``):
 #: ``"strict"`` checks hazards, NoC reservations, and receive matching on
 #: every event; ``"permissive"`` is the strict event loop without hazard
 #: faults (reads see stale values, the real hardware's behavior);
-#: ``"fast"`` verifies strictly once, then runs compiled per-core kernels.
-ENGINES = ("strict", "permissive", "fast")
+#: ``"fast"`` verifies strictly once, then runs compiled per-core kernels;
+#: ``"codegen"`` verifies the same way, then runs the schedule emitted as
+#: specialized Python source (``exec``'d straight-line grid kernels).
+ENGINES = ("strict", "permissive", "fast", "codegen")
+
+#: The engines that follow the verify-once-then-trust protocol and own a
+#: compiled artifact (``Machine._fastpath``).  Everything engine-generic
+#: in the trust/checkpoint machinery keys off this set, so a new
+#: compiled tier only has to register here.
+COMPILED_ENGINES = ("fast", "codegen")
+
+#: Compiled engines whose trusted kernels stay valid across serviced
+#: exceptions (``services_exceptions`` on the engine class): the
+#: privileged service routine mutates no core-visible register state,
+#: so an exception during a verification Vcycle need not defer trust
+#: and an exception during a trusted Vcycle need not revoke it.
+EXCEPTION_SERVICING_ENGINES = ("codegen",)
 
 
 class Machine:
@@ -302,14 +320,14 @@ class Machine:
         #: progress (None at a boundary) - lets a Vcycle split across
         #: pauses/restores still report exact per-Vcycle profiler deltas.
         self._vcycle_base: tuple | None = None
-        # Verify-once-then-trust state (engine="fast"): the compiled
-        # engine, whether it is currently trusted, and how many strict
-        # verification Vcycles remain before (re-)trusting it.
+        # Verify-once-then-trust state (the COMPILED_ENGINES): the
+        # compiled engine, whether it is currently trusted, and how many
+        # strict verification Vcycles remain before (re-)trusting it.
         self._fastpath = None
         self._fastpath_error: str | None = None
         self._trusted = False
         self._verify_left = max(0, self.config.fastpath_verify_vcycles)
-        if engine == "fast" and self._verify_left == 0:
+        if engine in COMPILED_ENGINES and self._verify_left == 0:
             self._trusted = self._ensure_fastpath()
         if profiler is not None:
             profiler.attach(self)
@@ -409,16 +427,32 @@ class Machine:
 
     # -- execution -----------------------------------------------------------
     def _ensure_fastpath(self) -> bool:
-        """Compile the fast engine on first demand; on failure remember
-        why and stay on the strict engine forever."""
+        """Compile this engine's trusted artifact on first demand; on
+        failure remember why and stay on the strict engine forever."""
         if self._fastpath is None and self._fastpath_error is None:
-            from .fastpath import FastpathUnsupported, compile_fastpath
-            try:
-                with _span("machine.fastpath.compile"):
-                    self._fastpath = compile_fastpath(self)
-            except FastpathUnsupported as exc:
-                self._fastpath_error = str(exc)
+            if self.engine == "codegen":
+                from .codegen import CodegenUnsupported, compile_codegen
+                try:
+                    with _span("machine.codegen.compile"):
+                        self._fastpath = compile_codegen(self)
+                except CodegenUnsupported as exc:
+                    self._fastpath_error = str(exc)
+            else:
+                from .fastpath import FastpathUnsupported, compile_fastpath
+                try:
+                    with _span("machine.fastpath.compile"):
+                        self._fastpath = compile_fastpath(self)
+                except FastpathUnsupported as exc:
+                    self._fastpath_error = str(exc)
         return self._fastpath is not None
+
+    def _sync_compiled(self) -> None:
+        """Flush any compiled-engine state held outside the cores (the
+        codegen kernel's frame locals) back into architectural state, so
+        observers - ``peek_reg``, checkpoints, a finished ``run`` - see
+        exactly what the strict engine would."""
+        if self._fastpath is not None:
+            self._fastpath.sync()
 
     def step_vcycle(self) -> None:
         """Execute one full Vcycle across the grid.
@@ -445,7 +479,8 @@ class Machine:
                       c.messages, c.exceptions)
         exceptions_before = self.counters.exceptions
         self._fastpath.run_vcycle()
-        if self.counters.exceptions != exceptions_before:
+        if (self.counters.exceptions != exceptions_before
+                and not self._fastpath.services_exceptions):
             self._trusted = False
             self._verify_left = max(self._verify_left, 1)
         if prof is not None:
@@ -483,9 +518,10 @@ class Machine:
             return False
         base = self._vcycle_base
         self._vcycle_base = None
-        if self.engine == "fast":
+        if self.engine in COMPILED_ENGINES:
             self._verify_left -= 1
-            if self.counters.exceptions != base[5]:
+            if (self.counters.exceptions != base[5]
+                    and self.engine not in EXCEPTION_SERVICING_ENGINES):
                 self._verify_left = max(self._verify_left, 1)
             elif self._verify_left <= 0 and self._ensure_fastpath():
                 self._trusted = True
@@ -564,7 +600,20 @@ class Machine:
         with _span("machine.run", engine=self.engine,
                    budget=max_vcycles) as s:
             while not self.finished and self.counters.vcycles < max_vcycles:
+                fp = self._fastpath
+                if self._trusted and self.profiler is None \
+                        and fp is not None:
+                    bulk = getattr(fp, "run_vcycles", None)
+                    if bulk is not None:
+                        before = self.counters.exceptions
+                        bulk(max_vcycles - self.counters.vcycles)
+                        if (self.counters.exceptions != before
+                                and not fp.services_exceptions):
+                            self._trusted = False
+                            self._verify_left = max(self._verify_left, 1)
+                        continue
                 self.step_vcycle()
+            self._sync_compiled()
             if s is not None:
                 s.args["vcycles"] = self.counters.vcycles
         return MachineResult(
@@ -577,6 +626,7 @@ class Machine:
 
     # -- probes ---------------------------------------------------------------
     def peek_reg(self, core_id: int, reg: int) -> int:
+        self._sync_compiled()
         return self.cores[core_id].regs[reg]
 
     # -- checkpoint hooks ------------------------------------------------------
@@ -592,6 +642,7 @@ class Machine:
         The program binary and :class:`MachineConfig` are *not* part of
         this dict - the checkpoint layer records them separately.
         """
+        self._sync_compiled()
         state = {
             "engine": self.engine,
             "exception_stall": self.exception_stall,
@@ -626,11 +677,16 @@ class Machine:
         The machine must have been constructed from the same program and
         config the state was captured under (the checkpoint layer
         verifies fingerprints before calling this).  If the snapshot was
-        taken with the fast path trusted, the compiled kernels are
+        taken with a compiled engine trusted, the compiled kernels are
         rebuilt immediately from the static schedule - no strict
         re-verification Vcycles - restoring the exact trust state of the
         interrupted run.
         """
+        if self._fastpath is not None:
+            # Any live compiled state (the codegen kernel's frame
+            # locals) is about to be stale: drop it un-flushed so the
+            # restored architectural state wins.
+            self._fastpath.invalidate()
         for cid_str, core_state in state["cores"].items():
             cid = int(cid_str)
             if cid not in self.cores:
@@ -655,7 +711,7 @@ class Machine:
         fast = state["fastpath"]
         self._verify_left = int(fast["verify_left"])
         self._trusted = False
-        if bool(fast["trusted"]) and self.engine == "fast":
+        if bool(fast["trusted"]) and self.engine in COMPILED_ENGINES:
             # Rebuild the verified closures from the (cached) compile
             # artifact instead of burning strict re-verification
             # Vcycles: the trust was earned before the snapshot and the

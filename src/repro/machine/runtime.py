@@ -62,9 +62,10 @@ def simulate_on_manticore(circuit: Circuit, max_vcycles: int = 1_000_000,
     bootloader binary format, and execute it on the machine model.
 
     ``engine`` selects the execution engine (``"strict"``,
-    ``"permissive"``, or ``"fast"`` - the verify-once-then-trust
-    compiled engine, bit-identical to strict but several times faster
-    on long runs); when ``None`` the legacy ``strict`` flag decides.
+    ``"permissive"``, ``"fast"``, or ``"codegen"`` - the latter two are
+    verify-once-then-trust compiled engines, bit-identical to strict
+    but much faster on long runs, with ``"codegen"`` the fastest); when
+    ``None`` the legacy ``strict`` flag decides.
 
     ``cache_dir`` and ``jobs`` override the corresponding
     :class:`~repro.compiler.driver.CompilerOptions` knobs: with a cache

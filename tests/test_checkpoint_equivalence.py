@@ -2,12 +2,13 @@
 
 The subsystem's core contract - a run interrupted by a checkpoint and
 continued from the restored snapshot is bit-identical to a run that was
-never interrupted - enforced over the full design registry under all
-three engines, with the snapshot taken at an *awkward* point: for the
-event-loop engines the machine is paused mid-Vcycle (pending writebacks
-and, where the design produces them, NoC messages in flight); the fast
-engine snapshots at a Vcycle boundary (its trusted path is
-Vcycle-atomic by design).  Both sides run under a profiler, whose merged
+never interrupted - enforced over the full design registry under every
+registered engine, with the snapshot taken at an *awkward* point: for
+the event-loop engines the machine is paused mid-Vcycle (pending
+writebacks and, where the design produces them, NoC messages in
+flight); the compiled engines (fast, codegen) snapshot at a Vcycle
+boundary (their trusted paths are Vcycle-atomic by design).  Both sides
+run under a profiler, whose merged
 counters must also match the uninterrupted profile exactly.
 """
 
@@ -20,7 +21,7 @@ import pytest
 from repro import checkpoint as ck
 from repro.compiler import CompilerOptions, compile_circuit
 from repro.designs import DESIGNS
-from repro.machine import ENGINES, Machine, MachineConfig
+from repro.machine import COMPILED_ENGINES, ENGINES, Machine, MachineConfig
 from repro.obs import Profiler
 
 CONFIG = MachineConfig(grid_x=8, grid_y=8)
@@ -59,7 +60,7 @@ def test_snapshot_resume_bit_identical(name, engine):
     machine = Machine(_program(name), CONFIG, engine=engine,
                       profiler=profiler)
     machine.run(half)
-    if engine != "fast" and not machine.finished:
+    if engine not in COMPILED_ENGINES and not machine.finished:
         # The awkward boundary: pause partway into the next Vcycle so
         # the snapshot carries a split Vcycle (pending writebacks, any
         # in-flight messages, the half-populated link reservations).

@@ -1,0 +1,152 @@
+"""Codegen engine vs strict: bit-identity, trust, caching, checkpoints.
+
+The codegen engine's contract is the fast engine's contract taken one
+step further: the per-core schedules are lowered to specialized Python
+source (register-slot locals, folded constants, no dispatch), exec'd as
+a module, and - once verified against one strict Vcycle - trusted for
+the rest of the run.  None of that may change anything observable.
+This file enforces bit-identity over the whole design registry, that
+the trusted kernel actually runs (no vacuous pass), that the exec
+module cache skips re-emission on warm starts, and that
+checkpoint/restore re-binds kernels without losing state.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro import checkpoint as ck
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.designs import DESIGNS
+from repro.machine import Machine, MachineConfig
+from repro.machine import codegen as cg
+from repro.obs import Profiler
+
+CONFIG = MachineConfig(grid_x=8, grid_y=8)
+
+ALL_DESIGNS = sorted(DESIGNS)
+
+
+@functools.lru_cache(maxsize=None)
+def _program(name: str):
+    options = CompilerOptions(config=CONFIG)
+    return compile_circuit(DESIGNS[name].build(), options).program
+
+
+def _budget(name: str) -> int:
+    return max(64, DESIGNS[name].cycles + 300)
+
+
+def _assert_same(strict_m, strict_r, other_m, other_r):
+    assert other_r.vcycles == strict_r.vcycles
+    assert other_r.finished == strict_r.finished
+    assert other_r.displays == strict_r.displays
+    assert other_r.counters == strict_r.counters
+    assert other_r.cache == strict_r.cache
+    for cid, core in strict_m.cores.items():
+        other_core = other_m.cores[cid]
+        assert other_core.regs == core.regs, f"core {cid} registers"
+        assert other_core.scratch == core.scratch, f"core {cid} scratch"
+
+
+@pytest.mark.parametrize("name", ALL_DESIGNS)
+def test_codegen_bit_identical(name):
+    budget = _budget(name)
+    strict_m = Machine(_program(name), CONFIG, engine="strict")
+    strict_r = strict_m.run(budget)
+    cg_m = Machine(_program(name), CONFIG, engine="codegen")
+    cg_r = cg_m.run(budget)
+    _assert_same(strict_m, strict_r, cg_m, cg_r)
+
+
+def test_codegen_bit_identical_without_verification():
+    """``fastpath_verify_vcycles=0`` trusts the emitted kernel from the
+    first Vcycle - the strongest differential check of the emitter, with
+    no strict Vcycle to paper over a miscompiled schedule."""
+    config = MachineConfig(grid_x=8, grid_y=8, fastpath_verify_vcycles=0)
+    for name in ("mc", "bc"):
+        budget = _budget(name)
+        strict_m = Machine(_program(name), CONFIG, engine="strict")
+        strict_r = strict_m.run(budget)
+        cg_m = Machine(_program(name), config, engine="codegen")
+        cg_r = cg_m.run(budget)
+        _assert_same(strict_m, strict_r, cg_m, cg_r)
+
+
+def test_codegen_engine_actually_engages():
+    """Guards against the equivalence tests passing vacuously: the
+    dispatcher must hand Vcycles to the trusted generated kernel (mc
+    runs long enough and is display-quiet mid-run)."""
+    machine = Machine(_program("mc"), CONFIG, engine="codegen")
+    budget = _budget("mc")
+    trusted = 0
+    while not machine.finished and machine.counters.vcycles < budget:
+        if machine._trusted:
+            trusted += 1
+        machine.step_vcycle()
+    assert trusted > 0
+
+
+def test_codegen_checkpoint_resume_bit_identical():
+    """Snapshot mid-run under codegen, restore into a fresh machine (the
+    kernel is re-bound from the exec-module cache, not re-verified), and
+    the continued run must match an uninterrupted profiled run."""
+    name = "mc"
+    budget = _budget(name)
+
+    ref_profiler = Profiler()
+    ref_m = Machine(_program(name), CONFIG, engine="codegen",
+                    profiler=ref_profiler)
+    ref_r = ref_m.run(budget)
+
+    profiler = Profiler()
+    machine = Machine(_program(name), CONFIG, engine="codegen",
+                      profiler=profiler)
+    machine.run(max(1, ref_r.vcycles // 2))
+    snapshot = ck.decode_snapshot(ck.encode_snapshot(ck.capture(machine)))
+    resumed_profiler = Profiler()
+    restored = ck.restore(snapshot, program=_program(name), config=CONFIG,
+                          profiler=resumed_profiler)
+    assert restored.engine == "codegen"
+    result = restored.run(budget)
+
+    _assert_same(ref_m, ref_r, restored, result)
+    assert resumed_profiler.totals() == ref_profiler.totals()
+    assert resumed_profiler.state_dict() == ref_profiler.state_dict()
+
+
+def test_codegen_source_cache_warm_start(tmp_path, monkeypatch):
+    """A warm disk cache skips source re-emission entirely: the second
+    cold machine (in-memory memo cleared) execs the cached source and
+    still produces bit-identical results."""
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(tmp_path))
+    monkeypatch.setattr(cg, "_MEMO", {})
+    monkeypatch.setattr(cg, "_KEYS", {})
+
+    name = "jpeg"
+    budget = _budget(name)
+    before = cg.EMISSIONS
+    cold_m = Machine(_program(name), CONFIG, engine="codegen")
+    cold_r = cold_m.run(budget)
+    assert cg.EMISSIONS == before + 1
+    assert list(tmp_path.glob("*.py")), "emitted source not cached"
+
+    # Fresh process simulation: drop the in-memory memo so the module
+    # must come back through the disk cache, not a new emission.
+    monkeypatch.setattr(cg, "_MEMO", {})
+    monkeypatch.setattr(cg, "_KEYS", {})
+    warm_m = Machine(_program(name), CONFIG, engine="codegen")
+    warm_r = warm_m.run(budget)
+    assert cg.EMISSIONS == before + 1, "warm start re-emitted source"
+    _assert_same(cold_m, cold_r, warm_m, warm_r)
+
+
+def test_codegen_cache_can_be_disabled(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", "off")
+    monkeypatch.setattr(cg, "_MEMO", {})
+    monkeypatch.setattr(cg, "_KEYS", {})
+    machine = Machine(_program("jpeg"), CONFIG, engine="codegen")
+    machine.run(_budget("jpeg"))
+    assert not list(tmp_path.glob("*.py"))

@@ -80,7 +80,7 @@ def test_fast_engine_actually_engages():
 
 
 def test_engine_validation():
-    assert set(ENGINES) == {"strict", "permissive", "fast"}
+    assert set(ENGINES) == {"strict", "permissive", "fast", "codegen"}
     with pytest.raises(ValueError):
         Machine(_compiled("mc").program, CONFIG, engine="warp")
     with pytest.raises(ValueError):
