@@ -130,6 +130,9 @@ def cmd_run(args) -> int:
     config = _grid_config(args)
     result = compile_circuit(circuit, _compiler_options(args))
 
+    if args.batch:
+        return _run_batch(args, result, config, cycles)
+
     store = None
     if args.checkpoint_dir:
         store = ckpt.CheckpointStore(args.checkpoint_dir,
@@ -211,6 +214,64 @@ def cmd_run(args) -> int:
     print(f"-- {mres.vcycles} Vcycles, {c.total_cycles} machine cycles "
           f"({c.stall_cycles} stalled), "
           f"rate @475MHz = {mres.simulation_rate_khz(475.0):.1f} kHz",
+          file=sys.stderr)
+    return 0
+
+
+def _run_batch(args, result, config, cycles) -> int:
+    """``repro run --batch N``: N identical lanes of one compiled design
+    advanced in lockstep (``repro.machine.batch``)."""
+    import json
+    import time
+
+    from .machine.batch import BatchRunner
+
+    incompatible = [flag for flag, on in [
+        ("--vcd", args.vcd), ("--checkpoint-dir", args.checkpoint_dir),
+        ("--checkpoint-every", args.checkpoint_every),
+        ("--resume", args.resume), ("--throttle", args.throttle),
+    ] if on]
+    if incompatible:
+        print(f"repro run: --batch is incompatible with "
+              f"{', '.join(incompatible)}", file=sys.stderr)
+        return 2
+
+    runner = BatchRunner(result.program, config, width=args.batch,
+                         engine=args.engine, lowering=args.batch_lowering)
+    start = time.perf_counter()
+    outs = runner.run(cycles)
+    elapsed = time.perf_counter() - start
+
+    if args.json:
+        lanes = []
+        for lane, out in enumerate(outs):
+            if runner.errors[lane] is not None:
+                lanes.append({"lane": lane, "error": runner.errors[lane]})
+            else:
+                lanes.append({
+                    "lane": lane, "vcycles": out.vcycles,
+                    "finished": out.finished, "displays": out.displays,
+                    "counters": out.counters.as_dict(),
+                })
+        print(json.dumps({
+            "design": args.design or args.file,
+            "engine": args.engine,
+            "batch_width": args.batch,
+            "lowering": runner.lowering_used,
+            "lanes": lanes,
+        }, indent=2, sort_keys=True))
+    else:
+        for lane, out in enumerate(outs):
+            if runner.errors[lane] is not None:
+                print(f"[lane {lane}] ERROR: {runner.errors[lane]}")
+                continue
+            for line in out.displays:
+                print(f"[lane {lane}] {line}")
+    total_vcycles = sum(out.vcycles for out in outs)
+    print(f"-- {args.batch} lanes "
+          f"(lowering={runner.lowering_used or 'serial fallback'}), "
+          f"{total_vcycles} lane-Vcycles in {elapsed:.2f}s "
+          f"({total_vcycles / max(elapsed, 1e-9):.0f} lane-Vcycles/s)",
           file=sys.stderr)
     return 0
 
@@ -331,6 +392,8 @@ def cmd_fuzz(args) -> int:
         return 0
     if args.replay:
         return _fuzz_replay(args)
+    if args.batch_width:
+        return _fuzz_batch(args)
 
     params = _fuzz_params(args)
     matrix = args.matrix or "quick"
@@ -374,6 +437,51 @@ def cmd_fuzz(args) -> int:
     print(f"-- fuzzed {tested} seeds against [{matrix}]: "
           f"{len(failures)} divergence(s)"
           + (f", corpus in {args.corpus_dir}" if failures else ""),
+          file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _fuzz_batch(args) -> int:
+    """``repro fuzz --batch-width B``: each seed compiled once and run as
+    B stimulus lanes in lockstep, every lane checked against its own
+    golden (``repro.fuzz.oracle.fuzz_seed_batch``)."""
+    import time
+
+    from .fuzz.oracle import fuzz_seed_batch
+
+    params = _fuzz_params(args)
+    seeds = _parse_seed_range(args.seeds)
+    deadline = (time.monotonic() + args.time_budget
+                if args.time_budget else None)
+    failures = 0
+    tested = lanes = 0
+    start = time.perf_counter()
+    for seed in seeds:
+        if deadline is not None and time.monotonic() > deadline:
+            break
+        report = fuzz_seed_batch(seed, width=args.batch_width,
+                                 params=params, cycles=args.cycles,
+                                 lowering=args.batch_lowering)
+        tested += 1
+        lanes += report.width
+        if report.ok:
+            if args.verbose:
+                print(f"seed {report.seed}: ok x{report.width} lanes "
+                      f"({report.elapsed:.2f}s, "
+                      f"lowering={report.lowering or 'serial fallback'}"
+                      + (", rebind fallback" if report.rebind_fallback
+                         else "") + ")",
+                      file=sys.stderr)
+            continue
+        failures += 1
+        for div in report.divergences:
+            print(f"seed {report.seed}: {div.describe()}")
+        # Batched lanes are init-variants of the seed circuit; replay
+        # scalar-style with `repro fuzz --seeds SEED` to shrink.
+    elapsed = time.perf_counter() - start
+    print(f"-- batch-fuzzed {tested} seeds x {args.batch_width} lanes: "
+          f"{failures} diverging seed(s), "
+          f"{lanes / max(elapsed, 1e-9):.2f} lane-seeds/s",
           file=sys.stderr)
     return 1 if failures else 0
 
@@ -474,6 +582,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "+ 300, or 1000000 for files)")
     p.add_argument("--engine", default="strict", choices=list(ENGINES),
                    help="machine execution engine (default: strict)")
+    p.add_argument("--batch", type=int, default=0, metavar="N",
+                   help="run N identical lanes of the design in lockstep "
+                        "(batched kernel on the codegen engine; "
+                        "incompatible with --vcd/--checkpoint-*/--resume)")
+    p.add_argument("--batch-lowering", default="auto",
+                   choices=["auto", "list", "numpy"],
+                   help="batched-kernel vector lowering (default: auto = "
+                        "numpy at wide batches when available)")
     p.add_argument("--vcd", help="write a VCD waveform (on --resume, "
                                  "appends to an existing dump)")
     p.add_argument("--trace", help="comma-separated register prefixes")
@@ -534,6 +650,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-regs", type=int, help="generator: register count")
     p.add_argument("--max-width", type=int,
                    help="generator: maximum wire width")
+    p.add_argument("--batch-width", type=int, default=0, metavar="B",
+                   help="batched mode: compile each seed once and run B "
+                        "init-variant lanes in lockstep, each lane "
+                        "checked against its own golden (serial; ignores "
+                        "--matrix/--jobs)")
+    p.add_argument("--batch-lowering", default="auto",
+                   choices=["auto", "list", "numpy"],
+                   help="batched-kernel vector lowering (default: auto)")
     p.add_argument("--no-shrink", action="store_true",
                    help="record failing circuits without minimizing them")
     p.add_argument("--list-oracles", action="store_true",

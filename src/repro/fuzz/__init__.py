@@ -29,12 +29,15 @@ from .generator import (
     accumulator_circuit,
     counter_circuit,
     generate,
+    lane_init_overrides,
     logic_heavy_circuit,
     memory_circuit,
     random_circuit,
     random_memory_circuit,
+    variant_circuit,
 )
 from .oracle import (
+    BatchSeedReport,
     Divergence,
     FUZZ_CONFIG,
     MATRICES,
@@ -42,12 +45,14 @@ from .oracle import (
     OracleSpec,
     SeedReport,
     fuzz_seed,
+    fuzz_seed_batch,
     matrix_oracles,
     run_matrix,
 )
 from .shrink import ShrinkResult, shrink
 
 __all__ = [
+    "BatchSeedReport",
     "CorpusEntry",
     "Divergence",
     "FUZZ_CONFIG",
@@ -60,7 +65,9 @@ __all__ = [
     "accumulator_circuit",
     "counter_circuit",
     "fuzz_seed",
+    "fuzz_seed_batch",
     "generate",
+    "lane_init_overrides",
     "load_entry",
     "logic_heavy_circuit",
     "matrix_oracles",
@@ -71,4 +78,5 @@ __all__ = [
     "run_matrix",
     "save_entry",
     "shrink",
+    "variant_circuit",
 ]

@@ -23,6 +23,7 @@ Two generations of generators live here:
 from __future__ import annotations
 
 import random
+import re
 from dataclasses import asdict, dataclass, replace
 
 from ..netlist import CircuitBuilder, Signal
@@ -242,6 +243,44 @@ class GeneratorParams:
 
     def scaled(self, **overrides) -> "GeneratorParams":
         return replace(self, **overrides)
+
+
+_LANE_REG = re.compile(r"^r\d+$")
+
+
+def lane_init_overrides(circuit: Circuit, seed: int,
+                        lane: int) -> dict[str, int]:
+    """Deterministic per-lane stimulus for batched fuzzing: new boot
+    values for ``circuit``'s generated data registers (``r<i>``).
+
+    Lane 0 keeps the seed's own inits (so the batch always contains the
+    exact single-run circuit); other lanes draw fresh width-masked
+    values from a stream keyed on ``(seed, lane)``.  The cycle counter
+    is deliberately left alone: all lanes of a fuzz batch then share
+    the same ``$finish`` Vcycle, which keeps divergence masking a
+    corner case rather than the common path (it has its own dedicated
+    tests).
+    """
+    if lane == 0:
+        return {}
+    rng = random.Random((seed * 0x9E3779B1 + lane) & 0xFFFFFFFF)
+    overrides: dict[str, int] = {}
+    for name in sorted(circuit.registers):
+        if _LANE_REG.match(name):
+            overrides[name] = rng.getrandbits(
+                circuit.registers[name].width)
+    return overrides
+
+
+def variant_circuit(circuit: Circuit, overrides: dict[str, int]) -> Circuit:
+    """Rewrite register boot values in place (structure untouched) and
+    return ``circuit``.  Callers pass a freshly generated circuit; the
+    result is what a fuzz lane's golden reference simulates."""
+    for name, init in overrides.items():
+        reg = circuit.registers.get(name)
+        if reg is not None:
+            reg.init = init & ((1 << reg.width) - 1)
+    return circuit
 
 
 def _fit(rng: random.Random, sig: Signal, width: int) -> Signal:

@@ -505,3 +505,110 @@ def fuzz_seed(seed: int, params: GeneratorParams | None = None,
     return SeedReport(seed, params, tuple(s.name for s in oracles),
                       divergences, reference.cycles,
                       time.perf_counter() - start)
+
+
+# ---------------------------------------------------------------------------
+# Batched oracle: B stimuli of one seed in one machine pass.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BatchSeedReport:
+    """Outcome of batch-fuzzing one seed: ``width`` init variants of the
+    seed's circuit, each checked against its own golden reference."""
+
+    seed: int
+    width: int
+    params: GeneratorParams
+    lanes: tuple[str, ...]
+    divergences: list[Divergence]
+    cycles_run: int
+    elapsed: float
+    #: Resolved batch lowering ("list"/"numpy"), or None when the
+    #: runner's serial fallback executed the lanes.
+    lowering: str | None
+    #: True when the rebind self-check failed and every lane was
+    #: compiled fresh instead (itself a signal worth watching: it means
+    #: compilation observed a boot value).
+    rebind_fallback: bool
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def fuzz_seed_batch(seed: int, width: int = 8,
+                    params: GeneratorParams | None = None,
+                    cycles: int | None = None,
+                    config: MachineConfig = FUZZ_CONFIG,
+                    engine: str = "codegen",
+                    lowering: str = "auto") -> BatchSeedReport:
+    """Differential-test ``width`` stimuli of ``seed``'s circuit in one
+    batched machine pass.
+
+    Lane 0 is the seed's own circuit; lanes 1..B-1 rebind the generated
+    data registers to fresh per-lane boot values
+    (:func:`~repro.fuzz.generator.lane_init_overrides`).  Each lane is
+    compared - displays, cycle count, finish status - against its own
+    golden strict-interpreter run, so one pass checks B seeds' worth of
+    stimulus for the price of one compile plus one batched simulation.
+
+    The compile is shared across lanes via :func:`~repro.machine.batch.
+    rebind_reg_inits`; one rebound lane is byte-compared against a
+    fresh compile of its variant circuit, and on any mismatch every
+    lane falls back to its own fresh compile (recorded in
+    ``rebind_fallback``).
+    """
+    from ..compiler import CompilerOptions, compile_circuit
+    from ..machine.batch import BatchRunner, rebind_reg_inits
+    from ..machine.boot import serialize
+    from .generator import lane_init_overrides, variant_circuit
+
+    params = params or GeneratorParams()
+    budget = cycles if cycles is not None else params.cycles + 8
+    start = time.perf_counter()
+
+    base = generate(seed, params)
+    overrides = [lane_init_overrides(base, seed, lane)
+                 for lane in range(width)]
+    goldens = [
+        run_reference(variant_circuit(generate(seed, params), ov), budget)
+        for ov in overrides]
+
+    options = CompilerOptions(config=config)
+    result = compile_circuit(base, options)
+    rebind_fallback = False
+    programs = [rebind_reg_inits(result, ov) if ov else result.program
+                for ov in overrides]
+    check = next((lane for lane, ov in enumerate(overrides) if ov), None)
+    if check is not None:
+        fresh = compile_circuit(
+            variant_circuit(generate(seed, params), overrides[check]),
+            options)
+        if serialize(programs[check]) != serialize(fresh.program):
+            rebind_fallback = True
+            programs = [
+                compile_circuit(
+                    variant_circuit(generate(seed, params), ov),
+                    options).program if ov else result.program
+                for ov in overrides]
+
+    runner = BatchRunner(programs, config, engine=engine,
+                         lowering=lowering)
+    outs = runner.run(budget)
+    lane_names = []
+    divergences: list[Divergence] = []
+    for lane, (golden, out) in enumerate(zip(goldens, outs)):
+        name = f"machine-{engine}-batch{width}[lane {lane}]"
+        lane_names.append(name)
+        if runner.errors[lane] is not None:
+            observed = OracleResult(error=runner.errors[lane])
+        else:
+            observed = OracleResult(list(out.displays), out.vcycles,
+                                    out.finished)
+        div = compare_results(name, golden, observed)
+        if div is not None:
+            divergences.append(div)
+    return BatchSeedReport(seed, width, params, tuple(lane_names),
+                           divergences, goldens[0].cycles,
+                           time.perf_counter() - start,
+                           runner.lowering_used, rebind_fallback)

@@ -1,0 +1,352 @@
+"""Batched multi-run execution: advance B independent runs of one
+compiled design in lockstep, one Vcycle at a time.
+
+Production traffic and fuzzing share a shape - many runs of the same
+compiled artifact with different inputs - and the static BSP schedule
+makes control flow identical across those runs, so a batch is pure data
+parallelism.  :class:`BatchRunner` owns B per-lane :class:`~repro.
+machine.grid.Machine` instances over (rebound variants of) one program
+and drives them through a single *batched kernel* (:mod:`repro.machine.
+batch_codegen`) in which every register slot holds a per-lane vector.
+
+Semantics contract (enforced by ``tests/test_batch_equivalence.py``):
+the observable state of every lane - displays, finish status, Vcycle
+count, performance counters, cache stats, per-core registers and
+scratchpads - is **bit-identical** to running that lane alone on the
+same engine.  Divergence is handled by masking, not exiting:
+
+* a lane whose privileged ``Expect`` reaches ``$finish`` mid-Vcycle is
+  flushed at the exact abort point and settled through the scalar
+  engine's stop-function replay (producing the exact strict-engine
+  architectural state and counter deltas), then removed from the active
+  set; surviving lanes keep running;
+* a lane that dies on a fatal exception (a failed assertion) records the
+  error and freezes; as with a single run that raised, its in-flight
+  counters for the interrupted pass are not settled - the error string
+  *is* the lane's observable outcome;
+* serviced exceptions (``$display``) drain per-lane inside the Vcycle,
+  so the codegen engine's trust retention applies batch-wide: one
+  display on one lane does not stall or retire the other lanes.
+
+Engines without a vectorized kernel (everything outside
+``grid.BATCH_KERNEL_ENGINES``) run the batch as per-lane serial
+execution - same API, same per-lane results, no lockstep speedup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import TYPE_CHECKING
+
+from ..isa.instructions import WORD_MASK, WORD_WIDTH
+from ..isa.program import MachineProgram, SimulationFailure
+from . import codegen as cg
+from .batch_codegen import MAX_BATCH_WIDTH, compiled_batch_kernel
+from .codegen import CodegenUnsupported
+from .grid import BATCH_KERNEL_ENGINES, Machine, MachineResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..compiler.driver import CompileResult
+
+_LIMB = re.compile(r"^(.*)#(\d+)$")
+
+
+def rebind_reg_inits(result: "CompileResult",
+                     overrides: dict[str, int]) -> MachineProgram:
+    """A copy of ``result.program`` with named source registers booted
+    to new values - the per-lane stimulus mechanism.
+
+    Compilation is init-independent (the schedule, placement, and
+    allocation never read boot values), so B stimuli of one design need
+    one compile plus B cheap rebinds instead of B compiles.  This walks
+    the register allocator's persistent-slot assignment exactly as
+    ``repro.compiler.regalloc.allocate`` does and rewrites each core's
+    ``reg_init`` image, patching every 16-bit limb (``name#i``) of every
+    overridden register - including receive copies held by other cores,
+    which share the source register's name.
+
+    ``overrides`` maps *source-level* register names (e.g. ``"r3"``) to
+    full-width integers; unknown names are ignored (a register can be
+    optimized out of the schedule entirely).  Callers who need a hard
+    guarantee compare ``boot.serialize`` output against a fresh compile
+    of the variant circuit (``fuzz.oracle.fuzz_seed_batch`` does, with a
+    per-lane fresh-compile fallback).
+    """
+    if not overrides:
+        return result.program
+    from ..compiler.lir import Mov
+    from ..compiler.regalloc import ZERO_CONST, _persistent_regs
+
+    scheduled = result.scheduled
+    program = result.program
+    cores: dict[int, object] = {}
+    for core_id, core in scheduled.cores.items():
+        binary = program.cores[core_id]
+        # Mirror of allocate()'s phase 1: the persistent-slot numbering.
+        regs = sorted(_persistent_regs(scheduled, core_id), key=str)
+        needs_zero = any(isinstance(instr, Mov) for _, instr in core.items)
+        if needs_zero and ZERO_CONST not in regs:
+            regs.append(ZERO_CONST)
+        pmap = {reg: i for i, reg in enumerate(regs)}
+        proc = scheduled.image.processes[core.pid]
+        reg_init: dict[int, int] = {}
+        for reg, value in proc.reg_init.items():
+            if reg not in pmap:
+                continue
+            m = _LIMB.match(str(reg))
+            if m and m.group(1) in overrides:
+                limb = int(m.group(2))
+                value = (overrides[m.group(1)] >> (WORD_WIDTH * limb)) \
+                    & WORD_MASK
+            reg_init[pmap[reg]] = value
+        if ZERO_CONST in pmap:
+            reg_init.setdefault(pmap[ZERO_CONST], 0)
+        cores[core_id] = dataclasses.replace(binary, reg_init=reg_init)
+    return dataclasses.replace(program, cores=cores)
+
+
+class BatchRunner:
+    """Compile once, advance B independent runs per Vcycle.
+
+    ``programs`` is either one :class:`MachineProgram` (replicated
+    ``width`` times - a throughput harness over identical stimuli) or a
+    list of per-lane programs that must share one schedule (typically
+    :func:`rebind_reg_inits` variants of a single compile; structural
+    identity is verified before the batched kernel engages).
+    """
+
+    def __init__(self, programs, config=None, *, width: int | None = None,
+                 engine: str = "codegen", lowering: str = "auto",
+                 exception_stall: int = 500) -> None:
+        if isinstance(programs, MachineProgram):
+            if width is None:
+                raise ValueError(
+                    "width is required when replicating one program")
+            programs = [programs] * width
+        else:
+            programs = list(programs)
+            if width is not None and width != len(programs):
+                raise ValueError(
+                    f"width {width} != {len(programs)} per-lane programs")
+        if not 1 <= len(programs) <= MAX_BATCH_WIDTH:
+            raise ValueError(
+                f"batch width {len(programs)} out of range "
+                f"[1, {MAX_BATCH_WIDTH}]")
+        self.width = len(programs)
+        self.engine = engine
+        self.lowering = lowering
+        #: Resolved lowering of the last batched pass ("list"/"numpy"),
+        #: or None when the serial fallback ran.
+        self.lowering_used: str | None = None
+        self.machines = [
+            Machine(p, config, engine=engine,
+                    exception_stall=exception_stall)
+            for p in programs]
+        #: Per-lane fatal-error strings (a lane that raised is masked
+        #: out with this as its observable outcome), else None.
+        self.errors: list[str | None] = [None] * self.width
+
+    # ------------------------------------------------------------------
+    def run(self, max_vcycles: int) -> list[MachineResult]:
+        """Advance every lane to ``$finish``, a fatal error, or the
+        Vcycle budget; returns per-lane results (error lanes get their
+        machine's last-settled state - read :attr:`errors` first)."""
+        if self.engine in BATCH_KERNEL_ENGINES:
+            self._run_batched(max_vcycles)
+        else:
+            self._run_fallback(max_vcycles)
+        results = []
+        for m in self.machines:
+            m._sync_compiled()
+            results.append(MachineResult(
+                vcycles=m.counters.vcycles,
+                finished=m.finished,
+                displays=list(m.displays),
+                counters=m.counters,
+                cache=m.cache.stats,
+            ))
+        return results
+
+    # ------------------------------------------------------------------
+    def _live(self, budget: int) -> list[int]:
+        return [i for i, m in enumerate(self.machines)
+                if not m.finished and self.errors[i] is None
+                and m.counters.vcycles < budget]
+
+    def _run_batched(self, budget: int) -> None:
+        # Phase 1: bring every live lane to a trusted, Vcycle-aligned
+        # point under its own scalar engine (the verify-once-then-trust
+        # protocol runs per lane, exactly as in a single run).
+        while True:
+            live = self._live(budget)
+            if not live:
+                return
+            if any(self.machines[i]._fastpath_error is not None
+                   for i in live):
+                # The schedule cannot be compiled at all: per-lane
+                # serial execution is the contract.
+                self._run_fallback(budget)
+                return
+            untrusted = [i for i in live if not self.machines[i]._trusted]
+            if not untrusted:
+                break
+            for i in untrusted:
+                try:
+                    self.machines[i].step_vcycle()
+                except SimulationFailure as exc:
+                    self.errors[i] = f"{type(exc).__name__}: {exc}"
+
+        # Phase 2: one compiled batched kernel over all live lanes.
+        # Lanes must share the schedule (init images may differ - the
+        # content key strips them).
+        live = self._live(budget)
+        m0 = self.machines[live[0]]
+        key0 = cg._content_key(m0, variant="scalar")
+        for i in live[1:]:
+            if cg._content_key(self.machines[i],
+                               variant="scalar") != key0:
+                raise ValueError(
+                    f"lane {i} was compiled from a different schedule "
+                    "than lane 0; a batch must share one program "
+                    "structure")
+        _ns, plan = cg._compiled_for(m0)
+        try:
+            make_kernel, plan, mode = compiled_batch_kernel(
+                m0, self.width, self.lowering, plan=plan)
+        except CodegenUnsupported:
+            self._run_fallback(budget)
+            return
+        self.lowering_used = mode
+        while True:
+            live = self._live(budget)
+            if not live:
+                return
+            for i in live:
+                # Flush any scalar kernel state: the batched kernel
+                # hydrates from architectural registers.
+                self.machines[i]._sync_compiled()
+            remaining = min(budget - self.machines[i].counters.vcycles
+                            for i in live)
+            self._batch_pass(live, remaining, make_kernel, plan)
+
+    def _batch_pass(self, live: list[int], budget: int, make_kernel,
+                    plan) -> None:
+        machines = self.machines
+        errors = self.errors
+        act = list(live)
+        aborts: list[tuple[int, int, list[int]]] = []
+
+        def svc(lane: int, eid: int) -> bool:
+            # Per-lane exception service inside the Vcycle.  True means
+            # "mask this lane out" - a $finish, or a fatal assertion
+            # (recorded, state frozen, batch keeps going).
+            try:
+                machines[lane].service_exception(plan.priv, eid)
+            except SimulationFailure as exc:
+                errors[lane] = f"{type(exc).__name__}: {exc}"
+                return True
+            return machines[lane].finished
+
+        gen = make_kernel(machines, act, aborts, svc)()
+        steps = 0
+        try:
+            while act and steps < budget:
+                next(gen)
+                steps += 1
+                if aborts:
+                    for lane, k, msgs in aborts:
+                        if errors[lane] is None:
+                            self._finish_abort_lane(lane, k, msgs, plan,
+                                                    clean=steps - 1)
+                    aborts.clear()
+            if act and steps:
+                try:
+                    gen.send(True)  # flush surviving lanes
+                except StopIteration:  # pragma: no cover
+                    pass
+                for lane in act:
+                    self._settle(machines[lane], steps, plan)
+        finally:
+            gen.close()
+
+    def _finish_abort_lane(self, lane: int, k: int, msgs: list[int],
+                           plan, clean: int) -> None:
+        """Mid-Vcycle ``$finish`` on one lane: the kernel already
+        flushed the lane's vector slots at the abort point; replay the
+        executed prefix and charge counters exactly as the scalar
+        engine's abort arm does."""
+        m = self.machines[lane]
+        c = m.counters
+        c.instructions += clean * plan.n_instr
+        c.messages += clean * plan.n_msgs
+        c.vcycles += clean + 1
+        c.compute_cycles += (clean + 1) * m.program.vcpl
+        eng = m._fastpath
+        eng._msgs[:] = msgs
+        eng._finish_abort(k)
+        m.now = 0
+
+    @staticmethod
+    def _settle(m: Machine, steps: int, plan) -> None:
+        c = m.counters
+        c.instructions += steps * plan.n_instr
+        c.messages += steps * plan.n_msgs
+        c.vcycles += steps
+        c.compute_cycles += steps * m.program.vcpl
+        m.now = 0
+
+    def _run_fallback(self, budget: int) -> None:
+        """Per-lane serial execution: the observable-equivalence
+        reference semantics, used for engines without a batched kernel
+        and for schedules the batch emitter cannot compile."""
+        self.lowering_used = None
+        for i, m in enumerate(self.machines):
+            if m.finished or self.errors[i] is not None:
+                continue
+            try:
+                m.run(budget)
+            except SimulationFailure as exc:
+                self.errors[i] = f"{type(exc).__name__}: {exc}"
+
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Snapshot the whole batch (valid between :meth:`run` calls,
+        which always leave lanes flushed to architectural state)."""
+        return {
+            "version": 1,
+            "width": self.width,
+            "engine": self.engine,
+            "errors": list(self.errors),
+            "lanes": [m.checkpoint_state() for m in self.machines],
+        }
+
+    def load_checkpoint_state(self, state: dict) -> None:
+        if state.get("version") != 1:
+            raise ValueError(
+                f"unsupported batch checkpoint version "
+                f"{state.get('version')!r}")
+        if state["width"] != self.width or state["engine"] != self.engine:
+            raise ValueError(
+                f"checkpoint is for width={state['width']} "
+                f"engine={state['engine']}, runner has "
+                f"width={self.width} engine={self.engine}")
+        self.errors = list(state["errors"])
+        for m, lane_state in zip(self.machines, state["lanes"]):
+            m.load_checkpoint_state(lane_state)
+
+
+def run_batch(programs, max_vcycles: int, config=None, *,
+              width: int | None = None, engine: str = "codegen",
+              lowering: str = "auto") -> list[MachineResult]:
+    """One-shot batched execution: build a :class:`BatchRunner`, run it
+    to ``max_vcycles``, and return the per-lane results.  Raises
+    :class:`~repro.isa.program.SimulationFailure` for the first errored
+    lane, matching ``Machine.run``'s contract for a single run."""
+    runner = BatchRunner(programs, config, width=width, engine=engine,
+                         lowering=lowering)
+    results = runner.run(max_vcycles)
+    for i, err in enumerate(runner.errors):
+        if err is not None:
+            raise SimulationFailure(f"lane {i}: {err}")
+    return results

@@ -60,8 +60,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from .grid import Machine
 
 #: Bumped whenever the emitted source's semantics change; part of the
-#: cache key so stale on-disk sources can never be exec'd.
-CODEGEN_SCHEMA_VERSION = 1
+#: cache key so stale on-disk sources can never be exec'd.  v2: the key
+#: hashes an init-stripped program image (register/scratch/DRAM boot
+#: values and the design name excluded - the emitted source never
+#: depends on them) and gained a variant tag separating scalar kernels
+#: from batched ones (see :mod:`repro.machine.batch_codegen`).
+CODEGEN_SCHEMA_VERSION = 2
 
 #: Hard ceiling on emitted source size (lines); beyond this the compile
 #: falls back to the strict engine rather than risk pathological
@@ -1237,25 +1241,51 @@ def _stop_stmts(instr, park_pi, mid, n_scratch, binary) -> list[str]:
 _KEYS: dict[int, tuple[str, str]] = {}
 
 
-def _content_key(machine: "Machine") -> str:
+def _stripped_program_bytes(program) -> bytes:
+    """Serialize ``program`` with every boot-time data image blanked.
+
+    The emitted source depends only on the instruction schedule and the
+    machine config - kernels hydrate register/scratch/DRAM state from
+    the live cores at generator start, and ``_analyze`` never reads an
+    init value.  Hashing the init-stripped image means per-stimulus
+    *variants* of one design (same binary, different ``reg_init`` - the
+    batch axis) share one cache key, one analysis, and one exec'd
+    module."""
     from .boot import serialize
+    cores = {
+        cid: dataclasses.replace(binary, reg_init={}, scratch_init={})
+        for cid, binary in program.cores.items()}
+    stripped = dataclasses.replace(program, name="", cores=cores,
+                                   global_init={})
+    return serialize(stripped)
+
+
+def _content_key(machine: "Machine", variant: str = "scalar") -> str:
     config_repr = repr(sorted(dataclasses.asdict(machine.config).items()))
     pid = id(machine.program)
     cached = _KEYS.get(pid)
     if cached is not None and cached[0] == config_repr:
-        return cached[1]
-    h = hashlib.sha256()
-    h.update(f"codegen-v{CODEGEN_SCHEMA_VERSION}".encode())
-    h.update(config_repr.encode())
-    h.update(serialize(machine.program))
-    key = h.hexdigest()
-    try:  # re-serializing the program dominates warm compiles: pin the
-        # key to the program object (evicted with it so ids can't alias)
-        weakref.finalize(machine.program, _KEYS.pop, pid, None)
-        _KEYS[pid] = (config_repr, key)
-    except TypeError:
-        pass
-    return key
+        base = cached[1]
+    else:
+        h = hashlib.sha256()
+        h.update(f"codegen-v{CODEGEN_SCHEMA_VERSION}".encode())
+        h.update(config_repr.encode())
+        h.update(_stripped_program_bytes(machine.program))
+        base = h.hexdigest()
+        try:  # re-serializing the program dominates warm compiles: pin
+            # the key to the program object (evicted with it so ids
+            # can't alias)
+            weakref.finalize(machine.program, _KEYS.pop, pid, None)
+            _KEYS[pid] = (config_repr, base)
+        except TypeError:
+            pass
+    if variant == "scalar":
+        return base
+    # Batched kernels (repro.machine.batch_codegen) fold the variant tag
+    # - "batch{width}-{lowering}" - into the digest, so a batched source
+    # can never collide with a scalar one (or with another width or
+    # lowering) in ~/.cache/repro-codegen.
+    return hashlib.sha256(f"{base}|{variant}".encode()).hexdigest()
 
 
 def _cache_dir() -> str | None:
@@ -1506,3 +1536,17 @@ def compile_codegen(machine: "Machine") -> CodegenEngine:
     the fast path's fallback contract).
     """
     return CodegenEngine(machine)
+
+
+def compile_batch_kernel(machine: "Machine", width: int,
+                         lowering: str = "auto"):
+    """Batched multi-lane kernel for ``machine``'s program: the codegen
+    engine's provider behind ``repro.machine.grid.BATCH_KERNEL_ENGINES``
+    (see :mod:`repro.machine.batch_codegen` for the emitter and
+    :mod:`repro.machine.batch` for the driver).
+
+    Returns ``(make_batch_kernel, plan, lowering)``; raises
+    :class:`CodegenUnsupported` when the schedule cannot be emitted, in
+    which case the batch driver falls back to per-lane lockstep."""
+    from .batch_codegen import compiled_batch_kernel
+    return compiled_batch_kernel(machine, width, lowering)
