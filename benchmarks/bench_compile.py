@@ -11,9 +11,17 @@ design in the registry this measures, on the prototype grid:
 * ``warm_s``     - the same compile again: a cache hit (key derivation +
   unpickle, no pipeline phase runs; bit-identity asserted).
 
+On top of the per-design sweep, a batch section compiles the whole
+design set through ``compile_many`` on the persistent worker pool
+(``repro.pool``): ``batch_serial_s`` with ``jobs=1`` against
+``batch_parallel_s`` with ``jobs=N``, bit-identity asserted pairwise.
+
 Best of ``REPEATS`` runs is reported; each cold repeat uses a fresh
-cache directory.  The gate enforces the PR's acceptance criterion:
-overall warm-cache speedup (total cold / total warm) >= 10x.
+cache directory.  Two gates enforce PR acceptance criteria: overall
+warm-cache speedup (total cold / total warm) >= 10x, and pooled batch
+compile >= 1.5x serial (only on machines with >= 2 CPUs - the pool
+cannot beat serial on one core, so single-CPU runs record the numbers
+and skip the gate).
 
 Run with::
 
@@ -41,7 +49,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from harness import BENCH_ORDER, circuit_of, _prototype_options  # noqa: E402
 
 from repro.machine.boot import serialize  # noqa: E402
-from repro.compiler import compile_circuit  # noqa: E402
+from repro.compiler import compile_circuit, compile_many  # noqa: E402
 
 REPEATS = int(os.environ.get("BENCH_COMPILE_REPEATS", "3"))
 JOBS = int(os.environ.get("BENCH_COMPILE_JOBS",
@@ -51,6 +59,8 @@ DESIGN_SET = [n for n in
               .split(",") if n]
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_compile.json"
 WARM_GATE = 10.0
+POOL_GATE = 1.5
+POOL_GATE_MIN_CPUS = 2
 
 
 def _best(fn, repeats: int = REPEATS) -> tuple[float, object]:
@@ -106,6 +116,39 @@ def _measure(name: str, scratch: Path) -> dict:
     }
 
 
+def _measure_batch() -> dict:
+    """Whole-design-set ``compile_many``: serial loop vs the persistent
+    worker pool.  Same-machine, same-set — this is the number the pool
+    exists for (PR-2's per-phase fan-out lost to serial)."""
+    base = _prototype_options()
+    # At least two workers so the pooled path actually runs - on a
+    # single-CPU machine the number is recorded but the gate skipped.
+    batch_jobs = max(2, JOBS)
+
+    serial_s, serial = _best(lambda: compile_many(
+        [circuit_of(n) for n in DESIGN_SET], replace(base, jobs=1)))
+    parallel_s, parallel = _best(lambda: compile_many(
+        [circuit_of(n) for n in DESIGN_SET],
+        replace(base, jobs=batch_jobs)))
+    for name, s, p in zip(DESIGN_SET, serial, parallel):
+        assert serialize(p.program) == serialize(s.program), (
+            f"{name}: pooled batch binary differs from serial batch")
+
+    cpus = os.cpu_count() or 1
+    speedup = serial_s / parallel_s if parallel_s else 0.0
+    gated = cpus >= POOL_GATE_MIN_CPUS
+    return {
+        "designs": len(DESIGN_SET),
+        "jobs": batch_jobs,
+        "batch_serial_s": round(serial_s, 4),
+        "batch_parallel_s": round(parallel_s, 4),
+        "batch_speedup": round(speedup, 2),
+        "bit_identical": True,
+        "pool_gate": (f">={POOL_GATE}x" if gated
+                      else f"skipped ({cpus} cpu)"),
+    }
+
+
 def main() -> int:
     scratch = Path(tempfile.mkdtemp(prefix="bench-compile-"))
     results: dict[str, dict] = {}
@@ -121,6 +164,11 @@ def main() -> int:
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
 
+    batch = _measure_batch()
+    print(f" batch: serial {batch['batch_serial_s']:7.3f}s   "
+          f"pool jobs={batch['jobs']} {batch['batch_parallel_s']:7.3f}s "
+          f"({batch['batch_speedup']:4.2f}x, gate {batch['pool_gate']})")
+
     total_cold = sum(r["cold_s"] for r in results.values())
     total_warm = sum(r["warm_s"] for r in results.values())
     overall = total_cold / total_warm if total_warm else 0.0
@@ -130,6 +178,7 @@ def main() -> int:
         "jobs": JOBS,
         "cpus": os.cpu_count(),
         "designs": results,
+        "batch": batch,
         "total_cold_s": round(total_cold, 3),
         "total_warm_s": round(total_warm, 4),
         "overall_warm_speedup": round(overall, 1),
@@ -137,11 +186,18 @@ def main() -> int:
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT_PATH}  (overall warm speedup {overall:.1f}x)")
 
+    status = 0
     if overall < WARM_GATE:
         print(f"FAIL: overall warm-cache speedup {overall:.1f}x < "
               f"{WARM_GATE}x", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    if ((os.cpu_count() or 1) >= POOL_GATE_MIN_CPUS
+            and batch["batch_speedup"] < POOL_GATE):
+        print(f"FAIL: pooled batch compile {batch['batch_speedup']}x < "
+              f"{POOL_GATE}x serial on {os.cpu_count()} CPUs",
+              file=sys.stderr)
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

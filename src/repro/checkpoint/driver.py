@@ -95,6 +95,7 @@ def run_with_checkpoints(
         exception_stall: int = 500, profiler=None,
         store: CheckpointStore | None = None,
         checkpoint_every: int = 0, resume: bool = False,
+        shards: int = 0, transport: str = "process",
         on_start: Callable[[Machine, bool], None] | None = None,
         on_vcycle: Callable[[Machine], None] | None = None,
 ) -> CheckpointedRun:
@@ -112,6 +113,12 @@ def run_with_checkpoints(
     collectors bind to the machine; ``on_vcycle`` after every completed
     Vcycle - the hook tests and the CLI throttle use to make runs
     interruptible at known points.
+
+    ``shards=K`` runs (and resumes) on a K-way
+    :class:`~repro.machine.shard.ShardedMachine` over ``transport``
+    instead of a single-process :class:`Machine`; the published
+    snapshots stay standard single-process images, so sharded and solo
+    invocations can resume each other's checkpoints.
     """
     rejected: list[RejectedSnapshot] = []
     machine: Machine | None = None
@@ -124,7 +131,8 @@ def run_with_checkpoints(
             try:
                 machine = restore(snapshot, program=program,
                                   config=config, engine=engine,
-                                  profiler=profiler)
+                                  profiler=profiler, shards=shards,
+                                  transport=transport)
             except SnapshotError as exc:
                 rejected.append(RejectedSnapshot(path, str(exc)))
                 continue
@@ -133,9 +141,16 @@ def run_with_checkpoints(
             break
 
     if machine is None:
-        machine = Machine(program, config, engine=engine,
-                          exception_stall=exception_stall,
-                          profiler=profiler)
+        if shards:
+            from ..machine.shard import ShardedMachine
+            machine = ShardedMachine(
+                program, config, shards=shards, engine=engine,
+                exception_stall=exception_stall, profiler=profiler,
+                transport=transport)
+        else:
+            machine = Machine(program, config, engine=engine,
+                              exception_stall=exception_stall,
+                              profiler=profiler)
 
     if on_start is not None:
         on_start(machine, resumed_from is not None)

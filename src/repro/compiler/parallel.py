@@ -3,34 +3,43 @@
 Two compiler phases are embarrassingly parallel across partitions:
 per-process custom-function synthesis (:mod:`repro.compiler.custom`) and
 per-core dependence/priority construction inside the list scheduler
-(:mod:`repro.compiler.schedule`).  Both fan out over a
-``concurrent.futures`` process pool through :func:`parallel_map`, which
-preserves input order so a ``jobs=N`` compile produces a **bit-identical**
-``MachineProgram`` to ``jobs=1`` (enforced by
+(:mod:`repro.compiler.schedule`).  Both fan out over the **persistent**
+worker pool (:mod:`repro.pool`) through :func:`parallel_map`, which
+preserves input order so a ``jobs=N`` compile produces a
+**bit-identical** ``MachineProgram`` to ``jobs=1`` (enforced by
 ``tests/test_parallel_compile.py`` and the CI determinism check).
 
-:func:`compile_many` is the batch entry point the benchmark harness uses
-so figure sweeps compile their whole design set concurrently, with the
-content-addressed cache (:mod:`repro.compiler.cache`) consulted in the
-parent before any worker is spawned.
+The PR-2 incarnation forked a fresh ``ProcessPoolExecutor`` per phase
+and was measurably *slower* than serial; the pool here spawns its
+workers once per session and keeps their module state warm, so only
+the argument chunks cross the pipes.
+
+:func:`compile_many` is the batch entry point the benchmark harness
+uses so figure sweeps compile their whole design set concurrently.
+When the content-addressed cache (:mod:`repro.compiler.cache`) is
+enabled, circuits are **spooled to disk** and workers return only the
+cache *key* of the artifact they compiled and stored — the parent
+rehydrates results from the cache, so no ``CompileResult`` is ever
+pickled over a pipe.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+import tempfile
 from dataclasses import replace
+from pathlib import Path
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..netlist.ir import Circuit
 from ..obs.trace import span as _span
+from ..pool import PoolWorkerLost, get_pool
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Below this many items a pool is never worth its spawn cost.
+#: Below this many items a pool is never worth its dispatch cost.
 MIN_ITEMS_FOR_POOL = 2
 
 
@@ -46,13 +55,14 @@ def resolve_jobs(jobs: int | None) -> int:
 
 def parallel_map(fn: Callable[[T], R], items: Iterable[T],
                  jobs: int | None, chunksize: int = 1) -> list[R]:
-    """``[fn(x) for x in items]``, fanned over a process pool.
+    """``[fn(x) for x in items]``, fanned over the persistent pool.
 
     Results come back in input order regardless of completion order, so
     callers that apply them index-aligned stay deterministic.  Worker
-    exceptions propagate to the caller; pool-infrastructure failures
-    (unpicklable payloads, a broken pool) silently fall back to the
-    serial path, which either succeeds or reproduces the real error.
+    exceptions propagate to the caller with their original type;
+    pool-infrastructure failures (a function the pool cannot dispatch
+    by name, a worker that dies twice) silently fall back to the serial
+    path, which either succeeds or reproduces the real error.
     """
     items = list(items)
     workers = min(resolve_jobs(jobs), len(items))
@@ -60,9 +70,8 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T],
         return [fn(x) for x in items]
     with _span("compile.parallel_map", items=len(items), workers=workers):
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(fn, items, chunksize=chunksize))
-        except (pickle.PicklingError, BrokenProcessPool, OSError):
+            return get_pool(workers).map(fn, items)
+        except (pickle.PicklingError, PoolWorkerLost, OSError):
             return [fn(x) for x in items]
 
 
@@ -71,21 +80,37 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T],
 # ----------------------------------------------------------------------
 
 def _compile_worker(payload):
-    """Module-level so it pickles into pool workers."""
+    """Module-level so the pool can dispatch it by name."""
     circuit, options = payload
     from .driver import compile_circuit
     return compile_circuit(circuit, options)
+
+
+def _compile_spooled(spool_path: str) -> str:
+    """Compile a spooled ``(circuit, options)`` file; the options carry
+    ``cache_dir``, so the artifact lands in the content-addressed cache
+    and only its **key** returns over the pipe."""
+    with open(spool_path, "rb") as f:
+        circuit, options = pickle.load(f)
+    from .driver import compile_circuit
+    result = compile_circuit(circuit, options)
+    cache_info = result.report.cache
+    if not cache_info:
+        raise RuntimeError("spooled compile ran without a cache")
+    return cache_info["key"]
 
 
 def compile_many(circuits: Sequence[Circuit], options=None,
                  jobs: int | None = None):
     """Compile a batch of circuits concurrently; results in input order.
 
-    The cache (when ``options.cache_dir`` is set) is probed in the parent
-    so hits never cost a worker; misses compile in a process pool (one
-    whole pipeline per worker, ``jobs=1`` inside to avoid nested pools)
-    and are stored by the parent.  ``jobs=None`` defaults to
-    ``options.jobs``.
+    The cache (when ``options.cache_dir`` is set) is probed in the
+    parent so hits never cost a worker.  Misses are spooled to temp
+    files; pool workers compile **and store** them (``jobs=1`` inside
+    to avoid nested fan-out) and return cache keys, which the parent
+    rehydrates — artifacts travel through the content-addressed store,
+    not the pipes.  Without a cache the circuits are shipped pickled,
+    as before.  ``jobs=None`` defaults to ``options.jobs``.
     """
     from .cache import cache_from_options
     from .driver import CompilerOptions
@@ -108,16 +133,43 @@ def compile_many(circuits: Sequence[Circuit], options=None,
                 continue
         miss_idx.append(i)
 
-    # Workers run the plain pipeline: no nested pools, no cache I/O.
-    worker_options = replace(options, jobs=1, cache_dir=None)
-    compiled = parallel_map(
-        _compile_worker,
-        [(circuits[i], worker_options) for i in miss_idx],
-        jobs,
-    )
-    for i, result in zip(miss_idx, compiled):
-        if cache is not None:
+    # Workers run the plain pipeline: no nested fan-out.
+    worker_options = replace(options, jobs=1)
+    if cache is None or len(miss_idx) < MIN_ITEMS_FOR_POOL or jobs <= 1:
+        compiled = parallel_map(
+            _compile_worker,
+            [(circuits[i], replace(worker_options, cache_dir=None))
+             for i in miss_idx],
+            jobs,
+        )
+        for i, result in zip(miss_idx, compiled):
+            if cache is not None:
+                cache.put(keys[i], result)
+                result.report.cache = cache.describe("miss", keys[i])
+            results[i] = result
+        return results
+
+    with tempfile.TemporaryDirectory(prefix="repro-spool-") as spool:
+        paths = []
+        for i in miss_idx:
+            path = Path(spool) / f"{i}.pkl"
+            with open(path, "wb") as f:
+                pickle.dump((circuits[i], worker_options), f,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            paths.append(str(path))
+        with _span("compile.compile_many", misses=len(miss_idx),
+                   workers=jobs):
+            worker_keys = parallel_map(_compile_spooled, paths, jobs)
+    for i, key in zip(miss_idx, worker_keys):
+        result = None
+        if isinstance(key, str):
+            result = cache.get(key)
+        if result is None:
+            # Worker artifact vanished (eviction race, put failure):
+            # recompile here rather than surface an infra error.
+            result = _compile_worker(
+                (circuits[i], replace(worker_options, cache_dir=None)))
             cache.put(keys[i], result)
-            result.report.cache = cache.describe("miss", keys[i])
+        result.report.cache = cache.describe("miss", keys[i])
         results[i] = result
     return results

@@ -66,6 +66,11 @@ class OracleSpec:
     #: engine trust its kernel from Vcycle one with no strict
     #: verification - the harshest differential test of emitted code.
     verify_vcycles: int | None = None
+    #: Run on a K-way :class:`~repro.machine.shard.ShardedMachine`
+    #: (in-process transport - the barrier protocol, rollback, and
+    #: counter/display merge are what differentiate; the pipe transport
+    #: is exercised by the shard equivalence tests and CI smoke).
+    shards: int = 0
 
     def describe(self) -> str:
         parts = [self.kind, self.engine]
@@ -78,6 +83,8 @@ class OracleSpec:
             parts.append("checkpointed")
         if self.verify_vcycles is not None:
             parts.append(f"verify={self.verify_vcycles}")
+        if self.shards:
+            parts.append(f"shards={self.shards}")
         if self.fault:
             parts.append(f"fault={self.fault}")
         return f"{self.name} ({', '.join(parts)})"
@@ -86,10 +93,10 @@ class OracleSpec:
 def _machine(name: str, engine: str = "strict", fault: str | None = None,
              through_cache: bool = False, profiled: bool = False,
              checkpoint: bool = False, verify_vcycles: int | None = None,
-             **options) -> OracleSpec:
+             shards: int = 0, **options) -> OracleSpec:
     return OracleSpec(name, "machine", engine,
                       tuple(sorted(options.items())), fault, through_cache,
-                      profiled, checkpoint, verify_vcycles)
+                      profiled, checkpoint, verify_vcycles, shards)
 
 
 #: Registry of every known oracle.  ``golden`` (the strict interpreter)
@@ -117,6 +124,10 @@ ORACLES: dict[str, OracleSpec] = {
                  verify_vcycles=0),
         _machine("machine-codegen-ckpt", engine="codegen",
                  checkpoint=True),
+        _machine("machine-sharded", engine="fast", shards=2),
+        _machine("machine-sharded-strict", shards=3),
+        _machine("machine-sharded-ckpt", engine="fast", shards=2,
+                 checkpoint=True),
         # Fault-injection oracles: deliberately wrong semantics used by
         # the self-tests and as live demos of a failing replay.
         OracleSpec("golden-buggy-sub", "interp", "strict",
@@ -132,7 +143,7 @@ MATRICES: dict[str, tuple[str, ...]] = {
                 "machine-permissive", "machine-fast",
                 "machine-fast-profiled", "machine-fast-ckpt",
                 "machine-codegen", "machine-codegen-trust0",
-                "machine-codegen-ckpt"),
+                "machine-codegen-ckpt", "machine-sharded"),
     "full": ("interp-fast", "baseline-serial", "machine-strict",
              "machine-permissive", "machine-fast",
              "machine-strict-nomem2reg", "machine-strict-nocoalesce",
@@ -141,7 +152,8 @@ MATRICES: dict[str, tuple[str, ...]] = {
              "machine-strict-cached", "machine-fast-nomem2reg",
              "machine-fast-profiled", "machine-fast-ckpt",
              "machine-codegen", "machine-codegen-trust0",
-             "machine-codegen-ckpt"),
+             "machine-codegen-ckpt", "machine-sharded",
+             "machine-sharded-strict", "machine-sharded-ckpt"),
 }
 
 
@@ -424,8 +436,20 @@ def run_oracle(spec: OracleSpec, make_circuit: Callable[[], Circuit],
                     config = dataclasses.replace(
                         config,
                         fastpath_verify_vcycles=spec.verify_vcycles)
-                machine = Machine(result.program, config,
-                                  engine=spec.engine, profiler=profiler)
+                if spec.shards:
+                    # In-process transport: the fuzzer hammers the
+                    # barrier protocol itself (partition, rollback,
+                    # merge); the pipe transport is covered by the
+                    # shard equivalence suite and the CI smoke job.
+                    from ..machine import ShardedMachine
+                    machine = ShardedMachine(
+                        result.program, config, shards=spec.shards,
+                        engine=spec.engine, profiler=profiler,
+                        transport="local")
+                else:
+                    machine = Machine(result.program, config,
+                                      engine=spec.engine,
+                                      profiler=profiler)
                 if spec.checkpoint:
                     from .. import checkpoint as ckpt
                     machine.run(max(1, cycles // 2))
@@ -433,7 +457,9 @@ def run_oracle(spec: OracleSpec, make_circuit: Callable[[], Circuit],
                         ckpt.encode_snapshot(ckpt.capture(machine)))
                     machine = ckpt.restore(snap, program=result.program,
                                            config=config,
-                                           profiler=profiler)
+                                           profiler=profiler,
+                                           shards=spec.shards,
+                                           transport="local")
                 mres = machine.run(cycles)
                 if profiler is not None:
                     problem = check_profile_invariants(profiler, mres)

@@ -1,0 +1,1095 @@
+"""Sharded grid execution: K contiguous torus tiles, one barrier per Vcycle.
+
+Manticore's static BSP schedule makes partition boundaries clean
+(Parendi, PAPERS.md): every Send's issue cycle, route, arrival time and
+receive slot are fixed at compile time, so a shard knows *statically*
+which messages cross each cut and in what order.  Only the 16-bit
+payload values are dynamic.  This module cuts the grid into K contiguous
+row bands and runs each band as a :class:`ShardMachine` that exchanges
+exactly those payloads once per Vcycle:
+
+* **phase 1 (body)** - every shard runs its body (non-receive) events in
+  local ``(cycle, core)`` order.  Cross-shard Sends append their value to
+  a per-destination outbox in the statically planned channel order;
+  local Sends enqueue with their *global* send rank so queue ordering is
+  identical to single-process execution.
+* **barrier** - the coordinator forwards each outbox to its destination
+  shard (the per-edge boundary channels).
+* **phase 2 (tail)** - shards inject incoming payloads as
+  ``(arrival, rank, rd, value)`` queue entries and run their receive
+  epilogue plus the end-of-Vcycle writeback drain.
+
+Reordering body-before-tail is sound because each core's own event order
+is preserved (all of a core's body events precede its receive slots) and
+cores only interact through messages, which phase 2 sees in full.
+
+**Mid-Vcycle $finish** is the one global event that breaks the phase
+split: the privileged core can stop the grid between two body events,
+and single-process execution truncates *everything* after that point.
+Shards therefore run phase 1 optimistically against a per-Vcycle local
+snapshot; when the privileged shard reports a stop key ``(cycle, core)``,
+every shard rolls back and replays the interleaved strict event loop
+truncated at that key (boundary payloads stay valid under truncation
+because body execution never depends on incoming messages).
+
+Global NoC collision detection survives sharding: each shard seeds its
+``(link, cycle)`` reservation set with the static slots of every foreign
+Send before checking its own, so any colliding pair is caught by at
+least one shard.
+
+The privileged core's shard owns all global services (cache/DRAM,
+exceptions, ``$display``/``$finish``) - they were already confined to one
+core by ``_check_privileged``, so sharding them is free.  ``codegen`` is
+not shardable (its kernel holds whole-grid frame locals); use
+``engine="fast"`` - :class:`ShardFastEngine` splits the compiled trace at
+the phase boundary and keeps verify-once-then-trust per shard.
+
+:class:`ShardedMachine` is the coordinator.  ``transport="local"`` runs
+every shard in-process (the reference for tests); ``transport="process"``
+runs them in persistent worker processes (:mod:`repro.machine.shardpool`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass, field, replace
+
+from ..isa import instructions as isa
+from ..isa.interp import NoCDropError
+from ..isa.program import MachineProgram
+from ..obs.trace import span as _span
+from .cache import CacheStats, _Line
+from .config import MachineConfig
+from .fastpath import (FastEngine, FastpathUnsupported, _VcycleAbort,
+                       _c_expect, _c_recv, _c_send)
+from .grid import (COMPILED_ENGINES, ENGINES, EXCEPTION_SERVICING_ENGINES,
+                   Machine, MachineResult, PerfCounters)
+
+
+# ---------------------------------------------------------------------------
+# Static partition plan
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SendRef:
+    """One statically-known Send of the Vcycle schedule.
+
+    ``rank`` is the send's position in the global ``(cycle, src)`` event
+    order - the same order ``route_message`` assigns queue sequence
+    numbers in, which is what keeps sharded receive queues popping in
+    the exact single-process order.
+    """
+
+    rank: int
+    cycle: int
+    src: int
+    dst: int
+    rd: int
+    arrival: int
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one shard needs to run its tile (picklable, static)."""
+
+    shard_id: int
+    n_shards: int
+    rows: tuple[int, ...]
+    core_ids: tuple[int, ...]
+    privileged: bool
+    #: Sends with both endpoints in this shard (keyed for rank lookup).
+    local_sends: tuple[SendRef, ...]
+    #: dst shard -> refs this shard sends there, in rank order.
+    out_channels: dict[int, tuple[SendRef, ...]]
+    #: src shard -> refs arriving here, in rank order.
+    in_channels: dict[int, tuple[SendRef, ...]]
+    #: static (link, cycle) slots of every *foreign* Send - seeded into
+    #: the reservation set so local collision checks stay globally sound.
+    foreign_slots: tuple[tuple[tuple, int], ...]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full K-way partition of one compiled program."""
+
+    n_shards: int
+    grid: tuple[int, int]
+    specs: tuple[ShardSpec, ...]
+    shard_of: tuple[int, ...]       # linear core id -> shard id
+    privileged_shard: int
+
+    def boundary_sends(self) -> int:
+        return sum(len(refs) for spec in self.specs
+                   for refs in spec.out_channels.values())
+
+
+def partition(program: MachineProgram, config: MachineConfig,
+              n_shards: int) -> ShardPlan:
+    """Cut the torus into ``n_shards`` contiguous row bands and compute
+    the static boundary-message channels between them."""
+    gx, gy = program.grid
+    if (config.grid_x, config.grid_y) != program.grid:
+        raise ValueError("program was compiled for a different grid")
+    if not 1 <= n_shards <= gy:
+        raise ValueError(
+            f"shards must be in [1, grid_y={gy}] (contiguous row bands); "
+            f"got {n_shards}")
+    base, rem = divmod(gy, n_shards)
+    rows_per: list[tuple[int, ...]] = []
+    y = 0
+    for s in range(n_shards):
+        n = base + (1 if s < rem else 0)
+        rows_per.append(tuple(range(y, y + n)))
+        y += n
+    row_shard = {r: s for s, rows in enumerate(rows_per) for r in rows}
+    shard_of = tuple(row_shard[cid // gx] for cid in range(gx * gy))
+
+    # Enumerate every Send of the Vcycle schedule in global event order
+    # ((cycle, src) - one instruction per core per cycle, so unique).
+    sends: list[tuple[int, int, isa.Send]] = []
+    for cid in sorted(program.cores):
+        for cycle, instr in enumerate(program.cores[cid].body):
+            if isinstance(instr, isa.Send):
+                sends.append((cycle, cid, instr))
+    sends.sort(key=lambda t: (t[0], t[1]))
+
+    refs: list[SendRef] = []
+    slots_of: list[tuple[tuple[tuple, int], ...]] = []
+    for rank, (cycle, src, instr) in enumerate(sends):
+        route = config.route(src, instr.target)
+        t0 = cycle + config.noc_inject_latency
+        arrival = t0 + len(route) + config.noc_eject_latency
+        slots = tuple([((kind, x, yy), t0 + j)
+                       for j, (kind, x, yy) in enumerate(route)]
+                      + [(("EJ", instr.target), arrival)])
+        refs.append(SendRef(rank=rank, cycle=cycle, src=src,
+                            dst=instr.target, rd=instr.rd, arrival=arrival))
+        slots_of.append(slots)
+
+    locals_: list[list[SendRef]] = [[] for _ in range(n_shards)]
+    outs: list[dict[int, list[SendRef]]] = [{} for _ in range(n_shards)]
+    ins: list[dict[int, list[SendRef]]] = [{} for _ in range(n_shards)]
+    foreign: list[list[tuple[tuple, int]]] = [[] for _ in range(n_shards)]
+    for ref, slots in zip(refs, slots_of):
+        sa, sb = shard_of[ref.src], shard_of[ref.dst]
+        if sa == sb:
+            locals_[sa].append(ref)
+        else:
+            outs[sa].setdefault(sb, []).append(ref)
+            ins[sb].setdefault(sa, []).append(ref)
+        for s in range(n_shards):
+            if s != sa:
+                foreign[s].extend(slots)
+
+    specs = []
+    for s in range(n_shards):
+        core_ids = tuple(cid for cid in sorted(program.cores)
+                         if shard_of[cid] == s)
+        specs.append(ShardSpec(
+            shard_id=s, n_shards=n_shards, rows=rows_per[s],
+            core_ids=core_ids,
+            privileged=(shard_of[program.privileged_core] == s),
+            local_sends=tuple(locals_[s]),
+            out_channels={d: tuple(v) for d, v in sorted(outs[s].items())},
+            in_channels={d: tuple(v) for d, v in sorted(ins[s].items())},
+            foreign_slots=tuple(foreign[s]),
+        ))
+    return ShardPlan(n_shards=n_shards, grid=program.grid,
+                     specs=tuple(specs), shard_of=shard_of,
+                     privileged_shard=shard_of[program.privileged_core])
+
+
+# ---------------------------------------------------------------------------
+# Boundary payload codec (the process transport's wire format)
+# ---------------------------------------------------------------------------
+def encode_payload(values: list[int]) -> bytes:
+    """Pack one boundary channel's Vcycle payload as little-endian u16s."""
+    return struct.pack(f"<{len(values)}H", *(v & 0xFFFF for v in values))
+
+
+def decode_payload(data: bytes) -> list[int]:
+    n, rem = divmod(len(data), 2)
+    if rem:
+        raise ValueError(f"boundary payload has odd length {len(data)}")
+    return list(struct.unpack(f"<{n}H", data))
+
+
+# ---------------------------------------------------------------------------
+# Per-shard machine
+# ---------------------------------------------------------------------------
+class _ShardAbort(_VcycleAbort):
+    """Trusted-trace abort carrying the global stop key for rollback."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: tuple[int, int]) -> None:
+        super().__init__(0, 0)
+        self.key = key
+
+
+class ShardMachine(Machine):
+    """One contiguous tile of the grid, driven by a coordinator through
+    ``run_body()`` / ``finish_vcycle()`` instead of ``step_vcycle()``."""
+
+    def __init__(self, program: MachineProgram, spec: ShardSpec,
+                 config: MachineConfig | None = None,
+                 engine: str = "strict", exception_stall: int = 500,
+                 profiler=None) -> None:
+        self.spec = spec
+        self._shard_ready = False
+        sub = replace(
+            program,
+            cores={cid: program.cores[cid] for cid in spec.core_ids},
+            global_init=dict(program.global_init) if spec.privileged else {},
+        )
+        super().__init__(sub, config=config, engine=engine,
+                         exception_stall=exception_stall, profiler=profiler)
+        self._init_shard()
+
+    # -- static shard structures (idempotent; may be forced early by
+    # -- _ensure_fastpath during Machine.__init__ when verify_vcycles=0)
+    def _init_shard(self) -> None:
+        if self._shard_ready:
+            return
+        spec = self.spec
+        self._body_events = [e for e in self._vcycle_events
+                             if e[2] != "recv"]
+        self._tail_events = [e for e in self._vcycle_events
+                             if e[2] == "recv"]
+        self._foreign_slots = frozenset(
+            (tuple(link), cycle) for link, cycle in spec.foreign_slots)
+        send_ref: dict[tuple[int, int], SendRef] = {
+            (r.cycle, r.src): r for r in spec.local_sends}
+        out_pos: dict[tuple[int, int], tuple[int, int]] = {}
+        for dst_shard, refs in spec.out_channels.items():
+            for k, r in enumerate(refs):
+                send_ref[(r.cycle, r.src)] = r
+                out_pos[(r.cycle, r.src)] = (dst_shard, k)
+        self._send_ref = send_ref
+        self._out_pos = out_pos
+        # Receive-destination registers per core (for snapshot write sets).
+        recv_rds: dict[int, set[int]] = {cid: set() for cid in self.cores}
+        for r in spec.local_sends:
+            if r.dst in recv_rds:
+                recv_rds[r.dst].add(r.rd)
+        for refs in spec.in_channels.values():
+            for r in refs:
+                if r.dst in recv_rds:
+                    recv_rds[r.dst].add(r.rd)
+        self._reg_write_set = {}
+        self._snap_scratch = {}
+        for cid, core in self.cores.items():
+            written = set(recv_rds[cid])
+            stores = False
+            for _cycle, instr in core.events:
+                ws = instr.writes()
+                if ws:
+                    written.add(ws[0])
+                if type(instr) is isa.LocalStore:
+                    stores = True
+            self._reg_write_set[cid] = sorted(written)
+            self._snap_scratch[cid] = stores and core.scratch is not None
+        self._snap_cache = spec.privileged and any(
+            type(instr) in (isa.GlobalLoad, isa.GlobalStore, isa.Expect)
+            for core in self.cores.values() for _c, instr in core.events)
+        self._outbox: dict[int, list[int]] = {}
+        self._snapshot = None
+        self._main_prof = None
+        self._vstart: tuple | None = None
+        self._ran_trusted = False
+        self._shard_ready = True
+
+    # -- engine hooks ---------------------------------------------------
+    def _ensure_fastpath(self) -> bool:
+        if self._fastpath is None and self._fastpath_error is None:
+            self._init_shard()
+            try:
+                with _span("machine.shardpath.compile"):
+                    self._fastpath = ShardFastEngine(self)
+            except FastpathUnsupported as exc:
+                self._fastpath_error = str(exc)
+        return self._fastpath is not None
+
+    def route_message(self, src: int, dst: int, rd: int,
+                      value: int) -> None:
+        cfg = self.config
+        route = cfg.route(src, dst)
+        t0 = self.now + cfg.noc_inject_latency
+        slots = [((kind, x, y), t0 + j)
+                 for j, (kind, x, y) in enumerate(route)]
+        arrival = t0 + len(route) + cfg.noc_eject_latency
+        slots.append((("EJ", dst), arrival))
+        for slot in slots:
+            if slot in self._link_busy:
+                raise NoCDropError(
+                    f"link collision on {slot[0]} at cycle {slot[1]} "
+                    f"(message {src}->{dst})"
+                )
+        self._link_busy.update(slots)
+        self._msg_seq += 1
+        self.counters.messages += 1
+        ref = self._send_ref[(self.now, src)]
+        target = self._out_pos.get((self.now, src))
+        if target is None:
+            heapq.heappush(self.cores[dst].queue,
+                           (arrival, ref.rank, rd, value))
+        else:
+            self._outbox[target[0]].append(value & 0xFFFF)
+        if self.profiler is not None:
+            self.profiler.record_message(src, dst, route)
+
+    # -- per-Vcycle local snapshot (rollback support) -------------------
+    def _take_snapshot(self):
+        cores = []
+        for cid, core in self.cores.items():
+            regs = core.regs
+            cores.append((
+                cid,
+                [regs[i] for i in self._reg_write_set[cid]],
+                core.scratch.copy() if self._snap_scratch[cid] else None,
+                core.carry, core.predicate,
+                list(core.pending), list(core.queue),
+            ))
+        c = self.counters
+        cache = None
+        if self._snap_cache:
+            cache = (
+                {idx: (ln.tag, ln.dirty, ln.data.copy())
+                 for idx, ln in self.cache.lines.items()},
+                dict(self.cache.dram),
+                self.cache.stats.as_dict(),
+            )
+        return (cores, (c.vcycles, c.compute_cycles, c.stall_cycles,
+                        c.instructions, c.messages, c.exceptions),
+                len(self.displays), cache, self._msg_seq)
+
+    def _restore_snapshot(self, snap) -> None:
+        for cid, regs, scratch, carry, predicate, pending, queue in snap[0]:
+            core = self.cores[cid]
+            for i, v in zip(self._reg_write_set[cid], regs):
+                core.regs[i] = v
+            if scratch is not None:
+                core.scratch[:] = scratch
+            core.carry = carry
+            core.predicate = predicate
+            core.pending = list(pending)
+            core.queue = list(queue)
+        c = self.counters
+        (c.vcycles, c.compute_cycles, c.stall_cycles,
+         c.instructions, c.messages, c.exceptions) = snap[1]
+        del self.displays[snap[2]:]
+        if snap[3] is not None:
+            lines = {}
+            for idx, (tag, dirty, data) in snap[3][0].items():
+                line = _Line(tag, data)
+                line.dirty = dirty
+                lines[idx] = line
+            self.cache.lines = lines
+            self.cache.dram = snap[3][1]
+            self.cache.stats.load_dict(snap[3][2])
+        self._msg_seq = snap[4]
+        self.finished = False
+
+    # -- phase 1: optimistic body -----------------------------------------
+    def run_body(self) -> tuple[tuple[int, int] | None, dict[int, list[int]]]:
+        """Run this Vcycle's body events; returns (stop_key, outboxes).
+
+        ``stop_key`` is the global ``(cycle, core)`` position of a
+        ``$finish`` (privileged shard only), else None.  Outbox payloads
+        are valid even under a later stop: entries are in channel (rank)
+        order and truncation is receiver-side by static key.
+        """
+        if self.finished:
+            return None, {}
+        self._snapshot = self._take_snapshot()
+        c = self.counters
+        self._vstart = (c.vcycles, c.compute_cycles, c.stall_cycles,
+                        c.instructions, c.messages, c.exceptions)
+        if self.profiler is not None:
+            from ..obs.profiler import Profiler
+            self._main_prof = self.profiler
+            temp = Profiler(sample_cap=self._main_prof.sample_cap)
+            temp.grid = self._main_prof.grid
+            self.profiler = temp
+        self._outbox = {s: [] for s in self.spec.out_channels}
+        self._ran_trusted = self._trusted
+        if self._trusted:
+            stop = self._fastpath.run_body_trace()
+            out = ({s: list(v) for s, v in self._fastpath._out.items()}
+                   if self._fastpath._out else {})
+            return stop, out
+        stop = self._run_body_strict()
+        return stop, {s: list(v) for s, v in self._outbox.items()}
+
+    def _run_body_strict(self) -> tuple[int, int] | None:
+        from ..isa.semantics import execute
+        prof = self.profiler
+        counters = self.counters
+        busy = self._link_busy
+        busy.clear()
+        busy.update(self._foreign_slots)
+        for cycle, cid, item in self._body_events:
+            self.now = cycle
+            core = self.cores[cid]
+            core.commit_writes(cycle)
+            execute(item, core)
+            counters.instructions += 1
+            if prof is not None:
+                prof.record_instruction(cid)
+            if self.finished:
+                return (cycle, cid)
+        return None
+
+    # -- phase 2: exchange + tail ---------------------------------------
+    def finish_vcycle(self, in_payloads: dict[int, list[int]],
+                      stop: tuple[int, int] | None) -> None:
+        """Complete the Vcycle after the barrier exchange.
+
+        ``in_payloads`` maps source shard -> that shard's full outbox
+        for us; ``stop`` is the grid-wide finish key (or None).  On a
+        stop the optimistic body is rolled back and the interleaved
+        strict event loop replays truncated at the key - on *every*
+        shard, so final state is bit-identical to single-process.
+        """
+        try:
+            if stop is None:
+                if self._ran_trusted:
+                    self._fastpath.run_finish_trace(in_payloads)
+                else:
+                    self._inject_queues(in_payloads, None)
+                    self._run_tail_strict()
+            else:
+                self._restore_snapshot(self._snapshot)
+                if self._main_prof is not None:
+                    from ..obs.profiler import Profiler
+                    temp = Profiler(sample_cap=self._main_prof.sample_cap)
+                    temp.grid = self._main_prof.grid
+                    self.profiler = temp
+                self._inject_queues(in_payloads, stop)
+                self._replay_truncated(stop)
+                self.finished = True
+            self._end_vcycle()
+        finally:
+            self._snapshot = None
+            if self._main_prof is not None:
+                self._main_prof.absorb(self.profiler)
+                self.profiler = self._main_prof
+                self._main_prof = None
+
+    def _inject_queues(self, in_payloads: dict[int, list[int]],
+                       stop: tuple[int, int] | None) -> None:
+        for src_shard, refs in self.spec.in_channels.items():
+            values = in_payloads.get(src_shard) or []
+            for i, ref in enumerate(refs):
+                if stop is not None and (ref.cycle, ref.src) >= stop:
+                    break
+                heapq.heappush(self.cores[ref.dst].queue,
+                               (ref.arrival, ref.rank, ref.rd, values[i]))
+
+    def _run_tail_strict(self) -> None:
+        prof = self.profiler
+        for cycle, cid, _item in self._tail_events:
+            self.now = cycle
+            core = self.cores[cid]
+            core.commit_writes(cycle)
+            if not core.queue:
+                raise NoCDropError(
+                    f"core {cid}: receive slot at cycle {cycle} has "
+                    "no queued message"
+                )
+            arrival, _seq, rd, value = heapq.heappop(core.queue)
+            if arrival > cycle:
+                raise NoCDropError(
+                    f"core {cid}: message arrives at {arrival} after "
+                    f"its receive slot at {cycle}"
+                )
+            core.regs[rd] = value & 0xFFFF
+            if prof is not None:
+                prof.record_receive(cid)
+        vcpl = self.program.vcpl
+        for core in self.cores.values():
+            core.commit_writes(vcpl)
+            if core.queue:
+                raise NoCDropError(
+                    f"core {core.core_id}: {len(core.queue)} messages "
+                    "left unconsumed at Vcycle end"
+                )
+
+    def _replay_truncated(self, stop: tuple[int, int]) -> None:
+        from ..isa.semantics import execute
+        prof = self.profiler
+        counters = self.counters
+        busy = self._link_busy
+        busy.clear()
+        busy.update(self._foreign_slots)
+        self._outbox = {s: [] for s in self.spec.out_channels}
+        for cycle, cid, item in self._vcycle_events:
+            if (cycle, cid) > stop:
+                break
+            self.now = cycle
+            core = self.cores[cid]
+            core.commit_writes(cycle)
+            if item == "recv":
+                arrival, _seq, rd, value = heapq.heappop(core.queue)
+                core.regs[rd] = value & 0xFFFF
+                if prof is not None:
+                    prof.record_receive(cid)
+            else:
+                execute(item, core)
+                counters.instructions += 1
+                if prof is not None:
+                    prof.record_instruction(cid)
+            if self.finished:
+                break
+        vcpl = self.program.vcpl
+        for core in self.cores.values():
+            core.commit_writes(vcpl)
+
+    def _end_vcycle(self) -> None:
+        c = self.counters
+        c.vcycles += 1
+        c.compute_cycles += self.program.vcpl
+        self.now = 0
+        base = self._vstart
+        exc_delta = c.exceptions - base[5]
+        if self.engine in COMPILED_ENGINES:
+            if self._ran_trusted:
+                if exc_delta and not self._fastpath.services_exceptions:
+                    self._trusted = False
+                    self._verify_left = max(self._verify_left, 1)
+            else:
+                self._verify_left -= 1
+                if exc_delta and self.engine not in \
+                        EXCEPTION_SERVICING_ENGINES:
+                    self._verify_left = max(self._verify_left, 1)
+                elif self._verify_left <= 0 and self._ensure_fastpath():
+                    self._trusted = True
+        prof = self.profiler
+        if prof is not None:
+            prof.end_vcycle(base[0], c.compute_cycles - base[1],
+                            c.stall_cycles - base[2],
+                            c.instructions - base[3],
+                            c.messages - base[4], exc_delta)
+
+    # -- coordinator queries --------------------------------------------
+    def result_payload(self) -> dict:
+        return {
+            "counters": self.counters.as_dict(),
+            "displays": list(self.displays),
+            "finished": self.finished,
+            "cache_stats": self.cache.stats.as_dict(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The fast engine, split at the phase boundary
+# ---------------------------------------------------------------------------
+class ShardFastEngine(FastEngine):
+    """The verified fast path for one shard.
+
+    Reuses the base closure kernels but builds the trace over the
+    *reordered* event list (all body events, then all receive slots) so
+    it can pause at the barrier: ``run_body_trace`` executes the body
+    half (cross-shard Sends write positional out-buffers, aborts report
+    their static stop key), ``run_finish_trace`` scatters incoming
+    payloads into inbox slots and runs the tail half.  Per-core event
+    order is unchanged, so the commit plan (deferred writebacks into
+    receive latency windows) lands at the same strict positions.
+    """
+
+    def _build(self) -> None:
+        machine = self.machine
+        machine._init_shard()
+        spec = machine.spec
+        cfg = machine.config
+        cores = machine.cores
+        vcpl = machine.program.vcpl
+        latency = cfg.result_latency
+
+        body_events = machine._body_events
+        tail_events = machine._tail_events
+        send_ref = machine._send_ref
+        out_pos = machine._out_pos
+
+        # -- static message plan: local sends + remote arrivals ---------
+        per_target: dict[int, list] = {cid: [] for cid in cores}
+        recv_slots: dict[int, list[int]] = {cid: [] for cid in cores}
+        for cycle, cid, _item in tail_events:
+            recv_slots[cid].append(cycle)
+        for cycle, cid, item in body_events:
+            if type(item) is isa.Send:
+                ref = send_ref[(cycle, cid)]
+                if (cycle, cid) in out_pos:
+                    continue
+                if ref.dst not in per_target:
+                    raise FastpathUnsupported(
+                        f"Send to unmapped core {ref.dst}")
+                per_target[ref.dst].append(
+                    (ref.arrival, ref.rank, ref.rd, ("local", cycle, cid)))
+        for src_shard, refs in spec.in_channels.items():
+            for pos, ref in enumerate(refs):
+                if ref.dst not in per_target:
+                    raise FastpathUnsupported(
+                        f"Send to unmapped core {ref.dst}")
+                per_target[ref.dst].append(
+                    (ref.arrival, ref.rank, ref.rd, ("in", src_shard, pos)))
+        inbox_slot: dict[tuple[int, int], int] = {}
+        stage_plan: dict[int, list[tuple[int, int, int]]] = {
+            s: [] for s in spec.in_channels}
+        recv_rd: dict[int, list[int]] = {}
+        for cid in cores:
+            msgs = sorted(per_target[cid], key=lambda m: (m[0], m[1]))
+            slots = recv_slots[cid]
+            if len(msgs) != len(slots):
+                raise FastpathUnsupported(
+                    f"core {cid}: {len(msgs)} messages for {len(slots)} "
+                    "receive slots")
+            recv_rd[cid] = []
+            for j, (arrival, _rank, rd, tag) in enumerate(msgs):
+                if arrival > slots[j]:
+                    raise FastpathUnsupported(
+                        f"core {cid}: arrival {arrival} after receive "
+                        f"slot {slots[j]}")
+                if tag[0] == "local":
+                    inbox_slot[(tag[1], tag[2])] = j
+                else:
+                    stage_plan[tag[1]].append((tag[2], cid, j))
+                recv_rd[cid].append(rd)
+
+        # -- commit plan (identical rule to the base engine) -------------
+        deferred_regs: dict[int, set[int]] = {}
+        for cid, core in cores.items():
+            conflicts: set[int] = set()
+            pairs = list(zip(recv_slots[cid], recv_rd[cid]))
+            if pairs:
+                for cycle, instr in core.events:
+                    ws = instr.writes()
+                    if not ws:
+                        continue
+                    for s, rrd in pairs:
+                        if rrd == ws[0] and cycle < s < cycle + latency:
+                            conflicts.add(ws[0])
+                            break
+            deferred_regs[cid] = conflicts
+
+        # -- flatten body trace, then tail trace --------------------------
+        from collections import Counter, deque
+        from .fastpath import _c_commit, _c_defer, _value_fn
+
+        inboxes = {cid: [0] * len(recv_slots[cid]) for cid in cores}
+        out = {s: [0] * len(refs)
+               for s, refs in spec.out_channels.items()}
+        defers: dict[int, list] = {cid: [] for cid in cores}
+        defer_meta: dict[int, list[tuple[int, int]]] = {
+            cid: [] for cid in cores}
+        commit_q: dict[int, deque] = {cid: deque() for cid in cores}
+        recv_seen = {cid: 0 for cid in cores}
+        trace: list = []
+        n_instr = 0
+        n_msgs = 0
+        run_instr = {cid: 0 for cid in cores}
+        run_sends = {cid: 0 for cid in cores}
+        run_recvs = {cid: 0 for cid in cores}
+        send_routes: list[tuple] = []
+        for cycle, cid, item in body_events:
+            core = cores[cid]
+            regs = core.regs
+            q = commit_q[cid]
+            while q and q[0][0] <= cycle:
+                _c, k, rd = q.popleft()
+                trace.append(_c_commit(regs, defers[cid], k, rd))
+            n_instr += 1
+            run_instr[cid] += 1
+            ws = item.writes()
+            if ws and cycle + latency > vcpl:
+                raise FastpathUnsupported(
+                    f"core {cid}: writeback at {cycle + latency} past "
+                    f"VCPL {vcpl}")
+            if ws and ws[0] in deferred_regs[cid]:
+                k = len(defers[cid])
+                defers[cid].append(None)
+                defer_meta[cid].append((k, ws[0]))
+                trace.append(_c_defer(
+                    _value_fn(item, core, machine, cid), defers[cid], k))
+                q.append((cycle + latency, k, ws[0]))
+                continue
+            t = type(item)
+            if t is isa.Send:
+                pos = out_pos.get((cycle, cid))
+                if pos is None:
+                    ref = send_ref[(cycle, cid)]
+                    trace.append(_c_send(regs, item.rs, inboxes[ref.dst],
+                                         inbox_slot[(cycle, cid)]))
+                else:
+                    trace.append(_c_send(regs, item.rs, out[pos[0]],
+                                         pos[1]))
+                n_msgs += 1
+                run_sends[cid] += 1
+                send_routes.append(tuple(cfg.route(cid, item.target)))
+            elif t is isa.Expect:
+                abort = _ShardAbort((cycle, cid))
+                trace.append(_c_expect(regs, machine, cid, item.rs1,
+                                       item.rs2, item.eid, abort))
+            else:
+                trace.append(self._compile_instr(
+                    item, core, cid, inboxes, {}, -1, n_instr, n_msgs,
+                    (run_instr, run_sends, run_recvs)))
+        split = len(trace)
+        for cycle, cid, _item in tail_events:
+            core = cores[cid]
+            regs = core.regs
+            q = commit_q[cid]
+            while q and q[0][0] <= cycle:
+                _c, k, rd = q.popleft()
+                trace.append(_c_commit(regs, defers[cid], k, rd))
+            j = recv_seen[cid]
+            recv_seen[cid] = j + 1
+            trace.append(_c_recv(regs, recv_rd[cid][j], inboxes[cid], j))
+            run_recvs[cid] += 1
+        for cid in cores:
+            q = commit_q[cid]
+            while q:
+                _c, k, rd = q.popleft()
+                trace.append(_c_commit(cores[cid].regs, defers[cid], k, rd))
+
+        self._body_trace = trace[:split]
+        self._tail_trace = trace[split:]
+        self._trace = trace
+        self._inboxes = inboxes
+        self._out = out
+        self._stage_plan = stage_plan
+        self._n_instr = n_instr
+        self._n_msgs = n_msgs
+        self._defers = defers
+        self._defer_meta = defer_meta
+        self._core_instr = run_instr
+        self._core_sends = run_sends
+        self._core_recvs = run_recvs
+        self._send_routes = send_routes
+        link_hops: Counter = Counter()
+        for route in send_routes:
+            link_hops.update(route)
+        self._link_hops = dict(link_hops)
+
+    # ------------------------------------------------------------------
+    def run_body_trace(self) -> tuple[int, int] | None:
+        """Run the body half; returns the static stop key on $finish
+        (the rollback replays strictly - nothing here needs undoing
+        beyond the coordinator-driven snapshot restore)."""
+        try:
+            for fn in self._body_trace:
+                fn()
+        except _ShardAbort as abort:
+            return abort.key
+        return None
+
+    def run_finish_trace(self, in_payloads: dict[int, list[int]]) -> None:
+        inboxes = self._inboxes
+        for src_shard, plan in self._stage_plan.items():
+            values = in_payloads.get(src_shard) or []
+            for pos, cid, j in plan:
+                inboxes[cid][j] = values[pos]
+        for fn in self._tail_trace:
+            fn()
+        counters = self.machine.counters
+        counters.instructions += self._n_instr
+        counters.messages += self._n_msgs
+        prof = self.machine.profiler
+        if prof is not None:
+            prof.add_vcycle_bulk(self._core_instr, self._core_sends,
+                                 self._core_recvs, self._link_hops)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint-state merge/split (shards <-> standard Machine snapshots)
+# ---------------------------------------------------------------------------
+def merge_counter_dicts(dicts: list[dict], priv: int) -> dict:
+    """Merge per-shard PerfCounters dicts into the single-process view:
+    instructions/messages are sender-side sums; vcycles/compute are grid
+    clocks (identical everywhere); stalls/exceptions live on the
+    privileged shard only."""
+    out = dict(dicts[priv])
+    out["instructions"] = sum(d["instructions"] for d in dicts)
+    out["messages"] = sum(d["messages"] for d in dicts)
+    for d in dicts:
+        if d["vcycles"] != out["vcycles"]:
+            raise ValueError(
+                f"shard Vcycle counters diverged: {d['vcycles']} vs "
+                f"{out['vcycles']} (barrier protocol bug)")
+    return out
+
+
+def _empty_cache_state() -> dict:
+    from ..netlist.serialize import pack_pairs
+    return {"lines": [], "dram": pack_pairs([]),
+            "stats": {"hits": 0, "misses": 0, "writebacks": 0,
+                      "accesses": 0}}
+
+
+def merge_shard_states(states: list[dict], plan: ShardPlan) -> dict:
+    """Combine per-shard ``checkpoint_state()`` images into one standard
+    single-process snapshot (so sharded and solo runs can restore each
+    other's checkpoints interchangeably)."""
+    for i, state in enumerate(states):
+        if state["event_pos"]:
+            raise ValueError(
+                f"shard {i} paused mid-Vcycle; sharded snapshots are "
+                "Vcycle-boundary only")
+    priv = plan.privileged_shard
+    cores: dict[str, dict] = {}
+    for state in states:
+        cores.update(state["cores"])
+    merged = {
+        "engine": states[priv]["engine"],
+        "exception_stall": states[priv]["exception_stall"],
+        "counters": merge_counter_dicts(
+            [s["counters"] for s in states], priv),
+        "cache": states[priv]["cache"],
+        "cores": cores,
+        "displays": list(states[priv]["displays"]),
+        "finished": states[priv]["finished"],
+        "now": 0,
+        "msg_seq": sum(s["msg_seq"] for s in states),
+        "link_busy": [],
+        "event_pos": 0,
+        "vcycle_base": None,
+        "fastpath": dict(states[priv]["fastpath"]),
+    }
+    return merged
+
+
+def split_shard_state(state: dict, plan: ShardPlan) -> list[dict]:
+    """Cut a standard single-process snapshot into per-shard images.
+
+    The privileged shard inherits the global counters verbatim (the
+    merged view sums instructions/messages across shards, so parking the
+    whole history on one shard keeps the sum exact); the others restart
+    their local tallies at zero.  Cache, displays, and msg_seq likewise
+    live on the privileged shard.
+    """
+    if state["event_pos"]:
+        raise ValueError(
+            "sharded execution resumes only from Vcycle-boundary "
+            "snapshots (this one paused mid-Vcycle)")
+    per: list[dict] = []
+    for spec in plan.specs:
+        counters = dict(state["counters"])
+        if not spec.privileged:
+            counters = {"vcycles": counters["vcycles"],
+                        "compute_cycles": counters["compute_cycles"],
+                        "stall_cycles": 0, "instructions": 0,
+                        "messages": 0, "exceptions": 0}
+        per.append({
+            "engine": state["engine"],
+            "exception_stall": state["exception_stall"],
+            "counters": counters,
+            "cache": (state["cache"] if spec.privileged
+                      else _empty_cache_state()),
+            "cores": {str(cid): state["cores"][str(cid)]
+                      for cid in spec.core_ids},
+            "displays": (list(state["displays"]) if spec.privileged
+                         else []),
+            "finished": state["finished"],
+            "now": 0,
+            "msg_seq": state["msg_seq"] if spec.privileged else 0,
+            "link_busy": [],
+            "event_pos": 0,
+            "vcycle_base": None,
+            "fastpath": dict(state["fastpath"]),
+        })
+    return per
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+class _LocalShardExecutor:
+    """Reference transport: every shard in-process (what the equivalence
+    tests trust; the process transport must match it bit for bit)."""
+
+    def __init__(self, plan: ShardPlan, program: MachineProgram,
+                 config: MachineConfig, engine: str, exception_stall: int,
+                 profiled: bool, sample_cap: int = 4096) -> None:
+        self.plan = plan
+        self.shards: list[ShardMachine] = []
+        for spec in plan.specs:
+            profiler = None
+            if profiled:
+                from ..obs.profiler import Profiler
+                profiler = Profiler(sample_cap=sample_cap)
+            self.shards.append(ShardMachine(
+                program, spec, config=config, engine=engine,
+                exception_stall=exception_stall, profiler=profiler))
+
+    def run_body(self):
+        return [m.run_body() for m in self.shards]
+
+    def finish(self, in_payloads: list[dict[int, list[int]]],
+               stop: tuple[int, int] | None) -> None:
+        for m, payloads in zip(self.shards, in_payloads):
+            m.finish_vcycle(payloads, stop)
+
+    def states(self) -> list[dict]:
+        return [m.checkpoint_state() for m in self.shards]
+
+    def load_states(self, states: list[dict]) -> None:
+        for m, state in zip(self.shards, states):
+            m.load_checkpoint_state(state)
+
+    def results(self) -> list[dict]:
+        return [m.result_payload() for m in self.shards]
+
+    def profiler_states(self) -> list[dict | None]:
+        return [None if m.profiler is None else m.profiler.state_dict()
+                for m in self.shards]
+
+    def close(self) -> None:
+        pass
+
+
+class ShardedMachine:
+    """Machine-compatible coordinator for a K-way sharded grid.
+
+    Exposes the surface the runtime, checkpoint driver, and fuzz oracles
+    use (``run``, ``step_vcycle``, ``finished``, ``counters``,
+    ``checkpoint_state``/``load_checkpoint_state``), so a sharded run
+    slots in wherever a :class:`~repro.machine.grid.Machine` does.
+    Snapshots are standard single-process images: a sharded run can
+    resume a solo run's checkpoint and vice versa.
+    """
+
+    def __init__(self, program: MachineProgram,
+                 config: MachineConfig | None = None, *,
+                 shards: int, engine: str = "strict",
+                 exception_stall: int = 500, profiler=None,
+                 transport: str = "local") -> None:
+        engine = engine or "strict"
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; pick one of "
+                             f"{ENGINES}")
+        if engine == "codegen":
+            raise ValueError(
+                "engine='codegen' cannot be sharded: its kernel holds "
+                "whole-grid state in one frame; use engine='fast'")
+        self.program = program
+        self.config = config or MachineConfig(
+            grid_x=program.grid[0], grid_y=program.grid[1])
+        self.engine = engine
+        self.exception_stall = exception_stall
+        self.profiler = profiler
+        self.plan = partition(program, self.config, shards)
+        self.counters = PerfCounters()
+        self.displays: list[str] = []
+        self.finished = False
+        self._prof_base: dict | None = None
+        self._in_edges: list[list[int]] = [
+            sorted(spec.in_channels) for spec in self.plan.specs]
+        if profiler is not None:
+            profiler.attach(self)
+        if transport == "local":
+            self._exec = _LocalShardExecutor(
+                self.plan, program, self.config, engine, exception_stall,
+                profiled=profiler is not None,
+                sample_cap=(profiler.sample_cap if profiler is not None
+                            else 4096))
+        elif transport == "process":
+            from .shardpool import ProcessShardExecutor
+            self._exec = ProcessShardExecutor(
+                self.plan, program, self.config, engine, exception_stall,
+                profiled=profiler is not None,
+                sample_cap=(profiler.sample_cap if profiler is not None
+                            else 4096))
+        else:
+            raise ValueError(f"unknown transport {transport!r}; pick "
+                             "'local' or 'process'")
+
+    # ------------------------------------------------------------------
+    def step_vcycle(self) -> None:
+        if self.finished:
+            return
+        outs = self._exec.run_body()
+        stop = None
+        for s, (key, _out) in enumerate(outs):
+            if key is not None:
+                if s != self.plan.privileged_shard:
+                    raise RuntimeError(
+                        f"non-privileged shard {s} reported a stop key "
+                        f"{key} (protocol bug)")
+                stop = key
+        in_payloads = [
+            {src: outs[src][1][dst] for src in self._in_edges[dst]}
+            for dst in range(self.plan.n_shards)
+        ]
+        self._exec.finish(in_payloads, stop)
+        self.counters.vcycles += 1
+        if stop is not None:
+            self.finished = True
+
+    def run(self, max_vcycles: int) -> MachineResult:
+        with _span("machine.run", engine=f"sharded-{self.engine}",
+                   budget=max_vcycles, shards=self.plan.n_shards) as s:
+            while not self.finished and \
+                    self.counters.vcycles < max_vcycles:
+                self.step_vcycle()
+            if s is not None:
+                s.args["vcycles"] = self.counters.vcycles
+        return self._collect_result()
+
+    def _collect_result(self) -> MachineResult:
+        results = self._exec.results()
+        priv = self.plan.privileged_shard
+        merged = merge_counter_dicts(
+            [r["counters"] for r in results], priv)
+        self.counters.load_dict(merged)
+        self.displays = [str(d) for d in results[priv]["displays"]]
+        self.finished = bool(results[priv]["finished"])
+        stats = CacheStats()
+        stats.load_dict(results[priv]["cache_stats"])
+        self._sync_profiler()
+        return MachineResult(
+            vcycles=self.counters.vcycles,
+            finished=self.finished,
+            displays=list(self.displays),
+            counters=self.counters,
+            cache=stats,
+        )
+
+    def _sync_profiler(self) -> None:
+        if self.profiler is None:
+            return
+        from ..obs.profiler import merge_profiler_states
+        states = self._exec.profiler_states()
+        merged = merge_profiler_states(
+            [s for s in states if s is not None], base=self._prof_base)
+        self.profiler.load_state(merged)
+
+    # -- checkpoint hooks ----------------------------------------------
+    def checkpoint_state(self) -> dict:
+        state = merge_shard_states(self._exec.states(), self.plan)
+        state["engine"] = self.engine
+        state["exception_stall"] = self.exception_stall
+        if self.profiler is not None:
+            self._sync_profiler()
+            state["profiler"] = self.profiler.state_dict()
+        return state
+
+    def load_checkpoint_state(self, state: dict) -> None:
+        per = split_shard_state(state, self.plan)
+        self._exec.load_states(per)
+        self.counters.load_dict(state["counters"])
+        self.displays = [str(d) for d in state["displays"]]
+        self.finished = bool(state["finished"])
+        if self.profiler is not None and "profiler" in state:
+            # History stays coordinator-side; shards restart their local
+            # profilers empty and the merge prepends this base.
+            self._prof_base = state["profiler"]
+            self.profiler.load_state(state["profiler"])
+
+    def close(self) -> None:
+        self._exec.close()
+
+    def __enter__(self) -> "ShardedMachine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,250 @@
+"""Process transport for sharded grid execution.
+
+Runs each :class:`~repro.machine.shard.ShardMachine` in a **persistent
+worker process**: workers are spawned once per run, the compiled
+``MachineProgram`` is shipped once through a content-addressed artifact
+file (sha256-named, verified on load — never pickled per call), and the
+only per-Vcycle traffic is the statically-known boundary Send payloads,
+encoded as little-endian u16 buffers
+(:func:`~repro.machine.shard.encode_payload`) on the worker side so the
+coordinator forwards opaque bytes between the per-edge pipes.
+
+Failure model: a worker that dies mid-run (segfault, OOM-kill,
+``SIGKILL``) raises :class:`ShardWorkerLost` in the coordinator —
+sharded simulation state cannot be rebuilt mid-Vcycle from a respawn,
+so recovery is *resume from the last checkpoint* (the CI ``shard-smoke``
+job exercises exactly that: kill one worker, restart with ``--resume``).
+The coordinator prints worker PIDs to stderr at spawn so harnesses can
+target a specific worker.  Workers exit on pipe EOF, so a dead
+coordinator never leaks processes.
+
+Exception servicing stays bit-identical: ``$display``/``$finish``/
+``$assert`` all execute on the privileged shard's worker, whose
+exceptions (e.g. :class:`~repro.isa.program.SimulationFailure`) pickle
+back to the coordinator and re-raise with their original type.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import multiprocessing as mp
+import os
+import pickle
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+from ..pool import start_method
+
+
+class ShardWorkerLost(RuntimeError):
+    """A shard worker process died.  Sharded state cannot be respawned
+    mid-run; resume from the last checkpoint instead."""
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+def _load_program(path: str, sha: str):
+    blob = Path(path).read_bytes()
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != sha:
+        raise RuntimeError(
+            f"shard program artifact {path} is corrupt: sha256 {digest} "
+            f"!= expected {sha}")
+    return pickle.loads(blob)
+
+
+def _shard_worker_main(conn) -> None:
+    """One shard's event loop: ``init`` builds the ShardMachine from the
+    content-addressed program file, then ``body``/``finish`` drive the
+    two-phase Vcycle protocol until ``exit`` or pipe EOF."""
+    from .shard import ShardMachine, decode_payload, encode_payload
+
+    machine = None
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        tag = msg[0]
+        if tag == "exit":
+            return
+        try:
+            if tag == "init":
+                p = msg[1]
+                program = _load_program(p["program_path"],
+                                        p["program_sha"])
+                profiler = None
+                if p["profiled"]:
+                    from ..obs.profiler import Profiler
+                    profiler = Profiler(sample_cap=p["sample_cap"])
+                machine = ShardMachine(
+                    program, p["spec"], config=p["config"],
+                    engine=p["engine"],
+                    exception_stall=p["exception_stall"],
+                    profiler=profiler)
+                reply = ("ok", os.getpid())
+            elif tag == "body":
+                stop, out = machine.run_body()
+                reply = ("ok", (stop, {dst: encode_payload(values)
+                                       for dst, values in out.items()}))
+            elif tag == "finish":
+                payloads = {src: decode_payload(data)
+                            for src, data in msg[1].items()}
+                machine.finish_vcycle(payloads, msg[2])
+                reply = ("ok", None)
+            elif tag == "state":
+                reply = ("ok", machine.checkpoint_state())
+            elif tag == "load_state":
+                machine.load_checkpoint_state(msg[1])
+                reply = ("ok", None)
+            elif tag == "result":
+                reply = ("ok", machine.result_payload())
+            elif tag == "profiler":
+                reply = ("ok", None if machine.profiler is None
+                         else machine.profiler.state_dict())
+            else:
+                raise RuntimeError(f"unknown shard message {tag!r}")
+        except BaseException as exc:  # noqa: BLE001 — shipped back
+            try:
+                blob = pickle.dumps(exc)
+            except Exception:
+                blob = pickle.dumps(RuntimeError(repr(exc)))
+            reply = ("err", blob)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+class ProcessShardExecutor:
+    """Drives one persistent worker process per shard.  Mirrors the
+    in-process reference executor's interface, so
+    :class:`~repro.machine.shard.ShardedMachine` treats both transports
+    identically — boundary payloads just stay encoded while they pass
+    through the coordinator."""
+
+    def __init__(self, plan, program, config, engine: str,
+                 exception_stall: int, profiled: bool,
+                 sample_cap: int = 4096) -> None:
+        self.plan = plan
+        self._ctx = mp.get_context(start_method())
+        self._store = tempfile.mkdtemp(prefix="repro-shard-")
+        atexit.register(shutil.rmtree, self._store, ignore_errors=True)
+
+        blob = pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
+        sha = hashlib.sha256(blob).hexdigest()
+        program_path = os.path.join(self._store, f"{sha}.bin")
+        tmp = program_path + ".wip"
+        with open(tmp, "wb") as f:
+            f.write(blob)
+        os.replace(tmp, program_path)
+
+        self._conns = []
+        self._procs = []
+        for spec in plan.specs:
+            conn, child = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(target=_shard_worker_main,
+                                     args=(child,), daemon=True)
+            proc.start()
+            child.close()
+            self._conns.append(conn)
+            self._procs.append(proc)
+            conn.send(("init", {
+                "program_path": program_path,
+                "program_sha": sha,
+                "spec": spec,
+                "config": config,
+                "engine": engine,
+                "exception_stall": exception_stall,
+                "profiled": profiled,
+                "sample_cap": sample_cap,
+            }))
+        self.pids = [self._recv(i) for i in range(len(self._conns))]
+        print("repro-shard: worker pids "
+              + " ".join(str(p) for p in self.pids),
+              file=sys.stderr, flush=True)
+
+    # ------------------------------------------------------------------
+    def _recv(self, i: int):
+        try:
+            reply = self._conns[i].recv()
+        except (EOFError, OSError):
+            pid = self._procs[i].pid
+            raise ShardWorkerLost(
+                f"shard worker {i} (pid {pid}) died; resume from the "
+                "last checkpoint — sharded state cannot be respawned "
+                "mid-run") from None
+        if reply[0] == "err":
+            raise pickle.loads(reply[1])
+        return reply[1]
+
+    def _call_all(self, messages: list[tuple]) -> list:
+        """Send one message per worker, then drain replies in shard
+        order — workers overlap, errors surface deterministically."""
+        lost: ShardWorkerLost | None = None
+        for i, msg in enumerate(messages):
+            try:
+                self._conns[i].send(msg)
+            except (BrokenPipeError, OSError):
+                pid = self._procs[i].pid
+                lost = lost or ShardWorkerLost(
+                    f"shard worker {i} (pid {pid}) died; resume from "
+                    "the last checkpoint")
+        if lost is not None:
+            raise lost
+        error: BaseException | None = None
+        replies = []
+        for i in range(len(messages)):
+            try:
+                replies.append(self._recv(i))
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                error = error or exc
+                replies.append(None)
+        if error is not None:
+            raise error
+        return replies
+
+    # ------------------------------------------------------------------
+    def run_body(self):
+        return self._call_all([("body",)] * len(self._conns))
+
+    def finish(self, in_payloads, stop) -> None:
+        self._call_all([("finish", in_payloads[i], stop)
+                        for i in range(len(self._conns))])
+
+    def states(self) -> list[dict]:
+        return self._call_all([("state",)] * len(self._conns))
+
+    def load_states(self, states: list[dict]) -> None:
+        self._call_all([("load_state", state) for state in states])
+
+    def results(self) -> list[dict]:
+        return self._call_all([("result",)] * len(self._conns))
+
+    def profiler_states(self) -> list[dict | None]:
+        return self._call_all([("profiler",)] * len(self._conns))
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+        shutil.rmtree(self._store, ignore_errors=True)

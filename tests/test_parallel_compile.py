@@ -1,6 +1,15 @@
 """Parallel compiler phases: jobs=N must be bit-identical to jobs=1,
 parallel_map must preserve order, and compile_many must behave like a
-loop of compile_circuit."""
+loop of compile_circuit.
+
+The persistent pool underneath (``repro.pool``) gets its own regression
+class: workers must survive across maps, a crashed worker must be
+respawned (transient) or surface :class:`~repro.pool.PoolWorkerLost`
+(persistent) — never hang — and ``compile_many``'s spooled path must
+stay bit-identical to serial both cold and warm."""
+
+import multiprocessing
+import os
 
 import pytest
 
@@ -18,14 +27,34 @@ from repro.fuzz.generator import (
     counter_circuit,
     logic_heavy_circuit,
 )
+from repro.pool import PersistentPool, PoolWorkerLost, task_ref
 
 
-def _square(x: int) -> int:   # module-level: picklable into pool workers
+def _square(x: int) -> int:   # module-level: dispatchable into workers
     return x * x
 
 
 def _boom(x: int) -> int:
     raise ValueError(f"boom {x}")
+
+
+def _die_in_worker(x: int) -> int:
+    """Kills any pool worker it runs in; harmless in the parent (the
+    serial-fallback path and jobs=1 never enter the guard)."""
+    if multiprocessing.parent_process() is not None:
+        os._exit(13)
+    return x
+
+
+def _crash_once(arg) -> int:
+    """Dies the first time a worker runs it (flag file absent), then
+    succeeds — models a transient worker fault."""
+    path, x = arg
+    if multiprocessing.parent_process() is not None \
+            and not os.path.exists(path):
+        open(path, "w").close()
+        os._exit(5)
+    return x * 2
 
 
 class TestParallelMap:
@@ -117,6 +146,84 @@ class TestCompileMany:
                              opts)
         assert len(batch) == 2
         assert batch[0].report.name == "counter"
+
+
+class TestPersistentPool:
+    def test_workers_persist_across_maps(self):
+        pool = PersistentPool(2)
+        try:
+            assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+            pids = pool.ping()
+            assert pool.map(_square, [4, 5]) == [16, 25]
+            assert pool.ping() == pids, "maps must reuse the same workers"
+        finally:
+            pool.close()
+
+    def test_task_ref_rejects_unimportable(self):
+        import pickle
+        assert task_ref(_square) == (__name__, "_square")
+        with pytest.raises(pickle.PicklingError):
+            task_ref(lambda x: x)
+
+    def test_transient_crash_respawns_and_retries(self, tmp_path):
+        pool = PersistentPool(2)
+        try:
+            items = [(str(tmp_path / f"flag{i}"), i) for i in range(2)]
+            assert pool.map(_crash_once, items) == [0, 2]
+            assert pool.respawns >= 1
+            assert pool.map(_square, [6]) == [36]
+        finally:
+            pool.close()
+
+    def test_persistent_crash_fails_loudly_not_hangs(self):
+        pool = PersistentPool(2)
+        try:
+            with pytest.raises(PoolWorkerLost, match="died twice"):
+                pool.map(_die_in_worker, [1, 2, 3, 4])
+            # The pool is still serviceable after the loss.
+            assert pool.map(_square, [3, 4]) == [9, 16]
+        finally:
+            pool.close()
+
+    def test_worker_exception_does_not_kill_worker(self):
+        pool = PersistentPool(2)
+        try:
+            pids = pool.ping()
+            with pytest.raises(ValueError, match="boom"):
+                pool.map(_boom, [1, 2])
+            assert pool.ping() == pids
+        finally:
+            pool.close()
+
+    def test_parallel_map_survives_worker_loss(self):
+        """The compile-phase wrapper falls back to serial when the pool
+        fails loudly, so a flaky worker can never fail a compile."""
+        assert parallel_map(_die_in_worker, [1, 2, 3], jobs=2) == [1, 2, 3]
+
+
+class TestPooledCompileDeterminism:
+    """jobs=2 on the persistent pool must equal jobs=1, cold and warm."""
+
+    CIRCUITS = staticmethod(lambda: [counter_circuit(),
+                                     accumulator_circuit(),
+                                     logic_heavy_circuit()])
+
+    def test_spooled_cold_and_warm_bit_identical(self, tmp_path):
+        grid = MachineConfig(grid_x=4, grid_y=4)
+        serial = [compile_circuit(c, CompilerOptions(config=grid, jobs=1))
+                  for c in self.CIRCUITS()]
+
+        opts = CompilerOptions(config=grid, jobs=2,
+                               cache_dir=str(tmp_path))
+        cold = compile_many(self.CIRCUITS(), opts)
+        assert [r.report.cache["status"] for r in cold] == ["miss"] * 3
+        for got, want in zip(cold, serial):
+            assert serialize(got.program) == serialize(want.program)
+
+        warm = compile_many(self.CIRCUITS(), opts)
+        assert [r.report.cache["status"] for r in warm] == ["hit"] * 3
+        for got, want in zip(warm, serial):
+            assert serialize(got.program) == serialize(want.program)
 
 
 class TestRuntimeIntegration:

@@ -1,0 +1,233 @@
+"""Sharded execution must be bit-identical to single-process execution.
+
+The shard protocol's whole contract (``repro.machine.shard``) is that
+cutting the grid into K row bands and exchanging only the static
+boundary Send payloads at the Vcycle barrier changes *nothing
+observable*: registers, scratchpads, displays, perf counters, and cache
+statistics all match a solo :class:`~repro.machine.grid.Machine`
+exactly — including early mid-Vcycle ``$finish`` (the rollback-replay
+path), serviced ``$display`` exceptions, trusted fast-engine Vcycles,
+checkpoint interop in both directions, and the merged profiler view.
+The in-process transport is the reference; the process transport must
+match it bit for bit (one cross-check here, the fuzz oracle and CI
+smoke drive it harder).
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.designs import DESIGNS
+from repro.machine import Machine, MachineConfig, ShardedMachine
+from repro.machine.shard import ShardMachine
+from repro.obs.profiler import Profiler
+
+CONFIG = MachineConfig(grid_x=8, grid_y=8)
+
+ALL_DESIGNS = sorted(DESIGNS)
+
+
+@functools.lru_cache(maxsize=None)
+def _compiled(name: str):
+    return compile_circuit(DESIGNS[name].build(),
+                           CompilerOptions(config=CONFIG))
+
+
+def _budget(name: str) -> int:
+    return max(64, DESIGNS[name].cycles + 300)
+
+
+@functools.lru_cache(maxsize=None)
+def _solo(name: str):
+    """Strict single-process reference run (the ground truth)."""
+    machine = Machine(_compiled(name).program, CONFIG, engine="strict")
+    result = machine.run(_budget(name))
+    return machine, result
+
+
+def _shard_cores(sharded: ShardedMachine) -> dict:
+    cores = {}
+    for shard in sharded._exec.shards:
+        cores.update(shard.cores)
+    return cores
+
+
+def _assert_observably_equal(name, solo_m, solo_r, sharded, result):
+    assert result.vcycles == solo_r.vcycles
+    assert result.finished == solo_r.finished
+    assert result.displays == solo_r.displays
+    assert result.counters == solo_r.counters
+    assert result.cache == solo_r.cache
+    cores = _shard_cores(sharded)
+    for cid, core in solo_m.cores.items():
+        assert cores[cid].regs == core.regs, f"{name} core {cid} regs"
+        assert cores[cid].scratch == core.scratch, \
+            f"{name} core {cid} scratch"
+
+
+@pytest.mark.parametrize("name", ALL_DESIGNS)
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_fast_bit_identical(name, shards):
+    """All nine designs × K ∈ {2, 4}: the sharded fast engine (strict
+    verification Vcycles, then trusted split traces, rollback on early
+    $finish) equals the solo strict interpreter observably."""
+    solo_m, solo_r = _solo(name)
+    sharded = ShardedMachine(_compiled(name).program, CONFIG,
+                             shards=shards, engine="fast")
+    result = sharded.run(_budget(name))
+    _assert_observably_equal(name, solo_m, solo_r, sharded, result)
+
+
+@pytest.mark.parametrize("name", ["bc", "noc"])
+def test_sharded_strict_bit_identical(name):
+    """The strict sharded interpreter (no fast path at all) matches
+    too — isolates the two-phase protocol from the trace engine."""
+    solo_m, solo_r = _solo(name)
+    sharded = ShardedMachine(_compiled(name).program, CONFIG,
+                             shards=3, engine="strict")
+    result = sharded.run(_budget(name))
+    _assert_observably_equal(name, solo_m, solo_r, sharded, result)
+
+
+def test_early_finish_rolls_back_on_every_shard():
+    """Designs that $finish mid-Vcycle exercise the optimistic-body
+    rollback: every shard must restore and replay the truncated strict
+    loop, not just the privileged one."""
+    name = "noc"
+    solo_m, solo_r = _solo(name)
+    assert solo_r.finished, "fixture must actually finish early"
+    sharded = ShardedMachine(_compiled(name).program, CONFIG,
+                             shards=4, engine="fast")
+    result = sharded.run(_budget(name))
+    assert result.finished
+    _assert_observably_equal(name, solo_m, solo_r, sharded, result)
+
+
+def test_serviced_displays_route_to_coordinator():
+    """$display services run on the privileged shard's worker; the
+    coordinator's merged result must carry them in order."""
+    name = "bc"
+    _solo_m, solo_r = _solo(name)
+    assert solo_r.counters.exceptions > 0, "fixture must service displays"
+    sharded = ShardedMachine(_compiled(name).program, CONFIG,
+                             shards=2, engine="fast")
+    result = sharded.run(_budget(name))
+    assert result.displays == solo_r.displays
+    assert result.counters.exceptions == solo_r.counters.exceptions
+
+
+def test_trusted_engine_actually_engages():
+    """Guards against the sweep passing vacuously in strict mode: at
+    least one shard must hand Vcycles to its trusted split trace."""
+    sharded = ShardedMachine(_compiled("mc").program, CONFIG,
+                             shards=4, engine="fast")
+    budget = _budget("mc")
+    trusted = 0
+    while not sharded.finished and sharded.counters.vcycles < budget:
+        trusted += sum(1 for m in sharded._exec.shards if m._trusted)
+        sharded.step_vcycle()
+    assert trusted > 0
+    solo_m, solo_r = _solo("mc")
+    result = sharded._collect_result()
+    _assert_observably_equal("mc", solo_m, solo_r, sharded, result)
+
+
+def test_process_transport_matches_local():
+    """The pipe transport (persistent workers, encoded payloads) must
+    equal the in-process reference bit for bit."""
+    program = _compiled("noc").program
+    budget = _budget("noc")
+    local = ShardedMachine(program, CONFIG, shards=4, engine="fast")
+    ref = local.run(budget)
+    with ShardedMachine(program, CONFIG, shards=4, engine="fast",
+                        transport="process") as procm:
+        got = procm.run(budget)
+        state = procm.checkpoint_state()
+    assert got.counters == ref.counters
+    assert got.displays == ref.displays
+    assert got.finished == ref.finished
+    assert state == local.checkpoint_state()
+
+
+class TestCheckpointInterop:
+    """Sharded snapshots are standard single-process images: solo and
+    sharded runs resume each other's checkpoints bit-identically."""
+
+    def test_sharded_to_solo_and_back(self):
+        program = _compiled("noc").program
+        budget = _budget("noc")
+        solo_m, solo_r = _solo("noc")
+
+        first = ShardedMachine(program, CONFIG, shards=4, engine="fast")
+        first.run(20)
+        snap = first.checkpoint_state()
+
+        resumed_solo = Machine(program, CONFIG, engine="fast")
+        resumed_solo.load_checkpoint_state(snap)
+        r1 = resumed_solo.run(budget - 20)
+        assert r1.counters == solo_r.counters
+        assert r1.displays == solo_r.displays
+        for cid, core in solo_m.cores.items():
+            assert resumed_solo.cores[cid].regs == core.regs
+
+        resumed_sharded = ShardedMachine(program, CONFIG, shards=2,
+                                         engine="fast")
+        resumed_sharded.load_checkpoint_state(snap)
+        r2 = resumed_sharded.run(budget - 20)
+        assert r2.counters == solo_r.counters
+        assert r2.displays == solo_r.displays
+
+    def test_solo_to_sharded(self):
+        program = _compiled("mm").program
+        budget = _budget("mm")
+        solo_m, solo_r = _solo("mm")
+        m = Machine(program, CONFIG, engine="fast")
+        m.run(25)
+        snap = m.checkpoint_state()
+        sharded = ShardedMachine(program, CONFIG, shards=4, engine="fast")
+        sharded.load_checkpoint_state(snap)
+        result = sharded.run(budget - 25)
+        _assert_observably_equal("mm", solo_m, solo_r, sharded, result)
+
+    def test_mid_vcycle_snapshot_refused(self):
+        program = _compiled("mc").program
+        m = Machine(program, CONFIG, engine="strict")
+        m.run(3)
+        m.step_events(5)  # pause mid-Vcycle
+        snap = m.checkpoint_state()
+        sharded = ShardedMachine(program, CONFIG, shards=2)
+        with pytest.raises(ValueError, match="mid-Vcycle"):
+            sharded.load_checkpoint_state(snap)
+
+
+def test_profiler_merge_equals_solo_profile():
+    """Per-shard profilers merged across the barrier must equal the
+    single-process profile state byte for byte."""
+    program = _compiled("noc").program
+    budget = _budget("noc")
+    p_solo = Profiler()
+    Machine(program, CONFIG, engine="fast", profiler=p_solo).run(budget)
+    p_shard = Profiler()
+    sharded = ShardedMachine(program, CONFIG, shards=4, engine="fast",
+                             profiler=p_shard)
+    sharded.run(budget)
+    assert p_shard.state_dict() == p_solo.state_dict()
+
+
+def test_codegen_cannot_shard():
+    with pytest.raises(ValueError, match="codegen"):
+        ShardedMachine(_compiled("mc").program, CONFIG, shards=2,
+                       engine="codegen")
+
+
+def test_shard_count_validation():
+    program = _compiled("mc").program
+    with pytest.raises(ValueError, match="shards"):
+        ShardedMachine(program, CONFIG, shards=0)
+    with pytest.raises(ValueError, match="shards"):
+        ShardedMachine(program, CONFIG, shards=9)  # > grid_y
+    with pytest.raises(ValueError, match="transport"):
+        ShardedMachine(program, CONFIG, shards=2, transport="carrier")

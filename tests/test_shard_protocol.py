@@ -1,0 +1,174 @@
+"""Unit/property tests for the shard partitioner and the boundary codec.
+
+The partitioner's invariants are what make the barrier exchange sound:
+every Send whose endpoints land in different shards must appear in
+exactly one outgoing channel (on the source shard) and exactly one
+incoming channel (on the destination shard), in the same global rank
+order on both sides; Sends within a shard must never leak into a
+channel; and the foreign link-slot sets must cover every Send a shard
+does *not* issue, so local collision checks stay globally exhaustive.
+The codec tests pin the wire format the process transport ships.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.designs import DESIGNS
+from repro.fuzz.generator import GeneratorParams, generate
+from repro.isa import instructions as isa
+from repro.machine import MachineConfig
+from repro.machine.shard import decode_payload, encode_payload, partition
+
+CONFIG = MachineConfig(grid_x=8, grid_y=8)
+FUZZ_CONFIG = MachineConfig(grid_x=3, grid_y=3, result_latency=6)
+
+
+def _program(name="noc", config=CONFIG):
+    return compile_circuit(DESIGNS[name].build(),
+                           CompilerOptions(config=config)).program
+
+
+def _all_sends(program):
+    sends = []
+    for cid in sorted(program.cores):
+        for cycle, instr in enumerate(program.cores[cid].body):
+            if isinstance(instr, isa.Send):
+                sends.append((cycle, cid, instr.target, instr.rd))
+    sends.sort()
+    return sends
+
+
+def _check_plan(program, config, n_shards):
+    plan = partition(program, config, n_shards)
+    sends = _all_sends(program)
+    shard_of = plan.shard_of
+
+    # Rows: contiguous bands covering the grid exactly once.
+    all_rows = [r for spec in plan.specs for r in spec.rows]
+    assert all_rows == list(range(config.grid_y))
+    for spec in plan.specs:
+        assert list(spec.rows) == list(
+            range(spec.rows[0], spec.rows[0] + len(spec.rows)))
+        assert all(shard_of[cid] == spec.shard_id
+                   for cid in spec.core_ids)
+
+    # Every send appears exactly once: local iff endpoints co-shard,
+    # else in exactly one out channel AND the matching in channel.
+    seen: dict[tuple[int, int], str] = {}
+    for spec in plan.specs:
+        for ref in spec.local_sends:
+            assert shard_of[ref.src] == shard_of[ref.dst] == spec.shard_id
+            assert (ref.cycle, ref.src) not in seen
+            seen[(ref.cycle, ref.src)] = "local"
+        for dst_shard, refs in spec.out_channels.items():
+            assert dst_shard != spec.shard_id, "self-channel leak"
+            for ref in refs:
+                assert shard_of[ref.src] == spec.shard_id
+                assert shard_of[ref.dst] == dst_shard
+                assert (ref.cycle, ref.src) not in seen
+                seen[(ref.cycle, ref.src)] = f"out:{spec.shard_id}->{dst_shard}"
+    assert set(seen) == {(cycle, src) for cycle, src, _t, _rd in sends}
+
+    # Both directions agree channel for channel, ref for ref.
+    for spec in plan.specs:
+        for dst_shard, refs in spec.out_channels.items():
+            assert plan.specs[dst_shard].in_channels[spec.shard_id] == refs
+        for src_shard, refs in spec.in_channels.items():
+            assert plan.specs[src_shard].out_channels[spec.shard_id] == refs
+
+    # Channels are rank-sorted, ranks strictly increasing and unique
+    # in global (cycle, src) order.
+    ranks = {}
+    for spec in plan.specs:
+        for refs in (spec.local_sends, *spec.out_channels.values()):
+            assert [r.rank for r in refs] == sorted(r.rank for r in refs)
+            for ref in refs:
+                ranks[ref.rank] = (ref.cycle, ref.src)
+    assert sorted(ranks) == list(range(len(sends)))
+    assert [ranks[r] for r in sorted(ranks)] == sorted(ranks.values())
+
+    # Foreign slots: exactly the union of other shards' send slots.
+    n_slots_total = {s: 0 for s in range(n_shards)}
+    for cycle, src, _t, _rd in sends:
+        route = config.route(src, _t)
+        n = len(route) + 1  # hop slots + ejection slot
+        for s in range(n_shards):
+            if s != shard_of[src]:
+                n_slots_total[s] += n
+    for spec in plan.specs:
+        assert len(spec.foreign_slots) == n_slots_total[spec.shard_id]
+    return plan
+
+
+@pytest.mark.parametrize("name", ["noc", "mm", "bc"])
+@pytest.mark.parametrize("n_shards", [2, 3, 4, 8])
+def test_partition_properties_designs(name, n_shards):
+    _check_plan(_program(name), CONFIG, n_shards)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_partition_properties_random_circuits(seed):
+    """Fuzz-generated circuits on the 3x3 fuzz grid, K=2 and K=3."""
+    circuit = generate(seed, GeneratorParams())
+    program = compile_circuit(
+        circuit, CompilerOptions(config=FUZZ_CONFIG)).program
+    for n_shards in (2, 3):
+        _check_plan(program, FUZZ_CONFIG, n_shards)
+
+
+def test_uneven_bands():
+    """grid_y=8 into K=3 splits 3+3+2, still contiguous and exhaustive."""
+    plan = _check_plan(_program(), CONFIG, 3)
+    assert [len(s.rows) for s in plan.specs] == [3, 3, 2]
+
+
+def test_boundary_send_census():
+    """Sanity: a real design actually crosses every cut (the equivalence
+    suite would be vacuous otherwise)."""
+    program = _program("noc")
+    for n_shards in (2, 4):
+        plan = partition(program, CONFIG, n_shards)
+        assert plan.boundary_sends() > 0
+        for spec in plan.specs:
+            assert spec.out_channels or spec.in_channels or \
+                n_shards == 1
+
+
+def test_invalid_shard_counts():
+    program = _program()
+    with pytest.raises(ValueError, match=r"shards must be in \[1"):
+        partition(program, CONFIG, 0)
+    with pytest.raises(ValueError, match=r"shards must be in \[1"):
+        partition(program, CONFIG, CONFIG.grid_y + 1)
+    with pytest.raises(ValueError, match="different grid"):
+        partition(program, MachineConfig(grid_x=4, grid_y=4), 2)
+
+
+class TestPayloadCodec:
+    def test_round_trip_randomized(self):
+        rng = random.Random(1234)
+        for _ in range(200):
+            values = [rng.randrange(0, 1 << 16)
+                      for _ in range(rng.randrange(0, 64))]
+            data = encode_payload(values)
+            assert len(data) == 2 * len(values)
+            assert decode_payload(data) == values
+
+    def test_masks_to_16_bits(self):
+        assert decode_payload(encode_payload([0x1FFFF, -1])) == \
+            [0xFFFF, 0xFFFF]
+
+    def test_empty(self):
+        assert encode_payload([]) == b""
+        assert decode_payload(b"") == []
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError, match="odd length"):
+            decode_payload(b"\x01\x02\x03")
+
+    def test_little_endian_wire_format(self):
+        assert encode_payload([0x0102]) == b"\x02\x01"
