@@ -1,0 +1,137 @@
+"""Service benchmark: jobs/s, latency, dedupe under zipfian tenants.
+
+Drives an in-process :class:`repro.serve.SimulationServer` (thread
+mode) with the deterministic zipfian workload from
+``repro.serve.client.plan_load``: design popularity follows
+``1/rank**s`` with ``s = 1.1``, tenants round-robin with one
+higher-priority tenant — the fleet-level traffic shape the service
+exists for.  Reported headlines:
+
+* ``jobs_per_s``      - completed jobs over wall-clock;
+* ``p50_s``/``p99_s`` - submit-to-terminal latency quantiles (includes
+  queueing: the whole plan is submitted up front);
+* ``cache_hit_rate``  - fraction of submissions served without a fresh
+  compile (disk hits + in-flight shares);
+* ``preempt_roundtrip_s`` - one forced preempt -> migrate -> resume
+  round trip on a running job.
+
+Gate: ``cache_hit_rate >= 0.5`` at zipf ``s = 1.1`` — if the
+content-addressed dedupe stops absorbing a skewed workload, this
+benchmark fails rather than quietly recompiling per tenant.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+Environment knobs: ``BENCH_SERVE_JOBS`` (default 40; CI smoke uses
+fewer), ``BENCH_SERVE_WORKERS`` (default 2), ``BENCH_SERVE_ZIPF``
+(default 1.1), ``BENCH_SERVE_SEED`` (default 0).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.machine.config import MachineConfig  # noqa: E402
+from repro.serve import SimulationServer, plan_load  # noqa: E402
+
+JOBS = int(os.environ.get("BENCH_SERVE_JOBS", "40"))
+WORKERS = int(os.environ.get("BENCH_SERVE_WORKERS", "2"))
+ZIPF_S = float(os.environ.get("BENCH_SERVE_ZIPF", "1.1"))
+SEED = int(os.environ.get("BENCH_SERVE_SEED", "0"))
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+HIT_RATE_GATE = 0.5
+
+
+async def _measure() -> dict:
+    config = MachineConfig(grid_x=8, grid_y=8)
+    plan = plan_load(JOBS, zipf_s=ZIPF_S, seed=SEED)
+    async with SimulationServer(workers=WORKERS, mode="thread",
+                                config=config,
+                                engine_default="fast") as server:
+        start = time.perf_counter()
+        jobs = [await server.submit(tenant=entry["tenant"],
+                                    design=entry["design"],
+                                    engine=entry["engine"],
+                                    priority=entry["priority"])
+                for entry in plan]
+        done = [await server.wait(job.id, timeout=3600) for job in jobs]
+        elapsed = time.perf_counter() - start
+        metrics = server.metrics_snapshot()
+
+        # One forced preemption round trip on a fresh long-ish job.
+        roundtrip_job = await server.submit(design="bc", engine="strict")
+        preempt_s = None
+        deadline = time.monotonic() + 600
+        while time.monotonic() < deadline:
+            if roundtrip_job.finished:
+                break
+            if roundtrip_job.state == "running" \
+                    and server.preempt(roundtrip_job.id):
+                preempt_start = time.perf_counter()
+                while roundtrip_job.preemptions == 0 \
+                        and not roundtrip_job.finished:
+                    await asyncio.sleep(0.002)
+                while roundtrip_job.state != "running" \
+                        and not roundtrip_job.finished:
+                    await asyncio.sleep(0.002)
+                preempt_s = time.perf_counter() - preempt_start
+                break
+            await asyncio.sleep(0.002)
+        await server.wait(roundtrip_job.id, timeout=3600)
+
+    completed = sum(1 for job in done if job.state == "done")
+    failed = [job for job in done if job.state != "done"]
+    assert not failed, \
+        f"{len(failed)} job(s) failed: {[j.error for j in failed]}"
+    return {
+        "jobs": JOBS,
+        "workers": WORKERS,
+        "zipf_s": ZIPF_S,
+        "seed": SEED,
+        "engine": "fast",
+        "grid": "8x8",
+        "elapsed_s": round(elapsed, 3),
+        "jobs_per_s": round(completed / elapsed, 2),
+        "p50_s": round(metrics["latency"]["p50_s"], 4),
+        "p99_s": round(metrics["latency"]["p99_s"], 4),
+        "mean_s": round(metrics["latency"]["mean_s"], 4),
+        "cache_hit_rate": round(metrics["compile"]["hit_rate"], 3),
+        "compiles": metrics["compile"]["compiles"],
+        "tenants": len(metrics["tenants"]),
+        "preempt_roundtrip_s": (None if preempt_s is None
+                                else round(preempt_s, 4)),
+        "hit_rate_gate": f">={HIT_RATE_GATE}",
+    }
+
+
+def main() -> int:
+    result = asyncio.run(_measure())
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"serve: {result['jobs']} jobs x {result['workers']} workers "
+          f"(zipf s={result['zipf_s']}): "
+          f"{result['jobs_per_s']:.2f} jobs/s, "
+          f"p50 {result['p50_s']:.3f}s p99 {result['p99_s']:.3f}s, "
+          f"cache hit rate {result['cache_hit_rate']:.0%}, "
+          f"{result['compiles']} compile(s)")
+    if result["preempt_roundtrip_s"] is not None:
+        print(f"serve: preempt->migrate->resume round trip "
+              f"{result['preempt_roundtrip_s'] * 1000:.1f} ms")
+    print(f"wrote {OUT_PATH}")
+    if result["cache_hit_rate"] < HIT_RATE_GATE:
+        print(f"FAIL: cache hit rate {result['cache_hit_rate']:.0%} < "
+              f"{HIT_RATE_GATE:.0%} at zipf s={result['zipf_s']}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

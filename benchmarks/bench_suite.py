@@ -101,12 +101,26 @@ def _obs_headline(d: dict) -> dict:
     }
 
 
+def _serve_headline(d: dict) -> dict:
+    return {
+        "jobs": d["jobs"],
+        "workers": d["workers"],
+        "zipf_s": d["zipf_s"],
+        "jobs_per_s": d["jobs_per_s"],
+        "p50_s": d["p50_s"],
+        "p99_s": d["p99_s"],
+        "cache_hit_rate": d["cache_hit_rate"],
+        "preempt_roundtrip_s": d.get("preempt_roundtrip_s"),
+    }
+
+
 _SECTIONS = {
     "engine": _engine_headline,
     "compile": _compile_headline,
     "fuzz": _fuzz_headline,
     "checkpoint": _checkpoint_headline,
     "obs": _obs_headline,
+    "serve": _serve_headline,
 }
 
 

@@ -87,6 +87,9 @@ class CheckpointedRun:
     #: snapshot files recovery refused, with reasons (torn, corrupt,
     #: wrong program, wrong config).
     rejected: list[RejectedSnapshot] = field(default_factory=list)
+    #: True when the run stopped because ``preempt`` fired; the final
+    #: published snapshot is the handoff point for the next invocation.
+    preempted: bool = False
 
 
 def run_with_checkpoints(
@@ -98,6 +101,8 @@ def run_with_checkpoints(
         shards: int = 0, transport: str = "process",
         on_start: Callable[[Machine, bool], None] | None = None,
         on_vcycle: Callable[[Machine], None] | None = None,
+        preempt: Callable[[], bool] | None = None,
+        preempt_grain: int = 0,
 ) -> CheckpointedRun:
     """Run ``program`` for up to ``max_vcycles``, checkpointing as it goes.
 
@@ -119,6 +124,18 @@ def run_with_checkpoints(
     instead of a single-process :class:`Machine`; the published
     snapshots stay standard single-process images, so sharded and solo
     invocations can resume each other's checkpoints.
+
+    ``preempt`` (the :mod:`repro.serve` preemption hook) is polled while
+    the run advances; when it returns True the driver stops, publishes a
+    final handoff snapshot synchronously (so it is durable before the
+    job is handed to another worker), and returns with ``preempted=True``.
+    With ``preempt_grain=G > 0`` a machine on a *checking* engine is
+    advanced ``G`` events at a time and the hook is polled between
+    chunks, so a preemption can land mid-Vcycle - messages in flight,
+    pending writebacks and all - and still resume bit-identically
+    (mid-Vcycle snapshots are a PR-5 capability).  Trusted compiled
+    engines execute Vcycles atomically, so they are polled at Vcycle
+    boundaries regardless of the grain.
     """
     rejected: list[RejectedSnapshot] = []
     machine: Machine | None = None
@@ -156,10 +173,27 @@ def run_with_checkpoints(
         on_start(machine, resumed_from is not None)
 
     publisher: _AsyncPublisher | None = None
+    preempted = False
     try:
         while not machine.finished \
                 and machine.counters.vcycles < max_vcycles:
-            machine.step_vcycle()
+            if preempt is not None and preempt_grain > 0 \
+                    and not getattr(machine, "_trusted", True):
+                # Checking engine: advance event-by-event so the hook
+                # can fire (and the snapshot land) mid-Vcycle.
+                completed = machine.step_events(preempt_grain)
+                while not completed:
+                    if preempt():
+                        preempted = True
+                        break
+                    completed = machine.step_events(preempt_grain)
+                if not completed:
+                    break
+            else:
+                if preempt is not None and preempt():
+                    preempted = True
+                    break
+                machine.step_vcycle()
             if on_vcycle is not None:
                 on_vcycle(machine)
             if store is not None and checkpoint_every > 0 \
@@ -171,6 +205,11 @@ def run_with_checkpoints(
     finally:
         published = publisher.close() if publisher is not None else []
 
+    if preempted and store is not None:
+        # Handoff snapshot: published synchronously - the caller may
+        # hand the job to another worker the moment we return.
+        published.append(store.publish(encode_snapshot(capture(machine))))
+
     return CheckpointedRun(
         result=machine.run(0),  # package a MachineResult, no stepping
         machine=machine,
@@ -178,4 +217,5 @@ def run_with_checkpoints(
         resumed_path=resumed_path,
         published=published,
         rejected=rejected,
+        preempted=preempted,
     )

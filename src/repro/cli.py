@@ -16,6 +16,11 @@ Commands
 ``profile``                  compile + run one design under the observability
                              subsystem; print a bottleneck report and export
                              profile JSON / Chrome trace / Prometheus metrics
+``serve``                    multi-tenant job server on a unix socket:
+                             fair-share queue, compile-cache dedupe,
+                             preemption + migration via checkpoints
+``submit``                   client for a running ``repro serve``: submit one
+                             job, replay a zipfian load plan, or shut down
 """
 
 from __future__ import annotations
@@ -545,6 +550,119 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the multi-tenant simulation service on a unix socket
+    (``repro.serve``); stops on ``repro submit --shutdown`` or Ctrl-C,
+    writing the Prometheus metrics textfile on the way out."""
+    import asyncio
+    import os
+
+    from .machine.config import MachineConfig
+    from .serve import SimulationServer, serve_unix
+
+    config = MachineConfig(grid_x=args.grid[0], grid_y=args.grid[1])
+    cache_dir = None
+    if not args.no_cache:
+        from .compiler.cache import default_cache_dir
+        cache_dir = args.cache_dir or str(default_cache_dir())
+
+    async def main() -> None:
+        server = SimulationServer(
+            workers=args.workers, mode=args.mode, config=config,
+            engine_default=args.engine, cache_dir=cache_dir,
+            checkpoint_every=args.checkpoint_every,
+            chunk_vcycles=args.chunk_vcycles,
+            preempt_grain=args.preempt_grain, retries=args.retries)
+        await server.start()
+        sock = await serve_unix(server, args.socket)
+        print(f"-- serving on {args.socket} ({args.workers} "
+              f"{args.mode} worker(s), engine={args.engine})",
+              file=sys.stderr)
+        try:
+            await server.shutdown_event.wait()
+        finally:
+            sock.close()
+            await sock.wait_closed()
+            if args.metrics_out:
+                with open(args.metrics_out, "w") as f:
+                    f.write(server.prometheus())
+                print(f"-- metrics textfile: {args.metrics_out}",
+                      file=sys.stderr)
+            snapshot = server.metrics_snapshot()
+            await server.close()
+            jobs = snapshot["jobs"]
+            print(f"-- served {jobs['submitted']} job(s): "
+                  f"{jobs['completed']} done, {jobs['failed']} failed, "
+                  f"{jobs['preempted']} preemption(s), compile hit rate "
+                  f"{snapshot['compile']['hit_rate']:.0%}",
+                  file=sys.stderr)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("-- interrupted", file=sys.stderr)
+    finally:
+        if os.path.exists(args.socket):
+            os.unlink(args.socket)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Client for a running ``repro serve``."""
+    import json
+
+    from .serve import ServeClient, plan_load, run_load
+
+    with ServeClient(args.socket, connect_timeout=args.connect_timeout) \
+            as client:
+        if args.shutdown:
+            client.shutdown()
+            print("-- shutdown requested", file=sys.stderr)
+            return 0
+        if args.load:
+            plan = plan_load(args.load, zipf_s=args.zipf,
+                             tenants=args.tenants, seed=args.seed,
+                             engine=args.engine)
+            summary = run_load(client, plan,
+                               preempt_one=args.preempt_one,
+                               wait=args.wait, timeout=args.timeout)
+            failed = [j for j in summary["jobs"]
+                      if j["state"] != "done"]
+            if args.json:
+                print(json.dumps(summary, indent=2, sort_keys=True))
+            else:
+                metrics = summary["metrics"]
+                print(f"-- {summary['submitted']} submitted, "
+                      f"{len(failed)} not done, compile hit rate "
+                      f"{metrics['compile']['hit_rate']:.0%}, p50 "
+                      f"{metrics['latency']['p50_s']:.3f}s p99 "
+                      f"{metrics['latency']['p99_s']:.3f}s",
+                      file=sys.stderr)
+            return 1 if (args.wait and failed) else 0
+        if not args.design:
+            print("repro submit: need --design, --load, or --shutdown",
+                  file=sys.stderr)
+            return 2
+        job_id = client.submit(args.design, tenant=args.tenant,
+                               cycles=args.cycles, engine=args.engine,
+                               priority=args.priority)
+        if not args.wait:
+            print(job_id)
+            return 0
+        job = client.wait(job_id, timeout=args.timeout)
+        if args.json:
+            print(json.dumps(job, indent=2, sort_keys=True))
+        elif job["result"]:
+            for line in job["result"]["displays"]:
+                print(line)
+        print(f"-- job {job_id} [{job['tenant']}] {job['state']}: "
+              f"{job['progress']} Vcycles, "
+              f"{job['preemptions']} preemption(s), cache "
+              f"{(job['cache'] or {}).get('status', '?')}",
+              file=sys.stderr)
+        return 0 if job["state"] == "done" else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     # Engine and matrix choices come from the live registries so a new
@@ -720,6 +838,81 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-q", "--quiet", action="store_true",
                    help="suppress the terminal report (exports only)")
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "serve",
+        help="multi-tenant job server on a unix socket (repro.serve)")
+    p.add_argument("--socket", required=True, metavar="PATH",
+                   help="unix socket path to listen on")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent job slots (default: 2)")
+    p.add_argument("--mode", default="thread",
+                   choices=["thread", "process"],
+                   help="job execution backend: thread (in-process) or "
+                        "process (leased pool workers, fault-isolated; "
+                        "default: thread)")
+    p.add_argument("--engine", default="fast", choices=list(ENGINES),
+                   help="default engine for submissions (default: fast)")
+    add_grid(p)
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="compile-cache directory (default: "
+                        "$REPRO_COMPILE_CACHE or ~/.cache/repro-compile)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="use a private throwaway compile cache")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="K",
+                   help="snapshot running jobs every K Vcycles "
+                        "(0 = only at preemption handoffs)")
+    p.add_argument("--chunk-vcycles", type=int, default=256, metavar="N",
+                   help="process mode: Vcycles per worker dispatch "
+                        "(default: 256)")
+    p.add_argument("--preempt-grain", type=int, default=16, metavar="G",
+                   help="checking engines: events between preemption "
+                        "polls, enabling mid-Vcycle handoff (default: 16)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="snapshot-resume retries after a lost worker "
+                        "(default: 1)")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write the Prometheus metrics textfile at "
+                        "shutdown")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="client for a running `repro serve`")
+    p.add_argument("--socket", required=True, metavar="PATH",
+                   help="unix socket of the server")
+    p.add_argument("--design", metavar="NAME",
+                   help="submit one built-in design")
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--priority", type=int, default=1,
+                   help="fair-share weight; higher may preempt lower "
+                        "(default: 1)")
+    p.add_argument("--cycles", type=int,
+                   help="Vcycle budget (default: design cycles + 300)")
+    p.add_argument("--engine", choices=list(ENGINES),
+                   help="engine override (default: the server's)")
+    p.add_argument("--load", type=int, default=0, metavar="N",
+                   help="replay a deterministic zipfian plan of N jobs "
+                        "instead of one submission")
+    p.add_argument("--zipf", type=float, default=1.1, metavar="S",
+                   help="zipf skew of the load plan (default: 1.1)")
+    p.add_argument("--tenants", type=int, default=4,
+                   help="tenant count for the load plan (default: 4)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="load plan RNG seed (default: 0)")
+    p.add_argument("--preempt-one", action="store_true",
+                   help="force one preemption round trip on the first "
+                        "load-plan job")
+    p.add_argument("--wait", action="store_true",
+                   help="block until submitted job(s) are terminal")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="per-job wait timeout in seconds (default: 600)")
+    p.add_argument("--connect-timeout", type=float, default=10.0,
+                   help="seconds to retry connecting (default: 10)")
+    p.add_argument("--json", action="store_true",
+                   help="print results as JSON")
+    p.add_argument("--shutdown", action="store_true",
+                   help="ask the server to shut down")
+    p.set_defaults(func=cmd_submit)
     return parser
 
 

@@ -28,7 +28,9 @@ from .export import (
     chrome_trace,
     metrics_dict,
     prometheus_textfile,
+    serve_prometheus_textfile,
     validate_profile,
+    validate_prometheus_textfile,
 )
 from .profiler import CoreCounters, Profiler, VcycleSample
 from .report import (
@@ -44,6 +46,7 @@ __all__ = [
     "CoreCounters", "PROFILE_SCHEMA_VERSION", "ProfiledRun", "Profiler",
     "Span", "Tracer", "VcycleSample", "build_profile", "chrome_trace",
     "current_tracer", "metrics_dict", "profile_circuit",
-    "prometheus_textfile", "render_report", "span", "use_tracer",
-    "validate_profile",
+    "prometheus_textfile", "render_report", "serve_prometheus_textfile",
+    "span", "use_tracer", "validate_profile",
+    "validate_prometheus_textfile",
 ]

@@ -149,6 +149,150 @@ def prometheus_textfile(profile: dict) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Service metrics (repro serve).
+# ---------------------------------------------------------------------------
+
+
+def serve_prometheus_textfile(metrics: dict) -> str:
+    """Prometheus textfile exposition of a
+    :meth:`repro.serve.SimulationServer.metrics_snapshot` dict
+    (``repro_serve_*`` families: job counters by event and by state,
+    per-tenant counters, compile/dedupe counters, latency quantiles)."""
+    lines: list[str] = []
+
+    def header(name: str, help_text: str,
+               metric_type: str = "gauge") -> None:
+        full = f"repro_serve_{_prom_name(name)}"
+        lines.append(f"# HELP {full} {help_text}")
+        lines.append(f"# TYPE {full} {metric_type}")
+
+    def sample(name: str, value, labels: str = "") -> None:
+        if value is None:
+            return
+        full = f"repro_serve_{_prom_name(name)}"
+        label_str = f"{{{labels}}}" if labels else ""
+        lines.append(f"{full}{label_str} {value}")
+
+    sample_info = f'mode="{metrics.get("mode", "unknown")}"'
+    header("info", "server identity (value is schema version)")
+    sample("info", metrics.get("schema_version", 0), sample_info)
+    header("workers", "configured worker slots")
+    sample("workers", metrics.get("workers"))
+    header("uptime_seconds", "seconds since server start")
+    sample("uptime_seconds", metrics.get("uptime_s"))
+
+    jobs = metrics.get("jobs", {})
+    header("jobs_total", "job lifecycle events since start", "counter")
+    for event in ("submitted", "completed", "failed", "preempted",
+                  "retried"):
+        sample("jobs_total", jobs.get(event), f'event="{event}"')
+    header("jobs", "jobs currently in each state")
+    for state, count in sorted(jobs.get("states", {}).items()):
+        sample("jobs", count, f'state="{state}"')
+
+    compile_stats = metrics.get("compile", {})
+    header("compile_total", "compile-cache outcomes", "counter")
+    for kind in ("compiles", "cache_hits", "inflight_shared"):
+        sample("compile_total", compile_stats.get(kind), f'kind="{kind}"')
+    header("compile_hit_rate", "fraction of submissions served without "
+                               "a fresh compile")
+    sample("compile_hit_rate", compile_stats.get("hit_rate"))
+
+    latency = metrics.get("latency", {})
+    header("latency_count", "terminal jobs with a measured latency",
+           "counter")
+    sample("latency_count", latency.get("count"))
+    header("latency_seconds", "submit-to-terminal latency quantiles")
+    for quantile, key in (("0.5", "p50_s"), ("0.99", "p99_s")):
+        sample("latency_seconds", latency.get(key),
+               f'quantile="{quantile}"')
+    header("latency_mean_seconds", "mean submit-to-terminal latency")
+    sample("latency_mean_seconds", latency.get("mean_s"))
+
+    header("tenant_jobs_total", "per-tenant job lifecycle events",
+           "counter")
+    for tenant, counters in sorted(metrics.get("tenants", {}).items()):
+        for event, count in sorted(counters.items()):
+            sample("tenant_jobs_total", count,
+                   f'tenant="{tenant}",event="{event}"')
+
+    return "\n".join(lines) + "\n"
+
+
+_PROM_METRIC_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?\d+))?$")
+_PROM_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+_PROM_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def validate_prometheus_textfile(text: str) -> list[str]:
+    """Errors (empty when valid) for Prometheus textfile exposition
+    format: every non-comment line must parse as
+    ``name{label="value",...} value [timestamp]`` with a float-parsable
+    value, ``# TYPE`` lines must name a known type, and every sample
+    must be preceded by HELP/TYPE headers for its family.  This is the
+    schema gate the CI ``serve-smoke`` job runs over the served
+    textfile — dependency-free, like :func:`validate_profile`."""
+    errors: list[str] = []
+    declared: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3:
+                    errors.append(f"line {lineno}: # {parts[1]} needs a "
+                                  f"metric name")
+                    continue
+                if parts[1] == "TYPE":
+                    if len(parts) < 4 or parts[3] not in _PROM_TYPES:
+                        errors.append(
+                            f"line {lineno}: # TYPE {parts[2]} has "
+                            f"invalid type "
+                            f"{parts[3] if len(parts) > 3 else '<none>'!r}")
+                    declared.add(parts[2])
+            continue
+        match = _PROM_METRIC_LINE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparsable sample {line!r}")
+            continue
+        if match.group("name") not in declared:
+            errors.append(f"line {lineno}: sample for undeclared family "
+                          f"{match.group('name')!r} (no # TYPE header)")
+        labels = match.group("labels")
+        if labels:
+            for pair in _split_labels(labels):
+                if not _PROM_LABEL.match(pair):
+                    errors.append(f"line {lineno}: bad label {pair!r}")
+        try:
+            float(match.group("value"))
+        except ValueError:
+            if match.group("value") not in ("NaN", "+Inf", "-Inf"):
+                errors.append(f"line {lineno}: non-numeric value "
+                              f"{match.group('value')!r}")
+    return errors
+
+
+def _split_labels(labels: str) -> list[str]:
+    """Split ``a="x",b="y,z"`` on commas outside quoted values."""
+    out, depth, start = [], False, 0
+    for i, ch in enumerate(labels):
+        if ch == '"' and (i == 0 or labels[i - 1] != "\\"):
+            depth = not depth
+        elif ch == "," and not depth:
+            out.append(labels[start:i])
+            start = i + 1
+    tail = labels[start:]
+    if tail:
+        out.append(tail)
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Schema validation (dependency-free subset of JSON Schema).
 # ---------------------------------------------------------------------------
 

@@ -141,6 +141,56 @@ class _Worker:
         self.proc.join(timeout=5)
 
 
+class WorkerLease:
+    """A worker process leased out of a :class:`PersistentPool` for
+    exclusive, stateful use (the :mod:`repro.serve` job executors).
+
+    Unlike :meth:`PersistentPool.map` - which chunks one call over the
+    shared workers - a lease pins a single process so a sequence of
+    calls shares that process's warm state (imported modules, page
+    cache).  A lease never hangs on a dead worker: any pipe failure
+    raises :class:`PoolWorkerLost` immediately, and the caller decides
+    whether to retry on a fresh lease or fail the job.
+    """
+
+    __slots__ = ("_pool", "_worker", "closed")
+
+    def __init__(self, pool: "PersistentPool", worker: _Worker) -> None:
+        self._pool = pool
+        self._worker = worker
+        self.closed = False
+
+    @property
+    def pid(self) -> int | None:
+        return self._worker.proc.pid
+
+    @property
+    def alive(self) -> bool:
+        return not self.closed and self._worker.alive
+
+    def run(self, fn: Callable[[T], R], item: T) -> R:
+        """``fn(item)`` on the leased worker process.
+
+        Worker exceptions re-raise here with their original type; a
+        dead worker (SIGKILL, OOM, segfault) raises
+        :class:`PoolWorkerLost` instead of blocking forever.
+        """
+        if self.closed:
+            raise ValueError("lease already reclaimed")
+        module, qualname = task_ref(fn)
+        w = self._worker
+        try:
+            w.conn.send(("map", module, qualname, [item]))
+            reply = w.conn.recv()
+        except (EOFError, BrokenPipeError, OSError):
+            raise PoolWorkerLost(
+                f"leased worker (pid {w.proc.pid}) died running "
+                f"{module}:{qualname}") from None
+        if reply[0] == "err":
+            raise pickle.loads(reply[1])
+        return reply[1][0]
+
+
 class PersistentPool:
     """``workers`` persistent processes executing chunked maps."""
 
@@ -150,6 +200,11 @@ class PersistentPool:
         self.workers = workers
         self._ctx = mp.get_context(start_method())
         self._procs: list[_Worker | None] = [None] * workers
+        #: healthy workers returned by :meth:`reclaim`, reused by the
+        #: next :meth:`lease` so steady-state leasing spawns nothing.
+        self._spares: list[_Worker] = []
+        #: leases currently out, so :meth:`close` can tear them down.
+        self._leased: list[WorkerLease] = []
         self.respawns = 0
 
     # ------------------------------------------------------------------
@@ -250,6 +305,40 @@ class PersistentPool:
         return results
 
     # ------------------------------------------------------------------
+    # Leasing: dedicated workers for stateful callers (repro.serve).
+    # ------------------------------------------------------------------
+    def lease(self) -> WorkerLease:
+        """Claim a dedicated worker process (reusing a reclaimed spare
+        when one is alive, spawning otherwise).  Leased workers are
+        tracked separately from the ``map`` workers, so leasing never
+        perturbs chunked-map scheduling."""
+        worker = None
+        while self._spares:
+            candidate = self._spares.pop()
+            if candidate.alive:
+                worker = candidate
+                break
+            candidate.kill()
+        if worker is None:
+            worker = _Worker(self._ctx)
+        lease = WorkerLease(self, worker)
+        self._leased.append(lease)
+        return lease
+
+    def reclaim(self, lease: WorkerLease) -> None:
+        """Return a lease to the pool.  A healthy worker becomes a spare
+        for the next :meth:`lease`; a dead one is buried.  Idempotent."""
+        if lease.closed:
+            return
+        lease.closed = True
+        if lease in self._leased:
+            self._leased.remove(lease)
+        if lease._worker.alive:
+            self._spares.append(lease._worker)
+        else:
+            lease._worker.kill()
+
+    # ------------------------------------------------------------------
     def ping(self) -> list[int]:
         """Round-trip every worker; returns their PIDs (spawning any
         that are missing)."""
@@ -261,6 +350,13 @@ class PersistentPool:
         return pids
 
     def close(self) -> None:
+        for lease in list(self._leased):
+            lease.closed = True
+            lease._worker.kill()
+        self._leased.clear()
+        for w in self._spares:
+            w.kill()
+        self._spares.clear()
         for i, w in enumerate(self._procs):
             if w is None:
                 continue

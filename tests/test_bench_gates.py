@@ -1,0 +1,73 @@
+"""The bench_compile pool gate arms (and skips) for the right reasons.
+
+``benchmarks/bench_compile.py`` enforces a >=1.5x pooled-batch-compile
+speedup, but only on machines with >= 2 CPUs — a persistent pool cannot
+beat a serial loop on one core.  These tests pin the arming logic and
+its skip wording through ``pool_gate_status`` with explicit and mocked
+CPU counts, so a 1-CPU CI box records numbers without failing and a
+multi-core box cannot silently skip the gate.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def bench_compile():
+    spec = importlib.util.spec_from_file_location(
+        "bench_compile", _BENCH / "bench_compile.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_compile"] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop("bench_compile", None)
+
+
+@pytest.mark.parametrize("cpus,expect_armed", [
+    (1, False),
+    (2, True),
+    (4, True),
+    (64, True),
+])
+def test_pool_gate_arms_at_two_cpus(bench_compile, cpus, expect_armed):
+    armed, label = bench_compile.pool_gate_status(cpus=cpus)
+    assert armed == expect_armed
+    if armed:
+        assert label == f">={bench_compile.POOL_GATE}x"
+    else:
+        assert label.startswith("skipped")
+
+
+def test_pool_gate_skip_text_names_the_real_reason(bench_compile):
+    """The skip label must describe the persistent pool's actual
+    constraint (needs a second core), not a stale mechanism."""
+    _, label = bench_compile.pool_gate_status(cpus=1)
+    assert "fork-per-call" not in label
+    assert "persistent-pool" in label
+    assert "1 cpu" in label
+    assert str(bench_compile.POOL_GATE_MIN_CPUS) in label
+
+
+def test_pool_gate_default_reads_cpu_count(bench_compile, monkeypatch):
+    """``cpus=None`` consults os.cpu_count() — mocked both ways."""
+    monkeypatch.setattr(bench_compile.os, "cpu_count", lambda: 1)
+    armed, label = bench_compile.pool_gate_status()
+    assert not armed and "skipped (1 cpu" in label
+
+    monkeypatch.setattr(bench_compile.os, "cpu_count", lambda: 8)
+    armed, label = bench_compile.pool_gate_status()
+    assert armed and label == f">={bench_compile.POOL_GATE}x"
+
+    # cpu_count() can return None (the stdlib allows it): treat as 1.
+    monkeypatch.setattr(bench_compile.os, "cpu_count", lambda: None)
+    armed, _ = bench_compile.pool_gate_status()
+    assert not armed

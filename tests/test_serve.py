@@ -1,0 +1,272 @@
+"""The serve path changes nothing: server results == direct runs.
+
+Three layers of assurance for ``repro.serve``:
+
+* unit coverage of the :class:`~repro.serve.jobs.Job` state machine
+  (every legal edge walks, every illegal edge raises) and the
+  :class:`~repro.serve.server.FairQueue` stride scheduler (dispatch
+  shares track priorities; ties and re-activation are deterministic);
+* the headline equivalence matrix — for >= 3 designs x >= 3 engines, a
+  job submitted through the full server path (queue, compile-cache
+  dedupe, worker execution under ``run_with_checkpoints``) must produce
+  displays, completion, Vcycle count, counters, and an architectural
+  state digest identical to a direct ``Machine.run`` of the same
+  compiled program;
+* the unix-socket front end round-trips submissions and metrics, and
+  the metrics snapshot validates against ``docs/serve.schema.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.designs import DESIGNS
+from repro.machine import Machine, MachineConfig
+from repro.serve import (FairQueue, Job, JobStateError, ServeClient,
+                         SimulationServer, serve_unix, state_digest)
+
+CONFIG = MachineConfig(grid_x=8, grid_y=8)
+
+#: The acceptance matrix: >= 3 designs x >= 3 engines.
+MATRIX_DESIGNS = ("mm", "mc", "blur")
+MATRIX_ENGINES = ("strict", "fast", "codegen")
+
+
+def _budget(name: str) -> int:
+    return max(64, DESIGNS[name].cycles + 300)
+
+
+@functools.lru_cache(maxsize=None)
+def _program(name: str):
+    options = CompilerOptions(config=CONFIG)
+    return compile_circuit(DESIGNS[name].build(), options).program
+
+
+@functools.lru_cache(maxsize=None)
+def _direct(name: str, engine: str):
+    """Reference: a direct, uninterrupted Machine.run."""
+    machine = Machine(_program(name), CONFIG, engine=engine)
+    result = machine.run(_budget(name))
+    return result, state_digest(machine)
+
+
+# ---------------------------------------------------------------------------
+# Job state machine.
+# ---------------------------------------------------------------------------
+
+
+def _job(**kw) -> Job:
+    base = dict(id=1, tenant="t", design="mm", cycles=10, engine="fast")
+    base.update(kw)
+    return Job(**base)
+
+
+def test_job_walks_the_happy_path():
+    job = _job()
+    for state in ("compiling", "running", "done"):
+        job.advance(state)
+    assert job.finished
+    assert job.latency_s is not None and job.latency_s >= 0.0
+
+
+def test_job_preemption_cycle_and_retry_edge():
+    job = _job()
+    job.advance("compiling")
+    job.advance("running")
+    job.advance("preempted")   # priority preemption
+    job.advance("running")     # resumed (possibly elsewhere)
+    job.advance("pending")     # lost-worker retry edge
+    job.advance("compiling")
+    job.advance("running")
+    job.advance("done")
+    assert job.finished
+
+
+@pytest.mark.parametrize("start,bad", [
+    ("pending", "running"),      # must compile first
+    ("pending", "preempted"),    # only running jobs preempt
+    ("pending", "done"),
+    ("compiling", "preempted"),
+    ("done", "running"),         # terminal states are terminal
+    ("failed", "pending"),
+])
+def test_job_rejects_illegal_edges(start, bad):
+    job = _job(state=start)
+    with pytest.raises(JobStateError):
+        job.advance(bad)
+
+
+def test_job_fail_from_any_live_state_but_not_terminal():
+    job = _job(state="running")
+    job.fail("boom")
+    assert job.state == "failed" and job.error == "boom"
+    with pytest.raises(JobStateError):
+        job.fail("again")
+
+
+def test_job_unknown_state_rejected():
+    with pytest.raises(JobStateError):
+        _job().advance("zombie")
+
+
+# ---------------------------------------------------------------------------
+# Fair queue.
+# ---------------------------------------------------------------------------
+
+
+def test_fair_queue_shares_track_priority():
+    queue = FairQueue()
+    for i in range(6):
+        queue.push(_job(id=10 + i, tenant="heavy", priority=2))
+        queue.push(_job(id=20 + i, tenant="light", priority=1))
+    order = [queue.pop().tenant for _ in range(9)]
+    # Over any window the 2:1 priority ratio shows up as a 2:1
+    # dispatch ratio.
+    assert order.count("heavy") == 6
+    assert order.count("light") == 3
+
+
+def test_fair_queue_round_robins_equal_priorities():
+    queue = FairQueue()
+    for i in range(4):
+        queue.push(_job(id=10 + i, tenant="a"))
+        queue.push(_job(id=20 + i, tenant="b"))
+    order = [queue.pop().tenant for _ in range(8)]
+    assert order == ["a", "b"] * 4
+
+
+def test_fair_queue_idle_tenant_cannot_bank_credit():
+    queue = FairQueue()
+    for i in range(8):
+        queue.push(_job(id=10 + i, tenant="busy"))
+    for _ in range(6):
+        queue.pop()
+    # A tenant arriving late starts at the current floor, not at zero
+    # virtual time - it must not monopolize the next 6 dispatches.
+    queue.push(_job(id=30, tenant="late"))
+    queue.push(_job(id=31, tenant="late"))
+    assert {queue.pop().tenant for _ in range(2)} == {"busy", "late"}
+
+
+def test_fair_queue_avoid_worker_skips_pinned_head():
+    queue = FairQueue()
+    pinned = _job(id=1, tenant="a")
+    pinned.avoid_worker = 0
+    queue.push(pinned)
+    queue.push(_job(id=2, tenant="b"))
+    assert queue.pop(avoid_worker=0).id == 2
+    assert queue.pop(avoid_worker=0) is None   # only the pinned job left
+    assert queue.pop(avoid_worker=1).id == 1   # another worker takes it
+    assert len(queue) == 0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end bit-identity: server path vs direct run.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", MATRIX_ENGINES)
+@pytest.mark.parametrize("name", MATRIX_DESIGNS)
+def test_server_path_bit_identical_to_direct_run(name, engine):
+    ref, ref_digest = _direct(name, engine)
+
+    async def go():
+        async with SimulationServer(workers=1, mode="thread",
+                                    config=CONFIG) as server:
+            job = await server.submit(design=name, engine=engine,
+                                      cycles=_budget(name))
+            return await server.wait(job.id, timeout=300)
+
+    job = asyncio.run(go())
+    assert job.state == "done", job.error
+    out = job.result
+    assert out["finished"] == ref.finished
+    assert out["vcycles"] == ref.vcycles
+    assert out["displays"] == ref.displays
+    assert out["counters"] == ref.counters.as_dict()
+    assert out["state_sha256"] == ref_digest
+
+
+def test_concurrent_tenants_all_bit_identical():
+    """Two workers, three tenants, interleaved engines - every result
+    must still match its engine's direct run."""
+    cases = [("mm", "strict"), ("mm", "fast"), ("mc", "fast"),
+             ("mc", "codegen"), ("blur", "fast")]
+
+    async def go():
+        async with SimulationServer(workers=2, mode="thread",
+                                    config=CONFIG) as server:
+            jobs = [await server.submit(tenant=f"t{i % 3}", design=name,
+                                        engine=engine,
+                                        cycles=_budget(name))
+                    for i, (name, engine) in enumerate(cases)]
+            return [await server.wait(j.id, timeout=600) for j in jobs]
+
+    for (name, engine), job in zip(cases, asyncio.run(go())):
+        ref, ref_digest = _direct(name, engine)
+        assert job.state == "done", (name, engine, job.error)
+        assert job.result["state_sha256"] == ref_digest, (name, engine)
+        assert job.result["displays"] == ref.displays
+
+
+# ---------------------------------------------------------------------------
+# Socket front end + metrics schema.
+# ---------------------------------------------------------------------------
+
+
+def test_unix_socket_round_trip_and_metrics_schema(tmp_path):
+    socket_path = str(tmp_path / "serve.sock")
+    schema = json.loads(
+        (Path(__file__).resolve().parent.parent
+         / "docs" / "serve.schema.json").read_text())
+
+    async def go():
+        from repro.obs import validate_profile, \
+            validate_prometheus_textfile
+        async with SimulationServer(workers=1, mode="thread",
+                                    config=CONFIG) as server:
+            sock = await serve_unix(server, socket_path)
+            try:
+                def client_session():
+                    with ServeClient(socket_path) as client:
+                        job_id = client.submit("mm", tenant="sock",
+                                               engine="fast")
+                        job = client.wait(job_id, timeout=300)
+                        metrics = client.status()
+                        prom = client.prometheus()
+                        return job, metrics, prom
+
+                job, metrics, prom = await asyncio.to_thread(
+                    client_session)
+            finally:
+                sock.close()
+                await sock.wait_closed()
+        assert job["state"] == "done", job["error"]
+        ref, ref_digest = _direct("mm", "fast")
+        assert job["result"]["state_sha256"] == ref_digest
+        assert validate_profile(metrics, schema) == []
+        assert metrics["jobs"]["completed"] == 1
+        assert metrics["tenants"]["sock"]["submitted"] == 1
+        assert validate_prometheus_textfile(prom) == []
+        assert "repro_serve_jobs_total" in prom
+
+    asyncio.run(go())
+
+
+def test_submit_validates_inputs():
+    async def go():
+        async with SimulationServer(workers=1, config=CONFIG) as server:
+            with pytest.raises(ValueError):
+                await server.submit(design="mm", engine="warp-drive")
+            with pytest.raises(ValueError):
+                await server.submit(design="mm", priority=0)
+            with pytest.raises(ValueError):
+                await server.submit()
+
+    asyncio.run(go())

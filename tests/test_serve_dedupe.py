@@ -1,0 +1,139 @@
+"""Fingerprint-identical circuits compile once, whoever submits them.
+
+The dedupe contract of the service: submissions are keyed through the
+content-addressed compile cache, so two tenants submitting the same
+circuit share one compile — concurrently (the second attaches to the
+first's in-flight future, ``status="shared"``) or sequentially (the
+second hits the disk artifact, ``status="hit"``).  Every claim is
+asserted through ``CompileReport.cache`` statistics carried on the job,
+and both tenants must still get correct, identical results.  Different
+circuits must NOT dedupe against each other.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.designs import DESIGNS
+from repro.machine import Machine, MachineConfig
+from repro.serve import SimulationServer, state_digest
+
+CONFIG = MachineConfig(grid_x=8, grid_y=8)
+
+
+def _budget(name: str) -> int:
+    return max(64, DESIGNS[name].cycles + 300)
+
+
+@functools.lru_cache(maxsize=None)
+def _direct_digest(name: str) -> str:
+    program = compile_circuit(DESIGNS[name].build(),
+                              CompilerOptions(config=CONFIG)).program
+    machine = Machine(program, CONFIG, engine="fast")
+    machine.run(_budget(name))
+    return state_digest(machine)
+
+
+def test_two_tenants_identical_circuits_compile_once():
+    """Concurrent submissions of the same design from two tenants: one
+    compile runs, the other attaches to it in flight, both correct."""
+
+    async def go():
+        async with SimulationServer(workers=2, mode="thread",
+                                    config=CONFIG) as server:
+            a = await server.submit(tenant="alice", design="mm",
+                                    engine="fast")
+            b = await server.submit(tenant="bob", design="mm",
+                                    engine="fast")
+            done_a = await server.wait(a.id, timeout=300)
+            done_b = await server.wait(b.id, timeout=300)
+            return done_a, done_b, server.metrics_snapshot()
+
+    a, b, metrics = asyncio.run(go())
+    assert a.state == "done" and b.state == "done"
+
+    # Exactly one compile ran; per CompileReport.cache, one job was a
+    # pipeline miss and the other shared the in-flight compile.
+    assert metrics["compile"]["compiles"] == 1
+    statuses = {a.cache["status"], b.cache["status"]}
+    assert statuses == {"miss", "shared"}
+    assert a.cache_key == b.cache_key
+    miss = a if a.cache["status"] == "miss" else b
+    assert miss.cache["misses"] == 1
+    assert miss.cache["stores"] == 1
+
+    # Both tenants got the correct (and identical) result.
+    expected = _direct_digest("mm")
+    assert a.result["state_sha256"] == expected
+    assert b.result["state_sha256"] == expected
+    assert a.result["displays"] == b.result["displays"]
+
+
+def test_sequential_resubmission_hits_the_disk_artifact():
+    async def go():
+        async with SimulationServer(workers=1, mode="thread",
+                                    config=CONFIG) as server:
+            first = await server.wait(
+                (await server.submit(tenant="alice", design="mm",
+                                     engine="fast")).id, timeout=300)
+            second = await server.wait(
+                (await server.submit(tenant="bob", design="mm",
+                                     engine="fast")).id, timeout=300)
+            return first, second, server.metrics_snapshot()
+
+    first, second, metrics = asyncio.run(go())
+    assert first.cache["status"] == "miss"
+    assert second.cache["status"] == "hit"
+    assert second.cache["hits"] >= 1
+    assert metrics["compile"]["compiles"] == 1
+    assert metrics["compile"]["cache_hits"] == 1
+    assert metrics["compile"]["hit_rate"] == 0.5
+    expected = _direct_digest("mm")
+    assert first.result["state_sha256"] == expected
+    assert second.result["state_sha256"] == expected
+
+
+def test_different_circuits_do_not_dedupe():
+    async def go():
+        async with SimulationServer(workers=1, mode="thread",
+                                    config=CONFIG) as server:
+            mm = await server.wait(
+                (await server.submit(design="mm",
+                                     engine="fast")).id, timeout=300)
+            mc = await server.wait(
+                (await server.submit(design="mc",
+                                     engine="fast")).id, timeout=300)
+            return mm, mc, server.metrics_snapshot()
+
+    mm, mc, metrics = asyncio.run(go())
+    assert mm.cache_key != mc.cache_key
+    assert mm.cache["status"] == "miss"
+    assert mc.cache["status"] == "miss"
+    assert metrics["compile"]["compiles"] == 2
+    assert metrics["compile"]["hit_rate"] == 0.0
+
+
+def test_engine_choice_does_not_defeat_dedupe():
+    """The cache key covers the circuit and compile options only — the
+    execution engine is a run-time choice, so tenants on different
+    engines still share one artifact."""
+
+    async def go():
+        async with SimulationServer(workers=2, mode="thread",
+                                    config=CONFIG) as server:
+            a = await server.submit(tenant="alice", design="mc",
+                                    engine="strict")
+            b = await server.submit(tenant="bob", design="mc",
+                                    engine="codegen")
+            done_a = await server.wait(a.id, timeout=300)
+            done_b = await server.wait(b.id, timeout=300)
+            return done_a, done_b, server.metrics_snapshot()
+
+    a, b, metrics = asyncio.run(go())
+    assert a.cache_key == b.cache_key
+    assert metrics["compile"]["compiles"] == 1
+    assert {a.cache["status"], b.cache["status"]} == {"miss", "shared"}
+    # Engine-independent architecture: identical digests too.
+    assert a.result["state_sha256"] == b.result["state_sha256"]
