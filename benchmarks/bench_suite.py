@@ -77,14 +77,47 @@ def _fuzz_headline(d: dict) -> dict:
 
 
 def _checkpoint_headline(d: dict) -> dict:
-    designs = d["designs"]
+    gate = d["gate"]
     return {
         "grid": d["grid"],
-        "designs": len(designs),
-        "max_checkpoint_overhead_percent":
-            d["max_checkpoint_overhead"] * 100,
-        "max_measured_overhead_percent": max(
-            v["overhead_percent"] for v in designs.values()),
+        "designs": len(d["designs"]),
+        "limit_percent": gate["limit_percent"],
+        "suite_overhead_percent": gate["suite_overhead_percent"],
+        "max_design_overhead_percent":
+            gate["max_design_overhead_percent"],
+        "geomean_design_overhead_percent":
+            gate["geomean_design_overhead_percent"],
+        "gate": "pass" if gate["passed"] else "FAIL",
+    }
+
+
+def _workloads_headline(d: dict) -> dict:
+    trajectory = []
+    for row in d["trajectory"]:
+        designs = row["designs"]
+        fastest = {
+            name: max(e["vcycles_per_s"]
+                      for e in entry["engines"].values())
+            for name, entry in designs.items()}
+        trajectory.append({
+            "grid": row["grid"],
+            "scale": row["scale"],
+            "designs": len(designs),
+            "engines": list(row["engines"]),
+            "total_ops": sum(v["ops"] for v in designs.values()),
+            "geomean_compile_s": round(_geomean(
+                [v["compile_s"] for v in designs.values()]), 2),
+            "geomean_best_vcycles_per_s": round(_geomean(
+                list(fastest.values())), 1),
+            "digests_agree": row["digests_agree"],
+        })
+    return {
+        "trajectory": trajectory,
+        "registry_entries": len(d["registry"]["entries"]),
+        "registry_all_ok": d["registry"]["all_ok"],
+        "gate": ("pass" if (d["gate"]["digests_agree_all_rows"]
+                            and d["gate"]["registry_all_ok"])
+                 else "FAIL"),
     }
 
 
@@ -121,6 +154,7 @@ _SECTIONS = {
     "checkpoint": _checkpoint_headline,
     "obs": _obs_headline,
     "serve": _serve_headline,
+    "workloads": _workloads_headline,
 }
 
 

@@ -1,0 +1,124 @@
+// A multi-module packet switch exercising the widened frontend subset
+// end to end: hierarchical instantiation, localparam constants, an
+// initial block filling a header ROM (explicit stores + a for loop),
+// two clocked always blocks in one module, and a casez priority
+// classifier.  Deterministic and self-finishing:
+//
+//   python -m repro simulate examples/packet_switch.v
+//   python -m repro run examples/packet_switch.v --grid 4 4
+//   python -m repro workloads run packet-switch
+
+module lfsr16(input clk, output [15:0] value);
+  parameter SEED = 16'hace1;
+  reg [15:0] r = SEED;
+  assign value = r;
+  always @(posedge clk) begin
+    r <= {r[14:0], r[15] ^ r[13] ^ r[12] ^ r[10]};
+  end
+endmodule
+
+// casez priority decode of a packet header: highest set flag bit wins,
+// all-zero flags drop the packet.
+module classifier(input [15:0] header,
+                  output [1:0] port_sel, output drop);
+  localparam PORT_BULK = 0;
+  reg [1:0] sel_r;
+  reg drop_r;
+  assign port_sel = sel_r;
+  assign drop = drop_r;
+  always @(*) begin
+    sel_r = PORT_BULK;
+    drop_r = 0;
+    casez (header[7:0])
+      8'b1???????: sel_r = 3;        // control traffic
+      8'b01??????: sel_r = 2;
+      8'b001?????: sel_r = 1;
+      8'b0001????: sel_r = 0;
+      default:     drop_r = 1;       // no flag bit set
+    endcase
+  end
+endmodule
+
+// per-port weight lookup (plain case through hierarchy)
+module portmap(input [1:0] sel, output [7:0] weight);
+  reg [7:0] w;
+  assign weight = w;
+  always @(*) begin
+    case (sel)
+      0: w = 1;
+      1: w = 3;
+      2: w = 7;
+      default: w = 15;
+    endcase
+  end
+endmodule
+
+module top();
+  localparam NPKT = 24;
+  localparam WATCHDOG = 400;
+
+  reg [15:0] rom [0:23];
+  integer i;
+  initial begin
+    rom[0] = 16'h8001;               // explicit control packet
+    rom[1] = 16'h000f;               // explicit drop (no flag bits)
+    for (i = 2; i < 24; i = i + 1)
+      rom[i] = i * 5197 + 11;
+  end
+
+  reg [15:0] cyc = 0;
+  reg [7:0] sent = 0;
+  reg [15:0] header = 0;
+  reg valid = 0;
+
+  wire [1:0] port_sel;
+  wire drop;
+  wire [15:0] payload;
+  wire [7:0] weight;
+  classifier cls (.header(header), .port_sel(port_sel),
+                  .drop(drop));
+  portmap pmap (.sel(port_sel), .weight(weight));
+  lfsr16 gen (.clk(clk), .value(payload));
+
+  // Injector: stream the ROM through the classifier, one header per
+  // cycle.
+  always @(posedge clk) begin
+    cyc <= cyc + 1;
+    valid <= 0;
+    if (sent < NPKT) begin
+      header <= rom[sent];
+      valid <= 1;
+      sent <= sent + 1;
+    end
+  end
+
+  // Scoreboard: second clocked block in the same module.
+  reg [7:0] ndone = 0;
+  reg [7:0] dropped = 0;
+  reg [31:0] acc = 0;
+  reg [7:0] counts [0:3];
+  initial begin
+    for (i = 0; i < 4; i = i + 1)
+      counts[i] = 0;
+  end
+
+  always @(posedge clk) begin
+    if (valid) begin
+      ndone <= ndone + 1;
+      if (drop) begin
+        dropped <= dropped + 1;
+      end else begin
+        acc <= acc + header + payload + weight;
+        counts[port_sel] <= counts[port_sel] + 1;
+      end
+    end
+    if (ndone == NPKT) begin
+      $display("switch: %d packets, %d dropped, acc %x", ndone, dropped,
+               acc);
+      $display("ports: %d %d %d %d", counts[0], counts[1], counts[2],
+               counts[3]);
+      $finish;
+    end
+    if (cyc == WATCHDOG) $finish;
+  end
+endmodule

@@ -663,6 +663,102 @@ def cmd_submit(args) -> int:
         return 0 if job["state"] == "done" else 1
 
 
+def _workload_grid(values: list[str]) -> tuple[int, int]:
+    """``["15x15"]`` or ``["15", "15"]`` -> ``(15, 15)``."""
+    from .workloads.registry import parse_grid
+    if len(values) == 1:
+        return parse_grid(values[0])
+    return (int(values[0]), int(values[1]))
+
+
+def cmd_workloads(args) -> int:
+    """Named-workload registry: list, run, verify, bench, pin."""
+    import json
+
+    from .workloads import (DEFAULT_GRID, WorkloadError, load_workloads,
+                            pin_workloads, run_workload, verify_workload)
+    from .workloads.bench import bench_row, default_scale, verify_registry
+    from .workloads.registry import grid_key, save_workloads
+
+    def progress(msg):
+        print(f"-- {msg}", file=sys.stderr)
+
+    try:
+        workloads = load_workloads()
+        if args.action == "list":
+            for w in workloads.values():
+                grids = ",".join(sorted(w.digests)) or "-"
+                print(f"{w.name:16s} {w.kind:8s} {w.cycles:6d} cyc  "
+                      f"pinned@{grids:8s} {w.description}")
+            return 0
+
+        grid = _workload_grid(args.grid) if args.grid else DEFAULT_GRID
+        if args.action == "run":
+            if args.name not in workloads:
+                print(f"repro workloads: unknown workload {args.name!r}",
+                      file=sys.stderr)
+                return 2
+            run = run_workload(workloads[args.name], grid, args.engine)
+            print(f"{run.workload} @ {grid_key(grid)} [{run.engine}]: "
+                  f"{run.vcycles} Vcycles, finished={run.finished}, "
+                  f"digest {run.digest[:16]} "
+                  f"(pin={'n/a' if run.digest_ok is None else run.digest_ok},"
+                  f" fingerprint="
+                  f"{'n/a' if run.fingerprint_ok is None else run.fingerprint_ok})")
+            return 0 if run.ok else 1
+
+        if args.action == "verify":
+            names = args.names or list(workloads)
+            for name in names:
+                if name not in workloads:
+                    print(f"repro workloads: unknown workload {name!r}",
+                          file=sys.stderr)
+                    return 2
+                runs = verify_workload(workloads[name], grid,
+                                       tuple(args.engines.split(",")))
+                print(f"{name:16s} ok: "
+                      + ", ".join(f"{r.engine}={r.digest[:12]}"
+                                  for r in runs))
+            return 0
+
+        if args.action == "bench":
+            scale = args.scale or default_scale(grid)
+            row = bench_row(grid, scale, tuple(args.engines.split(",")),
+                            progress=progress)
+            if grid == DEFAULT_GRID and not args.no_registry:
+                row["registry"] = verify_registry(grid, progress=progress)
+            if args.json:
+                print(json.dumps(row, indent=2, sort_keys=True))
+            else:
+                for name, d in row["designs"].items():
+                    rates = " ".join(
+                        f"{e}={v['vcycles_per_s']:.0f}/s"
+                        for e, v in d["engines"].items())
+                    print(f"{name:8s} {d['ops']:6d} ops  "
+                          f"{d['vcycles']:5d} Vcycles  "
+                          f"compile {d['compile_s']:6.1f}s  {rates}")
+                print(f"-- {row['grid']}/{row['scale']}: all digests "
+                      f"agree across {', '.join(row['engines'])}")
+            return 0
+
+        if args.action == "pin":
+            grids = (tuple(_workload_grid([g]) for g in args.grids)
+                     if args.grids else (DEFAULT_GRID,))
+            pinned = pin_workloads(workloads, grids)
+            changed = [n for n in pinned
+                       if pinned[n] != workloads[n]]
+            path = save_workloads(pinned)
+            print(f"-- pinned {len(pinned)} workloads "
+                  f"({len(changed)} changed) -> {path}", file=sys.stderr)
+            for n in changed:
+                print(f"   {n}")
+            return 0
+    except WorkloadError as exc:
+        print(f"repro workloads: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled action {args.action!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     # Engine and matrix choices come from the live registries so a new
@@ -769,6 +865,59 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("disasm", help="disassemble a program binary")
     p.add_argument("file")
     p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser(
+        "workloads",
+        help="named-workload registry with pinned state digests")
+    wsub = p.add_subparsers(dest="action", required=True)
+
+    def add_wgrid(wp, default_help="workload grid (default: the pin "
+                                   "grid, 8x8); accepts '15x15' or "
+                                   "'15 15'"):
+        wp.add_argument("--grid", nargs="+", metavar="G",
+                        help=default_help)
+
+    wp = wsub.add_parser("list", help="list registered workloads")
+    wp.set_defaults(func=cmd_workloads)
+
+    wp = wsub.add_parser("run", help="compile+run one workload, "
+                                     "checking its pinned digest")
+    wp.add_argument("name")
+    add_wgrid(wp)
+    wp.add_argument("--engine", default="fast", choices=list(ENGINES))
+    wp.set_defaults(func=cmd_workloads)
+
+    wp = wsub.add_parser(
+        "verify", help="run workloads on several engines; digests must "
+                       "agree and match the pins")
+    wp.add_argument("names", nargs="*",
+                    help="workload names (default: all)")
+    add_wgrid(wp)
+    wp.add_argument("--engines", default="strict,fast,codegen",
+                    help="comma-separated engine list")
+    wp.set_defaults(func=cmd_workloads)
+
+    wp = wsub.add_parser(
+        "bench", help="bench all design families at one grid/scale "
+                      "operating point (digest-checked)")
+    add_wgrid(wp)
+    wp.add_argument("--scale", choices=["small", "paper", "stretch"],
+                    help="design scale tier (default: inferred from "
+                         "the grid)")
+    wp.add_argument("--engines", default="strict,fast,codegen",
+                    help="comma-separated engine list")
+    wp.add_argument("--no-registry", action="store_true",
+                    help="skip the registry pin sweep on the pin grid")
+    wp.add_argument("--json", action="store_true",
+                    help="print the bench row as JSON")
+    wp.set_defaults(func=cmd_workloads)
+
+    wp = wsub.add_parser(
+        "pin", help="recompute and save pinned fingerprints/digests "
+                    "(after a deliberate toolchain change)")
+    wp.add_argument("--grids", nargs="+", metavar="G",
+                    help="grids to pin (default: 8x8)")
+    wp.set_defaults(func=cmd_workloads)
 
     p = sub.add_parser(
         "fuzz", help="differential fuzzing against an oracle matrix")

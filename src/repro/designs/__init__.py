@@ -1,49 +1,162 @@
 """The paper's nine RTL benchmarks (SS7.5) plus the SS7.7 microbenchmarks,
-reimplemented on the netlist builder at parameterizable (default reduced)
-scale, each wrapped in an assertion-based test driver.
+reimplemented on the netlist builder at parameterizable scale, each
+wrapped in an assertion-based test driver.
 
 ``DESIGNS`` is the registry the benchmark harness iterates: paper name ->
 build function + default simulated cycles, ordered by the paper's Table 3
 columns (largest serial step first).
+
+Every family carries three named scale tiers (:data:`SCALES`):
+
+* ``small`` - the historical default sizes, tuned for an 8x8 grid and
+  fast CI;
+* ``paper`` - sized to populate the paper's 15x15 (225-core) machine;
+* ``stretch`` - sized for a 32x32 grid, the forward-looking row of the
+  workload bench trajectory.
+
+``DesignInfo.build_at(scale)``/``cycles_at(scale)`` construct a tier;
+the zero-argument ``build`` and ``cycles`` fields remain the ``small``
+tier so existing harnesses keep their historical meaning.  Per-tier
+cycle budgets are driver-complete (measured finish + headroom), because
+every driver is self-checking and ``$finish``es on its own.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Callable, Mapping
 
 from ..netlist.ir import Circuit
 from . import bc, blur, cgra, jpeg, mc, micro, mm, nocsim, rv32r, vta
+
+#: Named scale tiers, smallest first.
+SCALES: tuple[str, ...] = ("small", "paper", "stretch")
+
+
+@dataclass(frozen=True)
+class ScaleSpec:
+    """One size tier of a design family: builder kwargs + cycle budget."""
+
+    params: Mapping[str, int]
+    cycles: int                 # driver-complete simulated cycles
 
 
 @dataclass(frozen=True)
 class DesignInfo:
     name: str
     build: Callable[[], Circuit]
-    cycles: int                 # driver-complete simulated cycles
+    cycles: int                 # driver-complete cycles at ``small``
     description: str
+    #: the raw parameterized builder behind ``build``
+    builder: Callable[..., Circuit] | None = None
+    #: scale tier name -> :class:`ScaleSpec`
+    scales: Mapping[str, ScaleSpec] = field(
+        default_factory=lambda: MappingProxyType({}))
+
+    def build_at(self, scale: str = "small") -> Circuit:
+        """Build this design at a named scale tier."""
+        spec = self.scale_spec(scale)
+        builder = self.builder or (lambda **kw: self.build())
+        return builder(**dict(spec.params))
+
+    def cycles_at(self, scale: str = "small") -> int:
+        """Driver-complete cycle budget at a named scale tier."""
+        return self.scale_spec(scale).cycles
+
+    def scale_spec(self, scale: str) -> ScaleSpec:
+        if scale not in self.scales:
+            raise KeyError(
+                f"design {self.name!r} has no scale {scale!r} "
+                f"(known: {', '.join(self.scales)})")
+        return self.scales[scale]
+
+
+def _scales(**tiers: tuple[dict, int]) -> Mapping[str, ScaleSpec]:
+    return MappingProxyType({
+        name: ScaleSpec(MappingProxyType(params), cycles)
+        for name, (params, cycles) in tiers.items()})
+
+
+def _info(name: str, module, description: str,
+          scales: Mapping[str, ScaleSpec]) -> DesignInfo:
+    return DesignInfo(name, module.build, module.DEFAULT_CYCLES,
+                      description, module.build, scales)
 
 
 DESIGNS: dict[str, DesignInfo] = {
-    "vta": DesignInfo("vta", vta.build, vta.DEFAULT_CYCLES,
-                      "VTA-style GEMM ML accelerator"),
-    "mc": DesignInfo("mc", mc.build, mc.DEFAULT_CYCLES,
-                     "Monte-Carlo fixed-point price predictor"),
-    "noc": DesignInfo("noc", nocsim.build, nocsim.DEFAULT_CYCLES,
-                      "2D torus NoC with virtual channels"),
-    "mm": DesignInfo("mm", mm.build, mm.DEFAULT_CYCLES,
-                     "systolic integer matrix multiplier"),
-    "rv32r": DesignInfo("rv32r", rv32r.build, rv32r.DEFAULT_CYCLES,
-                        "ring of small in-order processors"),
-    "cgra": DesignInfo("cgra", cgra.build, cgra.DEFAULT_CYCLES,
-                       "coarse-grained reconfigurable array"),
-    "bc": DesignInfo("bc", bc.build, bc.DEFAULT_CYCLES,
-                     "SHA-256 bitcoin miner pipeline"),
-    "blur": DesignInfo("blur", blur.build, blur.DEFAULT_CYCLES,
-                       "3x3 stencil accelerator with line buffers"),
-    "jpeg": DesignInfo("jpeg", jpeg.build, jpeg.DEFAULT_CYCLES,
-                       "bit-serial Huffman decoder (serial bottleneck)"),
+    "vta": _info(
+        "vta", vta, "VTA-style GEMM ML accelerator",
+        _scales(
+            small=({"batch": 4, "block_in": 8, "block_out": 12},
+                   vta.DEFAULT_CYCLES),
+            paper=({"batch": 8, "block_in": 16, "block_out": 16}, 576),
+            stretch=({"batch": 16, "block_in": 16, "block_out": 24},
+                     1152),
+        )),
+    "mc": _info(
+        "mc", mc, "Monte-Carlo fixed-point price predictor",
+        _scales(
+            small=({"walkers": 32, "steps": 64}, mc.DEFAULT_CYCLES),
+            paper=({"walkers": 96, "steps": 96}, 160),
+            stretch=({"walkers": 256, "steps": 128}, 192),
+        )),
+    "noc": _info(
+        "noc", nocsim, "2D torus NoC with virtual channels",
+        _scales(
+            small=({"nx": 3, "ny": 3, "vcs": 1, "steps": 48},
+                   nocsim.DEFAULT_CYCLES),
+            paper=({"nx": 4, "ny": 4, "vcs": 2, "steps": 64}, 128),
+            stretch=({"nx": 6, "ny": 6, "vcs": 2, "steps": 96}, 160),
+        )),
+    "mm": _info(
+        "mm", mm, "systolic integer matrix multiplier",
+        _scales(
+            small=({"n": 8}, mm.DEFAULT_CYCLES),
+            paper=({"n": 14}, 96),
+            stretch=({"n": 20}, 128),
+        )),
+    "rv32r": _info(
+        "rv32r", rv32r, "ring of small in-order processors",
+        _scales(
+            small=({"num_cores": 12, "iterations": 8},
+                   rv32r.DEFAULT_CYCLES),
+            paper=({"num_cores": 24, "iterations": 10}, 320),
+            stretch=({"num_cores": 48, "iterations": 12}, 384),
+        )),
+    "cgra": _info(
+        "cgra", cgra, "coarse-grained reconfigurable array",
+        _scales(
+            small=({"rows": 9, "cols": 9, "steps": 48},
+                   cgra.DEFAULT_CYCLES),
+            paper=({"rows": 14, "cols": 14, "steps": 64}, 128),
+            stretch=({"rows": 20, "cols": 20, "steps": 96}, 192),
+        )),
+    "bc": _info(
+        "bc", bc, "SHA-256 bitcoin miner pipeline",
+        _scales(
+            small=({"rounds": 10, "difficulty_bits": 7,
+                    "max_cycles": 512}, 576),
+            paper=({"rounds": 16, "difficulty_bits": 8,
+                    "max_cycles": 1024}, 1152),
+            stretch=({"rounds": 24, "difficulty_bits": 9,
+                      "max_cycles": 2048}, 2176),
+        )),
+    "blur": _info(
+        "blur", blur, "3x3 stencil accelerator with line buffers",
+        _scales(
+            small=({"width": 8, "height": 8}, blur.DEFAULT_CYCLES),
+            paper=({"width": 14, "height": 14}, 256),
+            stretch=({"width": 20, "height": 20}, 448),
+        )),
+    "jpeg": _info(
+        "jpeg", jpeg, "bit-serial Huffman decoder (serial bottleneck)",
+        _scales(
+            small=({"num_bits": 256}, jpeg.DEFAULT_CYCLES),
+            paper=({"num_bits": 512}, 640),
+            stretch=({"num_bits": 1024}, 1152),
+        )),
 }
 
-__all__ = ["DESIGNS", "DesignInfo", "bc", "blur", "cgra", "jpeg", "mc",
-           "micro", "mm", "nocsim", "rv32r", "vta"]
+__all__ = ["DESIGNS", "DesignInfo", "SCALES", "ScaleSpec", "bc", "blur",
+           "cgra", "jpeg", "mc", "micro", "mm", "nocsim", "rv32r", "vta"]

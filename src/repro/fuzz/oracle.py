@@ -71,6 +71,11 @@ class OracleSpec:
     #: counter/display merge are what differentiate; the pipe transport
     #: is exercised by the shard equivalence tests and CI smoke).
     shards: int = 0
+    #: Round-trip the circuit through the Verilog emitter and frontend
+    #: (:mod:`repro.netlist.verilog_emit` -> ``parse_verilog``) before
+    #: compiling, and check the re-parse reaches a structural fixed
+    #: point - differential coverage for every emitted grammar form.
+    verilog_roundtrip: bool = False
 
     def describe(self) -> str:
         parts = [self.kind, self.engine]
@@ -85,6 +90,8 @@ class OracleSpec:
             parts.append(f"verify={self.verify_vcycles}")
         if self.shards:
             parts.append(f"shards={self.shards}")
+        if self.verilog_roundtrip:
+            parts.append("verilog-roundtrip")
         if self.fault:
             parts.append(f"fault={self.fault}")
         return f"{self.name} ({', '.join(parts)})"
@@ -93,10 +100,12 @@ class OracleSpec:
 def _machine(name: str, engine: str = "strict", fault: str | None = None,
              through_cache: bool = False, profiled: bool = False,
              checkpoint: bool = False, verify_vcycles: int | None = None,
-             shards: int = 0, **options) -> OracleSpec:
+             shards: int = 0, verilog_roundtrip: bool = False,
+             **options) -> OracleSpec:
     return OracleSpec(name, "machine", engine,
                       tuple(sorted(options.items())), fault, through_cache,
-                      profiled, checkpoint, verify_vcycles, shards)
+                      profiled, checkpoint, verify_vcycles, shards,
+                      verilog_roundtrip)
 
 
 #: Registry of every known oracle.  ``golden`` (the strict interpreter)
@@ -128,6 +137,7 @@ ORACLES: dict[str, OracleSpec] = {
         _machine("machine-sharded-strict", shards=3),
         _machine("machine-sharded-ckpt", engine="fast", shards=2,
                  checkpoint=True),
+        _machine("machine-verilog-roundtrip", verilog_roundtrip=True),
         # Fault-injection oracles: deliberately wrong semantics used by
         # the self-tests and as live demos of a failing replay.
         OracleSpec("golden-buggy-sub", "interp", "strict",
@@ -153,7 +163,8 @@ MATRICES: dict[str, tuple[str, ...]] = {
              "machine-fast-profiled", "machine-fast-ckpt",
              "machine-codegen", "machine-codegen-trust0",
              "machine-codegen-ckpt", "machine-sharded",
-             "machine-sharded-strict", "machine-sharded-ckpt"),
+             "machine-sharded-strict", "machine-sharded-ckpt",
+             "machine-verilog-roundtrip"),
 }
 
 
@@ -328,6 +339,34 @@ def _context_for(spec: OracleSpec):
     return fault_context(spec.fault)
 
 
+def _roundtrip_maker(make_circuit: Callable[[], Circuit],
+                     ) -> Callable[[], Circuit]:
+    """Wrap a circuit factory in an emit->parse Verilog round trip.
+
+    The returned factory yields ``parse_verilog(emit_verilog(c))`` - so
+    the machine oracle compiles and runs the *re-ingested* circuit
+    against the original's golden reference.  It also asserts the
+    round trip reaches a structural fixed point: a second emit/parse
+    must reproduce the same fingerprint as a third (the first pass may
+    normalize, after that the mapping must be stable).
+    """
+    def make() -> Circuit:
+        from ..netlist.verilog import parse_verilog
+        from ..netlist.verilog_emit import emit_verilog
+        first = parse_verilog(emit_verilog(make_circuit()))
+        second = parse_verilog(emit_verilog(first))
+        third = parse_verilog(emit_verilog(second))
+        if second.fingerprint() != third.fingerprint():
+            # RuntimeError (not OracleError) so the failure surfaces as
+            # a replayable divergence instead of aborting the matrix.
+            raise RuntimeError(
+                "verilog emit/parse round trip is not idempotent: "
+                f"{second.fingerprint()[:16]} != "
+                f"{third.fingerprint()[:16]}")
+        return first
+    return make
+
+
 def run_reference(circuit: Circuit, cycles: int) -> OracleResult:
     """Golden strict-interpreter run (the reference side)."""
     from ..netlist.interp import NetlistInterpreter
@@ -342,7 +381,9 @@ def _compile_for(spec: OracleSpec, circuit: Circuit, config: MachineConfig,
     from ..compiler import CompilerOptions, compile_circuit
     from ..machine.boot import serialize
 
-    key = (spec.options, spec.through_cache)
+    # The round-tripped circuit is a different artifact: it must not
+    # share a binary with same-option oracles running the original.
+    key = (spec.options, spec.through_cache, spec.verilog_roundtrip)
     if key in compiled:
         return compiled[key]
     options = CompilerOptions(config=config,
@@ -406,6 +447,8 @@ def run_oracle(spec: OracleSpec, make_circuit: Callable[[], Circuit],
     """Run one oracle; never raises for behaviour differences - errors
     are captured in ``OracleResult.error`` and become divergences."""
     compiled = compiled if compiled is not None else {}
+    if spec.verilog_roundtrip:
+        make_circuit = _roundtrip_maker(make_circuit)
     try:
         with _context_for(spec):
             if spec.kind == "interp":

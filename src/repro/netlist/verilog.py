@@ -2,20 +2,34 @@
 our Verilog frontend from Yosys's ... extended to support basic system
 calls such as $display and $stop").
 
-Supported subset - enough for single-clock, closed (test-driver-wrapped)
-designs like the paper's Fig. 13 counter:
+Supported subset - enough for single-clock hierarchical designs plus a
+generated closed test driver:
 
-* ``module`` with no ports (closed designs),
+* ``module`` with ports (ANSI or non-ANSI declarations) and hierarchical
+  instantiation with named connections, flattened by inlining,
 * ``wire``/``reg`` declarations with ranges, initializers, and memories
   (``reg [15:0] mem [0:255];``),
-* ``parameter NAME = value;`` compile-time constants,
+* ``parameter``/``localparam`` compile-time constants,
 * ``assign`` continuous assignments,
-* one ``always @(posedge <clk>)`` block (single-clock designs) with
-  non-blocking assignments, ``if``/``else``, ``begin``/``end``, memory
-  writes, ``$display``/``$write``, ``$finish``/``$stop``,
+* any number of ``always @(posedge <clk>)`` blocks per module (one
+  clock; blocks merge in source order, later assignments win) with
+  non-blocking assignments, ``if``/``else``, ``begin``/``end``,
+  constant-bound ``for`` (unrolled), ``case``/``casez``/``casex``
+  (wildcard ``?``/``z`` bits become masked compares), memory writes,
+  ``$display``/``$write``, ``$finish``/``$stop``,
+* ``always @(*)`` combinational blocks with blocking assignments
+  (full-path coverage required; latches are rejected),
+* ``initial begin ... end`` blocks of constant register/memory stores
+  (folded into power-on initializers, ``for`` loops unrolled),
 * expressions: sized/unsized literals, identifiers, bit/part selects,
   memory reads, concatenation ``{a, b}`` and replication ``{4{x}}``,
   unary ``~ ! - & | ^``, binary arithmetic/logic/shift/compare, ternary.
+
+Open (ported) top modules can be closed automatically with a generated
+LFSR-stimulus test driver: ``parse_verilog(src, wrap=N)`` instantiates
+the top, drives every non-clock input from a per-port LFSR, folds the
+outputs into a rotating checksum, and ``$display``s + ``$finish``es
+after N cycles (see :func:`driver_wrapper_source`).
 
 Semantics deviations from full IEEE 1800 are the builder's rules: widths
 extend to the widest operand (zero-extension; all arithmetic unsigned),
@@ -85,6 +99,42 @@ def parse_literal(text: str) -> tuple[int, int | None]:
     digits = digits.replace("x", "0").replace("z", "0").replace("?", "0")
     value = int(digits, base) if digits else 0
     return value, int(width_str)
+
+
+def parse_wildcard_literal(text: str, wild: str) -> tuple[int, int, int]:
+    """Parse a casez/casex label literal -> (value, care_mask, width).
+
+    ``wild`` is the set of digit characters treated as don't-care
+    (``"z?"`` for casez, ``"xz?"`` for casex); each wildcard digit
+    clears the corresponding bits of the care mask.  Only binary, octal
+    and hex bases can carry wildcard digits.
+    """
+    width_str, rest = text.split("'", 1)
+    base_char = rest[0].lower()
+    digits = rest[1:].replace("_", "")
+    width = int(width_str)
+    bits_per = {"b": 1, "o": 3, "h": 4}.get(base_char)
+    if bits_per is None:
+        raise VerilogError(
+            f"wildcard bits need a binary/octal/hex literal: {text!r}")
+    value = 0
+    mask = 0
+    digit_ones = (1 << bits_per) - 1
+    for ch in digits:
+        value <<= bits_per
+        mask <<= bits_per
+        cl = ch.lower()
+        if cl in wild:
+            continue
+        if cl in "xz?":
+            raise VerilogError(
+                f"{ch!r} digit is not a wildcard in this case kind: "
+                f"{text!r}")
+        value |= int(ch, 16)
+        mask |= digit_ones
+    clip = (1 << width) - 1
+    mask &= clip
+    return value & mask, mask, width
 
 
 # ---------------------------------------------------------------------------
@@ -178,6 +228,10 @@ class Module:
     instances: list[Instance] = field(default_factory=list)
     #: combinational ``always @(*)`` blocks (blocking assignments)
     comb: list[list[Stmt]] = field(default_factory=list)
+    #: constant power-on stores from ``initial`` blocks:
+    #: (target, memory index or None, value, line)
+    inits: list[tuple[str, int | None, int, int]] = \
+        field(default_factory=list)
 
 
 # ---------------------------------------------------------------------------
@@ -220,6 +274,7 @@ class Parser:
         ports: list[str] = []
         decls: dict[str, Decl] = {}
         comb: list[list[Stmt]] = []
+        inits: list[tuple[str, int | None, int, int]] = []
         if self.accept("("):
             while not self.accept(")"):
                 tok = self.peek()
@@ -284,18 +339,23 @@ class Parser:
                 kind, got_clock, stmts = self._parse_always()
                 if kind == "comb":
                     comb.append(stmts)
-                elif always:
-                    raise VerilogError(
-                        f"line {tok.line}: only one clocked always block "
-                        "per module is supported (single-clock designs)"
-                    )
                 else:
-                    clock, always = got_clock, stmts
+                    # Any number of clocked blocks, one clock domain.
+                    # Blocks merge in source order: statements behave as
+                    # one block, so a later block's assignment to the
+                    # same register wins (deterministic, unlike the IEEE
+                    # race).
+                    if clock is not None and got_clock != clock:
+                        raise VerilogError(
+                            f"line {tok.line}: always @(posedge "
+                            f"{got_clock}) conflicts with earlier "
+                            f"@(posedge {clock}); single-clock designs "
+                            "only"
+                        )
+                    clock = got_clock
+                    always.extend(stmts)
             elif tok.text == "initial":
-                raise VerilogError(
-                    f"line {tok.line}: initial blocks are not supported; "
-                    "use declaration initializers"
-                )
+                inits.extend(self._parse_initial())
             elif tok.kind == "ident":
                 instances.append(self._parse_instance())
             else:
@@ -304,7 +364,45 @@ class Parser:
                 )
         self.expect("endmodule")
         return Module(name, dict(self.params), decls, assigns, always,
-                      clock, ports, instances, comb)
+                      clock, ports, instances, comb, inits)
+
+    def _parse_initial(self) -> list[tuple[str, int | None, int, int]]:
+        """``initial begin ... end`` of constant stores.
+
+        Only compile-time-constant register/memory stores (and
+        constant-bound ``for`` loops of them) are supported; they fold
+        into power-on initializers, so ``initial`` here is metadata, not
+        a process.
+        """
+        self.expect("initial")
+        stmts = self._parse_stmt_block(comb=True)
+        out: list[tuple[str, int | None, int, int]] = []
+        self._fold_initial(stmts, dict(self.params), out)
+        return out
+
+    def _fold_initial(self, stmts, env: dict[str, int], out: list) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, NonBlocking):
+                index = None if stmt.index is None else \
+                    _eval_const(stmt.index, env)
+                value = _eval_const(stmt.expr, env)
+                out.append((stmt.target, index, value, stmt.line))
+            elif isinstance(stmt, For):
+                start = _eval_const(stmt.start, env)
+                bound = _eval_const(stmt.bound, env)
+                if bound - start > 65536:
+                    raise VerilogError(
+                        f"line {stmt.line}: initial for-loop unrolls to "
+                        f"{bound - start} stores; that cannot be intended"
+                    )
+                for v in range(start, bound):
+                    self._fold_initial(stmt.body, {**env, stmt.var: v},
+                                       out)
+            else:
+                raise VerilogError(
+                    f"line {getattr(stmt, 'line', 0)}: initial blocks "
+                    "support only constant stores and for loops of them"
+                )
 
     def _parse_instance(self) -> Instance:
         tok = self.next()
@@ -390,7 +488,7 @@ class Parser:
 
     def _parse_stmt(self, comb: bool = False) -> list[Stmt]:
         tok = self.peek()
-        if tok.text == "case":
+        if tok.text in ("case", "casez", "casex"):
             return [self._parse_case(comb)]
         if tok.text == "if":
             self.next()
@@ -468,10 +566,16 @@ class Parser:
         return For(var, start, bound, body, tok.line)
 
     def _parse_case(self, comb: bool = False) -> Stmt:
-        """Parse ``case (subject) labels: stmts ... endcase`` and desugar
-        into a priority if/else chain (full-case, no overlap semantics -
-        matching synthesis of a unique case without a parallel pragma)."""
-        tok = self.expect("case")
+        """Parse ``case``/``casez``/``casex`` and desugar into a priority
+        if/else chain (full-case, no overlap semantics - matching
+        synthesis of a unique case without a parallel pragma).
+
+        ``casez`` labels may carry ``?``/``z`` wildcard bits, ``casex``
+        additionally ``x``; a wildcard label lowers to a masked compare
+        ``(subject & mask) == (pattern & mask)``.
+        """
+        tok = self.next()  # case | casez | casex
+        wild = {"case": "", "casez": "z?", "casex": "xz?"}[tok.text]
         self.expect("(")
         subject = self.parse_expr()
         self.expect(")")
@@ -481,28 +585,44 @@ class Parser:
                 self.expect(":")
                 arms.append((None, self._parse_stmt_block(comb)))
                 continue
-            labels = [self.parse_expr()]
+            conds = [self._parse_case_label(subject, wild)]
             while self.accept(","):
-                labels.append(self.parse_expr())
+                conds.append(self._parse_case_label(subject, wild))
             self.expect(":")
-            arms.append((labels, self._parse_stmt_block(comb)))
+            arms.append((conds, self._parse_stmt_block(comb)))
 
         # Desugar, last arm first.
         chain: list[Stmt] = []
-        for labels, stmts in reversed(arms):
-            if labels is None:
+        for conds, stmts in reversed(arms):
+            if conds is None:
                 chain = list(stmts)
                 continue
             cond: Expr | None = None
-            for label in labels:
-                eq = Expr("binary", tok.line, op="==",
-                          args=[subject, label])
+            for eq in conds:
                 cond = eq if cond is None else Expr(
                     "binary", tok.line, op="||", args=[cond, eq])
             chain = [If(cond, list(stmts), chain)]
         if not chain:
             raise VerilogError(f"line {tok.line}: empty case statement")
         return chain[0]
+
+    def _parse_case_label(self, subject: Expr, wild: str) -> Expr:
+        """One case label -> a match condition against ``subject``."""
+        tok = self.peek()
+        if wild and tok.kind == "sized":
+            digits = tok.text.split("'", 1)[1][1:]
+            if any(c in "xzXZ?" for c in digits):
+                self.next()
+                value, mask, width = parse_wildcard_literal(
+                    tok.text, wild)
+                masked = Expr("binary", tok.line, op="&", args=[
+                    subject,
+                    Expr("lit", tok.line, value=mask, width=width)])
+                return Expr("binary", tok.line, op="==", args=[
+                    masked,
+                    Expr("lit", tok.line, value=value, width=width)])
+        label = self.parse_expr()
+        return Expr("binary", label.line, op="==", args=[subject, label])
 
     # -- expressions ---------------------------------------------------------
     def parse_expr(self) -> Expr:
@@ -642,6 +762,16 @@ class Elaborator:
         self.cache: dict[str, Signal] = {}
         self._resolving: set[str] = set()
         self._bindings: dict[str, int] = {}  # unrolled for-loop variables
+        #: the root path-enable; ``_guard`` folds it away so guarded
+        #: statements don't accrete ``AND(1, en)`` ops (this keeps
+        #: emit/parse round trips structurally idempotent).
+        self._true = self.builder.const(1, 1)
+
+    def _guard(self, enable: Signal, cond: Signal) -> Signal:
+        """``enable & cond`` with the constant-true root folded."""
+        if enable is self._true:
+            return cond
+        return enable & cond
 
     def elaborate(self) -> Circuit:
         m = self.builder
@@ -663,16 +793,24 @@ class Elaborator:
                         f"multiple drivers for {target!r}"
                     )
                 self._comb_block_of[target] = index
+        reg_inits, mem_inits = self._collect_inits()
         for decl in module.decls.values():
             if decl.depth is not None:
+                words = mem_inits.get(decl.name, {})
+                init: tuple[int, ...] = ()
+                if words:
+                    top_idx = max(words)
+                    init = tuple(words.get(i, 0)
+                                 for i in range(top_idx + 1))
                 self.memories[decl.name] = m.memory(
-                    decl.name, decl.width, decl.depth)
+                    decl.name, decl.width, decl.depth, init)
             elif decl.kind == "reg" and \
                     decl.name not in self._comb_block_of:
                 self.regs[decl.name] = m.register(
-                    decl.name, decl.width, decl.init)
+                    decl.name, decl.width,
+                    reg_inits.get(decl.name, decl.init))
         pending: dict[str, Signal] = {}
-        self._walk(module.always, m.const(1, 1), pending)
+        self._walk(module.always, self._true, pending)
         for name, value in pending.items():
             self.regs[name].next = value
         # Force-elaborate every continuous assignment and comb block so
@@ -686,6 +824,40 @@ class Elaborator:
             if not any(t in self.cache for t in targets):
                 self._elaborate_comb_block(index)
         return m.build()
+
+    def _collect_inits(self) -> tuple[dict[str, int],
+                                      dict[str, dict[int, int]]]:
+        """Fold ``initial`` stores into per-register / per-memory-word
+        initializer maps (last store wins, like procedural order)."""
+        reg_inits: dict[str, int] = {}
+        mem_inits: dict[str, dict[int, int]] = {}
+        for name, index, value, line in self.module.inits:
+            decl = self.module.decls.get(name)
+            if decl is None:
+                raise VerilogError(
+                    f"line {line}: initial store to unknown {name!r}")
+            clip = (1 << decl.width) - 1
+            if decl.depth is not None:
+                if index is None:
+                    raise VerilogError(
+                        f"line {line}: initial store to memory "
+                        f"{name!r} needs an index")
+                if not 0 <= index < decl.depth:
+                    raise VerilogError(
+                        f"line {line}: initial index {index} out of "
+                        f"range for {name!r} (depth {decl.depth})")
+                mem_inits.setdefault(name, {})[index] = value & clip
+            else:
+                if index is not None:
+                    raise VerilogError(
+                        f"line {line}: bit-indexed initial store to "
+                        f"{name!r} is not supported")
+                if decl.kind != "reg":
+                    raise VerilogError(
+                        f"line {line}: initial store to non-register "
+                        f"{name!r}")
+                reg_inits[name] = value & clip
+        return reg_inits, mem_inits
 
     # -- name resolution ------------------------------------------------------
     def signal(self, name: str, line: int = 0) -> Signal:
@@ -762,9 +934,13 @@ class Elaborator:
                 cond = self.expr(stmt.cond)
                 cond = cond.any() if cond.width > 1 else cond
                 then_env = dict(pending)
-                self._walk_comb(stmt.then, enable & cond, then_env)
+                if stmt.then:
+                    self._walk_comb(stmt.then, self._guard(enable, cond),
+                                    then_env)
                 else_env = dict(pending)
-                self._walk_comb(stmt.other, enable & ~cond, else_env)
+                if stmt.other:
+                    self._walk_comb(stmt.other,
+                                    self._guard(enable, ~cond), else_env)
                 self._comb_scope = pending
                 # dict.fromkeys, not set union: mux/gensym creation
                 # order must be hash-seed independent.
@@ -924,9 +1100,13 @@ class Elaborator:
                 cond = self.expr(stmt.cond)
                 cond = cond.any() if cond.width > 1 else cond
                 then_env = dict(pending)
-                self._walk(stmt.then, enable & cond, then_env)
+                if stmt.then:
+                    self._walk(stmt.then, self._guard(enable, cond),
+                               then_env)
                 else_env = dict(pending)
-                self._walk(stmt.other, enable & ~cond, else_env)
+                if stmt.other:
+                    self._walk(stmt.other, self._guard(enable, ~cond),
+                               else_env)
                 names = dict.fromkeys([*then_env, *else_env])
                 for name in names:
                     reg = self.regs[name]
@@ -1059,6 +1239,9 @@ def flatten(modules: dict[str, Module], top: str) -> Module:
             flat.always.append(_rename_stmt(stmt, mapping))
         for block in module.comb:
             flat.comb.append([_rename_stmt(s, mapping) for s in block])
+        for name, index, value, line in module.inits:
+            flat.inits.append((mapping.get(name, name), index, value,
+                               line))
         for inst in module.instances:
             child = modules.get(inst.module)
             if child is None:
@@ -1104,6 +1287,71 @@ def flatten(modules: dict[str, Module], top: str) -> Module:
     return flat
 
 
+# ---------------------------------------------------------------------------
+# Generated test driver
+# ---------------------------------------------------------------------------
+def _lfsr_seed(name: str) -> int:
+    """Deterministic nonzero 32-bit LFSR seed derived from a port name."""
+    import zlib
+    return (zlib.crc32(name.encode()) & 0xFFFFFFFF) | 1
+
+
+def driver_wrapper_source(module: Module, cycles: int = 512) -> str:
+    """Generate a closed test-driver module around a ported ``module``.
+
+    Every non-clock input is driven from a free-running 32-bit maximal
+    LFSR (taps 32,22,2,1; seed derived from the port name), replicated /
+    truncated to the port width.  Every output is folded into a rotating
+    32-bit XOR checksum register.  After ``cycles`` cycles the driver
+    ``$display``s the cycle count and checksum and ``$finish``es - so an
+    open design becomes a closed, self-reporting workload.
+    """
+    clock = module.clock
+    inputs = [d for d in module.decls.values()
+              if d.direction == "input" and d.name != clock]
+    outputs = [d for d in module.decls.values()
+               if d.direction == "output"]
+    cyc_w = max(16, cycles.bit_length() + 1)
+    name = f"{module.name}_driver"
+    clk = clock or "clk"
+    lines = [f"module {name};"]
+    lines.append(f"  reg [{cyc_w - 1}:0] _drv_cyc = 0;")
+    lines.append("  reg [31:0] _drv_check = 0;")
+    for d in inputs:
+        lines.append(f"  reg [31:0] _drv_lfsr_{d.name} = "
+                     f"32'h{_lfsr_seed(d.name):08x};")
+        lines.append(f"  wire [{d.width - 1}:0] _drv_in_{d.name};")
+        repl = (d.width + 31) // 32
+        src = f"_drv_lfsr_{d.name}" if repl == 1 else \
+            f"{{{repl}{{_drv_lfsr_{d.name}}}}}"
+        lines.append(f"  assign _drv_in_{d.name} = {src};")
+    for d in outputs:
+        lines.append(f"  wire [{d.width - 1}:0] _drv_out_{d.name};")
+        lines.append(f"  wire [31:0] _drv_fold_{d.name};")
+        lines.append(f"  assign _drv_fold_{d.name} = _drv_out_{d.name};")
+    conns = [f".{d.name}(_drv_in_{d.name})" for d in inputs]
+    conns += [f".{d.name}(_drv_out_{d.name})" for d in outputs]
+    lines.append(f"  {module.name} _drv_dut ({', '.join(conns)});")
+    lines.append(f"  always @(posedge {clk}) begin")
+    lines.append("    _drv_cyc <= _drv_cyc + 1;")
+    for d in inputs:
+        r = f"_drv_lfsr_{d.name}"
+        lines.append(
+            f"    {r} <= {{{r}[30:0], "
+            f"{r}[31] ^ {r}[21] ^ {r}[1] ^ {r}[0]}};")
+    fold = " ^ ".join(f"_drv_fold_{d.name}" for d in outputs) or "32'h0"
+    lines.append("    _drv_check <= {_drv_check[30:0], _drv_check[31]}"
+                 f" ^ ({fold});")
+    lines.append(f"    if (_drv_cyc == {cycles}) begin")
+    lines.append('      $display("driver: %0d cycles, checksum %x", '
+                 "_drv_cyc, _drv_check);")
+    lines.append("      $finish;")
+    lines.append("    end")
+    lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
 def parse_modules(source: str) -> dict[str, Module]:
     """Parse every module in a source file."""
     parser = Parser(source)
@@ -1116,12 +1364,16 @@ def parse_modules(source: str) -> dict[str, Module]:
     return modules
 
 
-def parse_verilog(source: str, top: str | None = None) -> Circuit:
+def parse_verilog(source: str, top: str | None = None, *,
+                  wrap: int | None = None) -> Circuit:
     """Parse and elaborate a Verilog-subset design into a circuit.
 
     Multiple modules are supported; the hierarchy below ``top`` (default:
     the unique module never instantiated by another) is flattened by
-    inlining.
+    inlining.  If the top module has ports, ``wrap=N`` closes it with a
+    generated LFSR test driver that runs for N cycles (see
+    :func:`driver_wrapper_source`); without ``wrap`` a ported top is an
+    error, because Manticore compiles closed designs.
     """
     modules = parse_modules(source)
     if top is None:
@@ -1134,12 +1386,22 @@ def parse_verilog(source: str, top: str | None = None) -> Circuit:
                 "pass top= explicitly"
             )
         top = roots[0]
+    if top not in modules:
+        raise VerilogError(f"no module named {top!r}")
+    has_ports = any(d.direction is not None
+                    for d in modules[top].decls.values())
+    if has_ports and wrap is not None:
+        wrapper_src = driver_wrapper_source(modules[top], wrap)
+        wrapper = Parser(wrapper_src).parse_module()
+        modules[wrapper.name] = wrapper
+        top = wrapper.name
     module = flatten(modules, top) if (len(modules) > 1
                                        or modules[top].instances) \
         else modules[top]
     if any(d.direction is not None for d in module.decls.values()):
         raise VerilogError(
             f"top module {top!r} has ports; Manticore compiles closed "
-            "designs - wrap it in a test driver"
+            "designs - wrap it in a test driver (or pass wrap=N to "
+            "generate one)"
         )
     return Elaborator(module).elaborate()

@@ -1,0 +1,161 @@
+"""Circuit -> Verilog-subset text emitter (the frontend's inverse).
+
+Every IR op maps onto an expression form the frontend in
+:mod:`repro.netlist.verilog` parses back to a value-identical op, using
+the builder's width rules (binop args are pre-zext'd to equal widths,
+so ``assign`` plus the declared result width reproduces each wire
+exactly):
+
+* ``LTS`` has no source form (the frontend's ``<`` is unsigned), so it
+  is desugared by the sign-bit trick ``(a ^ S) < (b ^ S)`` with
+  ``S = 1 << (w-1)``;
+* ``MUX(sel, if_false, if_true)`` prints as ``sel ? if_true : if_false``;
+* ``CONCAT`` args are LSB-first in the IR and MSB-first in source;
+* register initializers print as declaration initializers, memory
+  initializers as an ``initial`` block (frontend PR-10 forms).
+
+The emitter is the generative half of the fuzz round-trip oracle
+(``machine-verilog-roundtrip``): ``parse_verilog(emit_verilog(c))``
+must behave bit-identically to ``c``, and a second emit/parse cycle
+must reproduce the same :meth:`Circuit.fingerprint` (idempotence).
+Open circuits (inputs/outputs) and assertions have no closed-design
+source form and raise :class:`VerilogEmitError`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .ir import AssertEffect, Circuit, Display, Finish, OpKind
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+_KEYWORDS = frozenset("""
+module endmodule input output inout wire reg parameter localparam
+assign always initial begin end if else case casez casex endcase
+default for integer genvar posedge negedge
+""".split())
+
+
+class VerilogEmitError(Exception):
+    """The circuit uses a feature with no Verilog-subset source form."""
+
+
+def _check_name(name: str) -> str:
+    if not _IDENT_RE.match(name) or name in _KEYWORDS:
+        raise VerilogEmitError(f"unprintable identifier {name!r}")
+    return name
+
+
+def _lit(value: int, width: int) -> str:
+    return f"{width}'h{value:x}"
+
+
+def _fmt_string(fmt: str) -> str:
+    if any(c in fmt for c in '"\\\n'):
+        raise VerilogEmitError(
+            f"format string needs escaping the frontend lacks: {fmt!r}")
+    return f'"{fmt}"'
+
+
+def emit_verilog(circuit: Circuit, name: str | None = None) -> str:
+    """Emit a closed circuit as frontend-parseable Verilog text."""
+    if circuit.inputs or circuit.outputs:
+        raise VerilogEmitError(
+            "open circuits (inputs/outputs) have no closed source form")
+    mod = name or circuit.name or "emitted"
+    _check_name(mod)
+    lines = [f"// emitted from circuit {circuit.name!r}",
+             f"module {mod};"]
+
+    for reg in circuit.registers.values():
+        _check_name(reg.name)
+        init = f" = {_lit(reg.init, reg.width)}" if reg.init else ""
+        lines.append(f"  reg [{reg.width - 1}:0] {reg.name}{init};")
+    mem_inits: list[str] = []
+    for mem in circuit.memories.values():
+        _check_name(mem.name)
+        lines.append(f"  reg [{mem.width - 1}:0] {mem.name} "
+                     f"[0:{mem.depth - 1}];")
+        for idx, word in enumerate(mem.init):
+            if word:
+                mem_inits.append(f"    {mem.name}[{idx}] = "
+                                 f"{_lit(word, mem.width)};")
+    if mem_inits:
+        lines.append("  initial begin")
+        lines.extend(mem_inits)
+        lines.append("  end")
+
+    for op in circuit.ops:
+        _check_name(op.result.name)
+        lines.append(
+            f"  wire [{op.result.width - 1}:0] {op.result.name};")
+    for op in circuit.ops:
+        lines.append(f"  assign {op.result.name} = {_op_expr(op)};")
+
+    lines.append("  always @(posedge clk) begin")
+    for reg in circuit.registers.values():
+        nxt = reg.name if reg.next_value is None else reg.next_value.name
+        lines.append(f"    {reg.name} <= {nxt};")
+    for mem in circuit.memories.values():
+        for wr in mem.writes:
+            lines.append(f"    if ({wr.enable.name}) "
+                         f"{mem.name}[{wr.addr.name}] <= {wr.data.name};")
+    for eff in circuit.effects:
+        if isinstance(eff, Display):
+            args = "".join(f", {a.name}" for a in eff.args)
+            lines.append(f"    if ({eff.enable.name}) "
+                         f"$display({_fmt_string(eff.fmt)}{args});")
+        elif isinstance(eff, Finish):
+            lines.append(f"    if ({eff.enable.name}) $finish;")
+        elif isinstance(eff, AssertEffect):
+            raise VerilogEmitError(
+                "assertions have no source form in the subset")
+        else:
+            raise VerilogEmitError(
+                f"unknown effect {type(eff).__name__}")
+    lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_BINOP = {
+    OpKind.AND: "&", OpKind.OR: "|", OpKind.XOR: "^",
+    OpKind.ADD: "+", OpKind.SUB: "-", OpKind.MUL: "*",
+    OpKind.EQ: "==", OpKind.NE: "!=", OpKind.LTU: "<",
+    OpKind.SHL: "<<", OpKind.LSHR: ">>", OpKind.ASHR: ">>>",
+}
+
+_REDUCE = {OpKind.REDOR: "|", OpKind.REDAND: "&", OpKind.REDXOR: "^"}
+
+
+def _op_expr(op) -> str:
+    kind = op.kind
+    if kind is OpKind.CONST:
+        return _lit(op.value, op.result.width)
+    if kind in _BINOP:
+        a, b = op.args
+        return f"{a.name} {_BINOP[kind]} {b.name}"
+    if kind is OpKind.LTS:
+        # The frontend's < is unsigned; flip the sign bits first.
+        a, b = op.args
+        sign = _lit(1 << (a.width - 1), a.width)
+        return f"({a.name} ^ {sign}) < ({b.name} ^ {sign})"
+    if kind is OpKind.NOT:
+        return f"~{op.args[0].name}"
+    if kind in _REDUCE:
+        return f"{_REDUCE[kind]}{op.args[0].name}"
+    if kind is OpKind.MUX:
+        sel, if_false, if_true = op.args
+        return f"{sel.name} ? {if_true.name} : {if_false.name}"
+    if kind is OpKind.CONCAT:
+        # IR args are LSB-first; source concatenation is MSB-first.
+        return "{" + ", ".join(a.name
+                               for a in reversed(op.args)) + "}"
+    if kind is OpKind.SLICE:
+        a = op.args[0]
+        hi = op.offset + op.result.width - 1
+        return f"{a.name}[{hi}:{op.offset}]"
+    if kind is OpKind.MEMRD:
+        return f"{op.memory}[{op.args[0].name}]"
+    raise VerilogEmitError(f"cannot emit op kind {kind.value}")

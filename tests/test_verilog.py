@@ -195,14 +195,14 @@ class TestErrors:
         with pytest.raises(VerilogError):
             parse_verilog("module t(input clk); endmodule")
 
-    def test_two_always_blocks_rejected(self):
+    def test_two_clock_domains_rejected(self):
         with pytest.raises(VerilogError):
             parse_verilog("""
             module t();
               reg a = 0;
               reg b = 0;
               always @(posedge clk) a <= 1;
-              always @(posedge clk) b <= 1;
+              always @(posedge other_clk) b <= 1;
             endmodule
             """)
 
@@ -228,12 +228,25 @@ class TestErrors:
             endmodule
             """)
 
-    def test_initial_block_rejected(self):
+    def test_initial_store_to_wire_rejected(self):
         with pytest.raises(VerilogError):
             parse_verilog("""
             module t();
-              reg a = 0;
+              wire [3:0] a;
+              assign a = 2;
               initial a = 1;
+              always @(posedge clk) $finish;
+            endmodule
+            """)
+
+    def test_nonconstant_initial_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+            module t();
+              reg [3:0] a = 0;
+              reg [3:0] b = 0;
+              initial a = b + 1;
+              always @(posedge clk) $finish;
             endmodule
             """)
 
@@ -659,6 +672,289 @@ class TestForLoops:
         """
         golden = NetlistInterpreter(parse_verilog(src)).run(100)
         res = compile_circuit(parse_verilog(src),
+                              CompilerOptions(config=TINY))
+        mres = Machine(res.program, TINY).run(100)
+        assert mres.displays == golden.displays
+
+class TestMultipleAlways:
+    def test_blocks_merge_in_source_order(self):
+        result = run_verilog("""
+        module t();
+          reg [7:0] cyc = 0;
+          reg [7:0] a = 0;
+          reg [7:0] b = 0;
+          always @(posedge clk) begin
+            cyc <= cyc + 1;
+            a <= a + 2;
+          end
+          always @(posedge clk) begin
+            b <= a + 1;
+            if (cyc == 3) $display("a=%0d b=%0d", a, b);
+            if (cyc == 3) $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["a=6 b=5"]
+
+    def test_later_block_wins_on_collision(self):
+        result = run_verilog("""
+        module t();
+          reg [7:0] v = 0;
+          always @(posedge clk) v <= 8'd1;
+          always @(posedge clk) v <= 8'd2;
+          always @(posedge clk) begin
+            if (v == 2) $display("v=%0d", v);
+            if (v == 2) $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["v=2"]
+
+    def test_merged_blocks_compile_to_manticore(self):
+        src = """
+        module t();
+          reg [7:0] cyc = 0;
+          reg [15:0] acc = 0;
+          always @(posedge clk) cyc <= cyc + 1;
+          always @(posedge clk) acc <= acc + cyc;
+          always @(posedge clk) begin
+            if (cyc == 9) $display("%0d", acc);
+            if (cyc == 9) $finish;
+          end
+        endmodule
+        """
+        golden = NetlistInterpreter(parse_verilog(src)).run(100)
+        res = compile_circuit(parse_verilog(src),
+                              CompilerOptions(config=TINY))
+        mres = Machine(res.program, TINY).run(100)
+        assert mres.displays == golden.displays == ["36"]
+
+
+class TestCasez:
+    def test_priority_encoder(self):
+        result = run_verilog("""
+        module t();
+          reg [3:0] s = 0;
+          reg [7:0] o = 0;
+          reg [7:0] cyc = 0;
+          always @(posedge clk) begin
+            cyc <= cyc + 1;
+            s <= s + 1;
+            casez (s)
+              4'b1???: o <= 8'd8;
+              4'b01??: o <= 8'd4;
+              4'b001?: o <= 8'd2;
+              4'b0001: o <= 8'd1;
+              default: o <= 8'd0;
+            endcase
+            if (cyc > 0) $display("%0d", o);
+            if (cyc == 9) $finish;
+          end
+        endmodule
+        """)
+        # o displayed at cycle n reflects s = n - 1.
+        assert [int(d) for d in result.displays] == \
+            [0, 1, 2, 2, 4, 4, 4, 4, 8]
+
+    def test_casex_hex_wildcards(self):
+        result = run_verilog("""
+        module t();
+          reg [7:0] s = 8'hA5;
+          reg [3:0] r = 0;
+          always @(posedge clk) begin
+            casex (s)
+              8'hFx: r <= 4'd1;
+              8'hAx: r <= 4'd2;
+              default: r <= 4'd3;
+            endcase
+            if (r != 0) $display("%0d", r);
+            if (r != 0) $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["2"]
+
+    def test_x_digit_rejected_in_casez(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("""
+            module t();
+              reg [3:0] s = 0;
+              reg [3:0] r = 0;
+              always @(posedge clk) begin
+                casez (s)
+                  4'b1xxx: r <= 1;
+                  default: r <= 0;
+                endcase
+                $finish;
+              end
+            endmodule
+            """)
+
+    def test_casez_compiles_to_manticore(self):
+        src = """
+        module t();
+          reg [5:0] s = 1;
+          reg [15:0] acc = 0;
+          reg [7:0] cyc = 0;
+          always @(posedge clk) begin
+            cyc <= cyc + 1;
+            s <= {s[4:0], s[5]};
+            casez (s)
+              6'b1?????: acc <= acc + 32;
+              6'b?1????: acc <= acc + 16;
+              6'b??1???: acc <= acc + 8;
+              default: acc <= acc + 1;
+            endcase
+            if (cyc == 11) $display("%0d", acc);
+            if (cyc == 11) $finish;
+          end
+        endmodule
+        """
+        golden = NetlistInterpreter(parse_verilog(src)).run(100)
+        res = compile_circuit(parse_verilog(src),
+                              CompilerOptions(config=TINY))
+        mres = Machine(res.program, TINY).run(100)
+        assert mres.displays == golden.displays
+
+
+class TestInitialBlocks:
+    def test_register_and_memory_stores(self):
+        result = run_verilog("""
+        module t();
+          reg [15:0] acc;
+          reg [7:0] cyc = 0;
+          reg [15:0] m [0:7];
+          integer i;
+          initial begin
+            acc = 16'h1234;
+            m[0] = 5;
+            for (i = 1; i < 8; i = i + 1) m[i] = i * 3;
+          end
+          always @(posedge clk) begin
+            cyc <= cyc + 1;
+            acc <= acc + m[cyc[2:0]];
+            if (cyc == 8) $display("acc=%x", acc);
+            if (cyc == 8) $finish;
+          end
+        endmodule
+        """)
+        expect = 0x1234 + 5 + sum(i * 3 for i in range(1, 8))
+        assert result.displays == [f"acc={expect:x}"]
+
+    def test_last_store_wins(self):
+        result = run_verilog("""
+        module t();
+          reg [7:0] a = 1;
+          initial a = 2;
+          initial a = 3;
+          always @(posedge clk) begin
+            $display("%0d", a);
+            $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["3"]
+
+    def test_initial_survives_flattening(self):
+        result = run_verilog("""
+        module rom(input [1:0] addr, output [7:0] data);
+          reg [7:0] words [0:3];
+          initial begin
+            words[0] = 8'h10;
+            words[1] = 8'h20;
+            words[2] = 8'h30;
+            words[3] = 8'h40;
+          end
+          assign data = words[addr];
+        endmodule
+        module t();
+          reg [1:0] a = 0;
+          wire [7:0] d;
+          rom u (.addr(a), .data(d));
+          always @(posedge clk) begin
+            a <= a + 1;
+            $display("%x", d);
+            if (a == 3) $finish;
+          end
+        endmodule
+        """)
+        assert result.displays == ["10", "20", "30", "40"]
+
+    def test_memory_init_compiles_to_manticore(self):
+        src = """
+        module t();
+          reg [7:0] cyc = 0;
+          reg [15:0] m [0:15];
+          reg [31:0] acc = 0;
+          integer i;
+          initial for (i = 0; i < 16; i = i + 1) m[i] = i * 7 + 1;
+          always @(posedge clk) begin
+            cyc <= cyc + 1;
+            acc <= acc + m[cyc[3:0]];
+            if (cyc == 16) $display("%0d", acc);
+            if (cyc == 16) $finish;
+          end
+        endmodule
+        """
+        golden = NetlistInterpreter(parse_verilog(src)).run(100)
+        res = compile_circuit(parse_verilog(src),
+                              CompilerOptions(config=TINY))
+        mres = Machine(res.program, TINY).run(100)
+        assert mres.displays == golden.displays
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(VerilogError, match="out of range"):
+            parse_verilog("""
+            module t();
+              reg [7:0] m [0:3];
+              initial m[9] = 1;
+              always @(posedge clk) $finish;
+            endmodule
+            """)
+
+
+class TestDriverWrapper:
+    SRC = """
+    module adder(input clk, input [7:0] x, input [7:0] y,
+                 output [8:0] s);
+      reg [8:0] acc = 0;
+      always @(posedge clk) acc <= x + y;
+      assign s = acc;
+    endmodule
+    """
+
+    def test_ported_top_wrapped_and_finishes(self):
+        circuit = parse_verilog(self.SRC, wrap=16)
+        result = run_circuit(circuit, 64)
+        assert result.finished
+        assert len(result.displays) == 1
+        assert result.displays[0].startswith("driver: 16 cycles")
+
+    def test_wrap_is_deterministic(self):
+        a = parse_verilog(self.SRC, wrap=16)
+        b = parse_verilog(self.SRC, wrap=16)
+        assert a.fingerprint() == b.fingerprint()
+        assert run_circuit(a, 64).displays == \
+            run_circuit(b, 64).displays
+
+    def test_unwrapped_ported_top_still_rejected(self):
+        with pytest.raises(VerilogError, match="ports"):
+            parse_verilog(self.SRC)
+
+    def test_wide_and_output_free_ports(self):
+        src = """
+        module sink(input clk, input [63:0] big);
+          reg [63:0] acc = 0;
+          always @(posedge clk) acc <= acc + big;
+        endmodule
+        """
+        result = run_circuit(parse_verilog(src, wrap=32), 100)
+        assert result.finished and len(result.displays) == 1
+
+    def test_wrapped_design_compiles_to_manticore(self):
+        golden = NetlistInterpreter(parse_verilog(self.SRC,
+                                                  wrap=24)).run(100)
+        res = compile_circuit(parse_verilog(self.SRC, wrap=24),
                               CompilerOptions(config=TINY))
         mres = Machine(res.program, TINY).run(100)
         assert mres.displays == golden.displays
